@@ -1,0 +1,92 @@
+package hybridpart
+
+import (
+	"hybridpart/internal/apps"
+)
+
+// Benchmark identifiers for the paper's two evaluation applications.
+const (
+	// BenchOFDM is the IEEE 802.11a OFDM transmitter front-end (QAM +
+	// 64-point IFFT + cyclic prefix), profiled over 6 payload symbols.
+	BenchOFDM = "ofdm"
+	// BenchJPEG is the baseline JPEG encoder (DCT, quantizer, zig-zag,
+	// Huffman), profiled over a 256×256 image.
+	BenchJPEG = "jpeg"
+)
+
+// OFDM I/O constants re-exported for hosts driving the benchmark.
+const (
+	OFDMBitsArray  = apps.OFDMBitsArray
+	OFDMOutIArray  = apps.OFDMOutIArray
+	OFDMOutQArray  = apps.OFDMOutQArray
+	OFDMEntryFunc  = apps.OFDMEntry
+	OFDMTotalBits  = apps.OFDMTotalBits
+	OFDMSymbols    = apps.OFDMSymbols
+	OFDMSampleLen  = apps.OFDMSymbols * apps.SymbolSamples
+	JPEGImageArray = apps.JPEGImageArray
+	JPEGStream     = apps.JPEGStreamArray
+	JPEGBitsArray  = apps.JPEGStateArray
+	JPEGEntryFunc  = apps.JPEGEntry
+	JPEGPixels     = apps.ImagePixels
+)
+
+// OFDMApp compiles the OFDM transmitter benchmark.
+func OFDMApp() (*App, error) {
+	return Compile(apps.OFDMSource(), apps.OFDMEntry)
+}
+
+// JPEGApp compiles the JPEG encoder benchmark.
+func JPEGApp() (*App, error) {
+	src, err := apps.JPEGSource()
+	if err != nil {
+		return nil, err
+	}
+	return Compile(src, apps.JPEGEntry)
+}
+
+// OFDMBits generates a deterministic payload bit stream for profiling runs.
+func OFDMBits(seed uint32) []int32 { return apps.GenBits(apps.OFDMTotalBits, seed) }
+
+// JPEGImage generates a deterministic 256×256 test image.
+func JPEGImage(seed uint32) []int32 { return apps.GenImage(seed) }
+
+// ProfileBenchmark compiles the named benchmark ("ofdm" or "jpeg"), runs it
+// on its standard input vectors (the paper's: 6 payload symbols, one
+// 256×256 frame) and returns the app plus its dynamic-analysis profile.
+func ProfileBenchmark(name string, seed uint32) (*App, *RunProfile, error) {
+	switch name {
+	case BenchOFDM:
+		app, err := OFDMApp()
+		if err != nil {
+			return nil, nil, err
+		}
+		run := app.NewRunner()
+		if err := run.SetGlobal(OFDMBitsArray, OFDMBits(seed)); err != nil {
+			return nil, nil, err
+		}
+		if _, err := run.Run(); err != nil {
+			return nil, nil, err
+		}
+		return app, run.Profile(), nil
+	case BenchJPEG:
+		app, err := JPEGApp()
+		if err != nil {
+			return nil, nil, err
+		}
+		run := app.NewRunner()
+		if err := run.SetGlobal(JPEGImageArray, JPEGImage(seed)); err != nil {
+			return nil, nil, err
+		}
+		if _, err := run.Run(); err != nil {
+			return nil, nil, err
+		}
+		return app, run.Profile(), nil
+	}
+	return nil, nil, errUnknownBenchmark(name)
+}
+
+type errUnknownBenchmark string
+
+func (e errUnknownBenchmark) Error() string {
+	return "hybridpart: unknown benchmark " + string(e) + ` (want "ofdm" or "jpeg")`
+}

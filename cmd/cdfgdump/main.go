@@ -1,0 +1,58 @@
+// Command cdfgdump prints the flattened CDFG of an application in Graphviz
+// DOT form — either the whole control-flow graph or the data-flow graph of
+// one basic block (as the fine- and coarse-grain mappers see it).
+//
+// Usage:
+//
+//	cdfgdump -bench ofdm > cfg.dot
+//	cdfgdump -bench ofdm -block 26 > dfg26.dot
+//	cdfgdump -src app.c -entry main_fn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridpart"
+)
+
+func main() {
+	bench := flag.String("bench", "", `built-in benchmark ("ofdm" or "jpeg")`)
+	src := flag.String("src", "", "mini-C source file (alternative to -bench)")
+	entry := flag.String("entry", "main_fn", "entry function for -src")
+	block := flag.Int("block", -1, "dump the DFG of this basic block instead of the CFG")
+	flag.Parse()
+
+	var (
+		app *hybridpart.App
+		err error
+	)
+	switch {
+	case *bench == hybridpart.BenchOFDM:
+		app, err = hybridpart.OFDMApp()
+	case *bench == hybridpart.BenchJPEG:
+		app, err = hybridpart.JPEGApp()
+	case *src != "":
+		var text []byte
+		if text, err = os.ReadFile(*src); err == nil {
+			app, err = hybridpart.Compile(string(text), *entry)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "cdfgdump: need -bench or -src")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdfgdump: %v\n", err)
+		os.Exit(1)
+	}
+	if *block >= 0 {
+		err = app.WriteDFGDot(os.Stdout, *block)
+	} else {
+		err = app.WriteCFGDot(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cdfgdump: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,106 @@
+// Command hpart runs the complete partitioning methodology on a mini-C
+// source file or on one of the built-in benchmarks, printing the Table-2/3
+// style result.
+//
+// Usage:
+//
+//	hpart -bench ofdm -constraint 60000
+//	hpart -src app.c -entry main_fn -afpga 1500 -cgcs 2 -constraint 100000
+//
+// Custom sources are profiled by executing the entry function once; entry
+// functions with scalar parameters receive the values passed via -args
+// (comma-separated integers). Input arrays can be preset only for the
+// built-in benchmarks; custom applications should initialize their inputs
+// in source (or embed a generator loop).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hybridpart"
+)
+
+func main() {
+	bench := flag.String("bench", "", `built-in benchmark ("ofdm" or "jpeg")`)
+	src := flag.String("src", "", "mini-C source file (alternative to -bench)")
+	entry := flag.String("entry", "main_fn", "entry function for -src")
+	args := flag.String("args", "", "comma-separated scalar arguments for the entry function")
+	seed := flag.Uint("seed", 1, "benchmark input seed")
+	afpga := flag.Int("afpga", 1500, "usable fine-grain area A_FPGA")
+	cgcs := flag.Int("cgcs", 2, "number of 2x2 CGCs in the data-path")
+	constraint := flag.Int64("constraint", 60000, "timing constraint in FPGA cycles")
+	pipelineN := flag.Int("pipeline-frames", 0, "if >0, also report frame pipelining over N frames")
+	flag.Parse()
+
+	opts := hybridpart.DefaultOptions()
+	opts.AFPGA = *afpga
+	opts.NumCGCs = *cgcs
+	opts.Constraint = *constraint
+
+	var (
+		app  *hybridpart.App
+		prof *hybridpart.RunProfile
+		err  error
+	)
+	switch {
+	case *bench != "":
+		app, prof, err = hybridpart.ProfileBenchmark(*bench, uint32(*seed))
+	case *src != "":
+		app, prof, err = profileSource(*src, *entry, *args)
+	default:
+		fmt.Fprintln(os.Stderr, "hpart: need -bench or -src")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpart: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("application: %s (%d basic blocks)\n", app.Entry(), app.NumBlocks())
+	res, err := app.Partition(prof, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpart: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Format())
+	if len(res.Unmappable) > 0 {
+		fmt.Printf("Unmappable kernels:        %v\n", res.Unmappable)
+	}
+	if *pipelineN > 0 {
+		fmt.Printf("\nFrame pipelining over %d frames:\n%s", *pipelineN,
+			res.Pipeline().Report([]int{1, *pipelineN / 10, *pipelineN}))
+	}
+	if !res.Met {
+		os.Exit(3)
+	}
+}
+
+func profileSource(path, entry, argList string) (*hybridpart.App, *hybridpart.RunProfile, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	app, err := hybridpart.Compile(string(text), entry)
+	if err != nil {
+		return nil, nil, err
+	}
+	var args []int32
+	if argList != "" {
+		for _, part := range strings.Split(argList, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 32)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad -args value %q: %v", part, err)
+			}
+			args = append(args, int32(v))
+		}
+	}
+	run := app.NewRunner()
+	if _, err := run.Run(args...); err != nil {
+		return nil, nil, err
+	}
+	return app, run.Profile(), nil
+}

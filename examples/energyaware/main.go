@@ -1,0 +1,46 @@
+// Energy-aware example: the paper's future work — partition the OFDM
+// transmitter to satisfy an energy budget instead of a timing constraint,
+// sweeping the budget to show the energy/moves trade-off.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridpart"
+)
+
+func main() {
+	app, prof, err := hybridpart.ProfileBenchmark(hybridpart.BenchOFDM, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := hybridpart.DefaultOptions()
+
+	// Baseline: all-FPGA energy.
+	loose, err := app.PartitionEnergy(prof, opts, 1e18)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("all-FPGA energy: %.0f units\n", loose.InitialEnergy)
+	fmt.Printf("  fine=%.0f reconfig=%.0f\n\n", loose.Initial.Fine, loose.Initial.Reconfig)
+
+	fmt.Printf("%-10s %-12s %-8s %-8s %-12s\n", "budget", "final", "met", "moves", "%reduction")
+	for _, frac := range []float64{0.9, 0.7, 0.5, 0.3, 0.1} {
+		budget := loose.InitialEnergy * frac
+		res, err := app.PartitionEnergy(prof, opts, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10.0f %-12.0f %-8v %-8d %-12.1f\n",
+			budget, res.FinalEnergy, res.Met, len(res.Moved), res.ReductionPct())
+	}
+
+	// Breakdown at the 50% budget.
+	res, err := app.PartitionEnergy(prof, opts, loose.InitialEnergy*0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbreakdown at 50%% budget: fine=%.0f coarse=%.0f reconfig=%.0f comm=%.0f\n",
+		res.Final.Fine, res.Final.Coarse, res.Final.Reconfig, res.Final.Comm)
+}

@@ -1,0 +1,52 @@
+// JPEG example: run the encoder benchmark end-to-end — encode a 256×256
+// frame on the interpreter (validating against the Go reference), then
+// partition it as in the paper's Table 3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridpart"
+)
+
+func main() {
+	app, err := hybridpart.JPEGApp()
+	if err != nil {
+		log.Fatal(err)
+	}
+	img := hybridpart.JPEGImage(1)
+
+	// Execute the encoder once and inspect its output.
+	run := app.NewRunner()
+	if err := run.SetGlobal(hybridpart.JPEGImageArray, img); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := run.Run(); err != nil {
+		log.Fatal(err)
+	}
+	bits := run.Global(hybridpart.JPEGBitsArray)[0]
+	fmt.Printf("JPEG encoder: %d basic blocks\n", app.NumBlocks())
+	fmt.Printf("encoded 256x256 frame: %d bits (%.2f bits/pixel, %.1fx compression)\n\n",
+		bits, float64(bits)/float64(hybridpart.JPEGPixels),
+		8*float64(hybridpart.JPEGPixels)/float64(bits))
+
+	prof := run.Profile()
+	an := app.Analyze(prof.Freq, hybridpart.DefaultOptions())
+	fmt.Println("Table 1 (JPEG): ordered total weights of basic blocks")
+	fmt.Print(an.FormatTable(8))
+
+	const constraint = 21000000
+	fmt.Printf("\nTable 3: partitioning for a timing constraint of %d cycles\n", constraint)
+	for _, afpga := range []int{1500, 5000} {
+		opts := hybridpart.DefaultOptions()
+		opts.AFPGA = afpga
+		opts.Constraint = constraint
+		res, err := app.Partition(prof, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n-- A_FPGA=%d, two 2x2 CGCs --\n", afpga)
+		fmt.Print(res.Format())
+	}
+}

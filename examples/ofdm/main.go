@@ -1,0 +1,40 @@
+// OFDM example: partition the IEEE 802.11a transmitter front-end (QAM →
+// 64-point IFFT → cyclic prefix) exactly as in the paper's first
+// evaluation, sweeping the four platform configurations of Table 2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridpart"
+)
+
+func main() {
+	app, prof, err := hybridpart.ProfileBenchmark(hybridpart.BenchOFDM, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("OFDM transmitter: %d basic blocks, 6 payload symbols profiled\n\n", app.NumBlocks())
+
+	an := app.Analyze(prof.Freq, hybridpart.DefaultOptions())
+	fmt.Println("Table 1 (OFDM): ordered total weights of basic blocks")
+	fmt.Print(an.FormatTable(8))
+
+	const constraint = 60000 // the paper's Table 2 constraint
+	fmt.Printf("\nTable 2: partitioning for a timing constraint of %d cycles\n", constraint)
+	for _, afpga := range []int{1500, 5000} {
+		for _, ncgc := range []int{2, 3} {
+			opts := hybridpart.DefaultOptions()
+			opts.AFPGA = afpga
+			opts.NumCGCs = ncgc
+			opts.Constraint = constraint
+			res, err := app.Partition(prof, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\n-- A_FPGA=%d, %d x 2x2 CGCs --\n", afpga, ncgc)
+			fmt.Print(res.Format())
+		}
+	}
+}

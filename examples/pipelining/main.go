@@ -1,0 +1,33 @@
+// Pipelining example: the paper's ongoing work — overlap the fine and
+// coarse-grain fabrics across a frame stream. The OFDM transmitter is
+// partitioned once; the per-frame fine/coarse split then feeds the
+// two-stage pipeline model.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hybridpart"
+)
+
+func main() {
+	app, prof, err := hybridpart.ProfileBenchmark(hybridpart.BenchOFDM, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := hybridpart.DefaultOptions()
+	opts.Constraint = 60000
+	res, err := app.Partition(prof, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("per-frame split after partitioning: fine=%d coarse=%d comm=%d cycles\n\n",
+		res.TFPGA, res.TCoarse, res.TComm)
+
+	pm := res.Pipeline()
+	fine, coarse := pm.Utilization()
+	fmt.Printf("steady-state utilization: FPGA %.0f%%, CGC data-path %.0f%%\n\n", 100*fine, 100*coarse)
+	fmt.Println(pm.Report([]int{1, 2, 10, 100, 1000}))
+	fmt.Printf("asymptotic speedup: %.3f (two-stage bound: 2.0)\n", pm.Speedup(1_000_000))
+}

@@ -1,0 +1,104 @@
+package hybridpart
+
+import (
+	"hybridpart/internal/analysis"
+	"hybridpart/internal/energy"
+	"hybridpart/internal/ir"
+	"hybridpart/internal/pipeline"
+)
+
+// PipelineModel exposes the frame-level pipelining extension (the paper's
+// ongoing work): two-stage overlap of the fine and coarse-grain fabrics
+// across a frame stream.
+type PipelineModel struct {
+	m pipeline.Model
+}
+
+// Pipeline derives the per-frame pipeline model from a partitioning result,
+// treating one profiled run as one frame.
+func (r *Result) Pipeline() PipelineModel {
+	return PipelineModel{m: pipeline.Model{TFine: r.TFPGA, TCoarse: r.TCoarse, TComm: r.TComm}}
+}
+
+// Sequential returns the mutually-exclusive execution time for n frames.
+func (p PipelineModel) Sequential(n int) int64 { return p.m.Sequential(n) }
+
+// Pipelined returns the overlapped execution time for n frames.
+func (p PipelineModel) Pipelined(n int) int64 { return p.m.Pipelined(n) }
+
+// Speedup returns Sequential/Pipelined for n frames (bounded by 2×).
+func (p PipelineModel) Speedup(n int) float64 { return p.m.Speedup(n) }
+
+// Utilization returns the steady-state busy fractions (fine, coarse).
+func (p PipelineModel) Utilization() (fine, coarse float64) { return p.m.Utilization() }
+
+// Report formats a frame-sweep comparison table.
+func (p PipelineModel) Report(frames []int) string { return p.m.Report(frames) }
+
+// EnergyBreakdown decomposes application energy by source (arbitrary
+// consistent units; see internal/energy for the characterization).
+type EnergyBreakdown struct {
+	Fine     float64
+	Coarse   float64
+	Reconfig float64
+	Comm     float64
+}
+
+// Total returns the summed energy.
+func (b EnergyBreakdown) Total() float64 { return b.Fine + b.Coarse + b.Reconfig + b.Comm }
+
+// EnergyResult reports an energy-constrained partitioning run (the paper's
+// future work).
+type EnergyResult struct {
+	InitialEnergy float64
+	FinalEnergy   float64
+	Initial       EnergyBreakdown
+	Final         EnergyBreakdown
+	Budget        float64
+	Met           bool
+	Moved         []int
+	Unmappable    []int
+}
+
+// ReductionPct returns the % energy reduction over the all-FPGA mapping.
+func (r *EnergyResult) ReductionPct() float64 {
+	if r.InitialEnergy == 0 {
+		return 0
+	}
+	return 100 * (r.InitialEnergy - r.FinalEnergy) / r.InitialEnergy
+}
+
+// PartitionEnergy runs the energy-constrained engine: kernels move in
+// analysis order until total energy fits the budget.
+func (a *App) PartitionEnergy(p *RunProfile, opts Options, budget float64) (*EnergyResult, error) {
+	rep := analysis.Analyze(a.flat, p.Freq, opts.weights())
+	res, err := energy.Partition(a.fprog, a.flat, rep, energy.Config{
+		Platform: opts.platform(),
+		Costs:    energy.DefaultCosts(),
+		Budget:   budget,
+		Order:    opts.Order,
+		Edges:    p.edges,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &EnergyResult{
+		InitialEnergy: res.InitialEnergy,
+		FinalEnergy:   res.FinalEnergy,
+		Initial:       EnergyBreakdown(res.Initial),
+		Final:         EnergyBreakdown(res.Final),
+		Budget:        res.Budget,
+		Met:           res.Met,
+	}
+	out.Moved = blockIDsToInts(res.Moved)
+	out.Unmappable = blockIDsToInts(res.Unmappable)
+	return out, nil
+}
+
+func blockIDsToInts(ids []ir.BlockID) []int {
+	out := make([]int, len(ids))
+	for i, b := range ids {
+		out[i] = int(b)
+	}
+	return out
+}

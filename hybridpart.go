@@ -1,0 +1,386 @@
+// Package hybridpart reproduces the partitioning methodology of Galanis et
+// al., "A Partitioning Methodology for Accelerating Applications in Hybrid
+// Reconfigurable Platforms" (DATE 2004): applications written in a C subset
+// are profiled at the basic-block level, their kernels are ordered by
+// total_weight = exec_freq × bb_weight, and a partitioning engine moves
+// kernels one by one from the fine-grain (FPGA) fabric to the coarse-grain
+// CGC data-path until a timing constraint is met.
+//
+// The package is a facade over the internal substrates:
+//
+//	minic/lower  — C-subset frontend and CDFG construction (SUIF stand-in)
+//	interp       — profiling interpreter (Lex-instrumentation stand-in)
+//	analysis     — kernel extraction and ordering (eq. 1)
+//	finegrain    — Figure-3 temporal partitioning onto the FPGA
+//	coarsegrain  — list scheduling + CGC binding (FPL'04 data-path)
+//	partition    — the partitioning engine (eq. 2)
+//	apps         — the OFDM transmitter and JPEG encoder benchmarks
+//
+// Quickstart:
+//
+//	app, _ := hybridpart.Compile(src, "main_fn")
+//	run := app.NewRunner()
+//	run.Run()                                 // dynamic analysis
+//	res, _ := app.Partition(run.BlockFrequencies(), hybridpart.DefaultOptions())
+//	fmt.Println(res.Format())
+package hybridpart
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"hybridpart/internal/analysis"
+	"hybridpart/internal/finegrain"
+	"hybridpart/internal/interp"
+	"hybridpart/internal/ir"
+	"hybridpart/internal/lower"
+	"hybridpart/internal/partition"
+	"hybridpart/internal/platform"
+)
+
+// App is a compiled application: the lowered program plus the flattened
+// (fully inlined) entry function the methodology operates on.
+type App struct {
+	entry string
+	prog  *ir.Program // original program (used for execution)
+	flat  *ir.Function
+	fprog *ir.Program // single-function program holding flat + globals
+}
+
+// Compile parses, checks and lowers mini-C source text, then flattens the
+// given entry function into the single CDFG the analysis and mapping steps
+// consume (the paper's step 1).
+func Compile(src, entry string) (*App, error) {
+	prog, err := lower.LowerSource(src)
+	if err != nil {
+		return nil, err
+	}
+	flat, err := lower.Flatten(prog, entry)
+	if err != nil {
+		return nil, err
+	}
+	fprog := ir.NewProgram()
+	fprog.Globals = prog.Globals
+	if err := fprog.AddFunc(flat); err != nil {
+		return nil, err
+	}
+	if err := fprog.Validate(); err != nil {
+		return nil, fmt.Errorf("hybridpart: flattened program invalid: %w", err)
+	}
+	return &App{entry: entry, prog: prog, flat: flat, fprog: fprog}, nil
+}
+
+// Entry returns the entry function name.
+func (a *App) Entry() string { return a.entry }
+
+// NumBlocks returns the number of basic blocks in the flattened CDFG.
+func (a *App) NumBlocks() int { return len(a.flat.Blocks) }
+
+// BlockName returns the diagnostic label of basic block id.
+func (a *App) BlockName(id int) string {
+	if id < 0 || id >= len(a.flat.Blocks) {
+		return ""
+	}
+	return a.flat.Blocks[id].Name
+}
+
+// WriteCFGDot writes the flattened CDFG in Graphviz DOT form.
+func (a *App) WriteCFGDot(w io.Writer) error { return ir.WriteCFGDot(w, a.flat) }
+
+// WriteDFGDot writes the data-flow graph of basic block id in DOT form.
+func (a *App) WriteDFGDot(w io.Writer, id int) error {
+	if id < 0 || id >= len(a.flat.Blocks) {
+		return fmt.Errorf("hybridpart: block %d out of range [0,%d)", id, len(a.flat.Blocks))
+	}
+	return ir.WriteDFGDot(w, ir.BuildDFG(a.flat, a.flat.Blocks[id]))
+}
+
+// Runner executes the flattened application with profiling enabled — the
+// dynamic-analysis half of the paper's step 3. Global arrays are the
+// application's I/O surface.
+type Runner struct {
+	m    *interp.Machine
+	prof *interp.Profile
+	app  *App
+}
+
+// NewRunner returns a fresh Runner (globals at their initial values).
+func (a *App) NewRunner() *Runner {
+	m := interp.New(a.fprog)
+	return &Runner{m: m, prof: m.EnableProfile(), app: a}
+}
+
+// SetGlobal copies vals into the named global array.
+func (r *Runner) SetGlobal(name string, vals []int32) error {
+	g := r.m.Global(name)
+	if g == nil {
+		return fmt.Errorf("hybridpart: global %q not found", name)
+	}
+	if len(vals) > len(g) {
+		return fmt.Errorf("hybridpart: %d values exceed %q (len %d)", len(vals), name, len(g))
+	}
+	copy(g, vals)
+	return nil
+}
+
+// Global returns the live storage of a global array (nil if absent).
+func (r *Runner) Global(name string) []int32 { return r.m.Global(name) }
+
+// Run executes the entry function with the given scalar arguments and
+// returns its result. Profiling counts accumulate across calls.
+func (r *Runner) Run(args ...int32) (int32, error) {
+	iargs := make([]interp.Arg, len(args))
+	for i, v := range args {
+		iargs[i] = interp.Int(v)
+	}
+	return r.m.Run(r.app.entry, iargs...)
+}
+
+// BlockFrequencies returns the accumulated per-block execution counts
+// (exec_freq), indexed by basic-block number.
+func (r *Runner) BlockFrequencies() []uint64 {
+	counts := r.prof.Counts[r.app.entry]
+	out := make([]uint64, r.app.NumBlocks())
+	copy(out, counts)
+	return out
+}
+
+// RunProfile bundles the dynamic-analysis products of one or more Run
+// calls: per-block execution counts plus taken control-flow transition
+// counts (the reconfiguration model charges partition crossings on the
+// latter).
+type RunProfile struct {
+	Freq  []uint64
+	edges []finegrain.EdgeFreq
+}
+
+// Profile snapshots the runner's accumulated dynamic analysis.
+func (r *Runner) Profile() *RunProfile {
+	p := &RunProfile{Freq: r.BlockFrequencies()}
+	for k, n := range r.prof.Edges[r.app.entry] {
+		p.edges = append(p.edges, finegrain.EdgeFreq{From: k.From(), To: k.To(), N: n})
+	}
+	sort.Slice(p.edges, func(i, j int) bool {
+		if p.edges[i].From != p.edges[j].From {
+			return p.edges[i].From < p.edges[j].From
+		}
+		return p.edges[i].To < p.edges[j].To
+	})
+	return p
+}
+
+// InstructionsExecuted returns the dynamic instruction count so far.
+func (r *Runner) InstructionsExecuted() uint64 { return r.prof.Instrs }
+
+// KernelOrder re-exports the analysis ordering strategies.
+type KernelOrder = analysis.KernelOrder
+
+// Kernel ordering strategies (OrderByTotalWeight is the paper's eq. 1).
+const (
+	OrderByTotalWeight = analysis.OrderByTotalWeight
+	OrderByFreq        = analysis.OrderByFreq
+	OrderByOpWeight    = analysis.OrderByOpWeight
+)
+
+// Options collects every platform and engine knob with the paper's
+// evaluation defaults.
+type Options struct {
+	// AFPGA is the usable fine-grain area (paper: 1500 or 5000 units).
+	AFPGA int
+	// ReconfigCycles is the full-reconfiguration cost per temporal
+	// partition in FPGA cycles.
+	ReconfigCycles int
+
+	// NumCGCs, CGCRows, CGCCols shape the coarse-grain data-path (paper:
+	// two or three 2×2 CGCs).
+	NumCGCs int
+	CGCRows int
+	CGCCols int
+	// MemPorts is the shared-memory ports available per CGC cycle.
+	MemPorts int
+	// ClockRatio is T_FPGA/T_CGC (paper: 3).
+	ClockRatio int
+	// RegBankWords sizes the data-path register bank (arrays up to this
+	// size are bank-resident during kernel execution; 0 disables the bank).
+	RegBankWords int
+
+	// CommCyclesPerWord and CommSyncCycles parameterize t_comm.
+	CommCyclesPerWord int
+	CommSyncCycles    int
+
+	// Constraint is the timing constraint in FPGA cycles.
+	Constraint int64
+	// Order selects the kernel ordering strategy.
+	Order KernelOrder
+	// MaxMoves bounds the number of kernels moved (0 = unlimited); useful
+	// for move-by-move trajectory studies.
+	MaxMoves int
+	// SkipNonImproving rejects moves whose communication overhead exceeds
+	// their gain (ablation switch; the paper's engine moves unconditionally).
+	SkipNonImproving bool
+
+	// WeightALU/Mul/Div/Mem are the static analysis weights (paper: ALU 1,
+	// MUL 2; memory accesses are counted as basic operations).
+	WeightALU int64
+	WeightMul int64
+	WeightDiv int64
+	WeightMem int64
+}
+
+// DefaultOptions returns the paper's baseline configuration: A_FPGA = 1500,
+// two 2×2 CGCs, T_FPGA = 3·T_CGC, eq. 1 kernel ordering.
+func DefaultOptions() Options {
+	p := platform.Default()
+	w := analysis.DefaultWeights()
+	return Options{
+		AFPGA:             p.Fine.Area,
+		ReconfigCycles:    p.Fine.ReconfigCycles,
+		NumCGCs:           p.Coarse.NumCGCs,
+		CGCRows:           p.Coarse.Rows,
+		CGCCols:           p.Coarse.Cols,
+		MemPorts:          p.Coarse.MemPorts,
+		ClockRatio:        p.Coarse.ClockRatio,
+		RegBankWords:      p.Coarse.RegBankWords,
+		CommCyclesPerWord: p.Comm.CyclesPerWord,
+		CommSyncCycles:    p.Comm.SyncCycles,
+		Constraint:        60000,
+		Order:             OrderByTotalWeight,
+		WeightALU:         w.ALU,
+		WeightMul:         w.Mul,
+		WeightDiv:         w.Div,
+		WeightMem:         w.Mem,
+	}
+}
+
+func (o Options) platform() platform.Platform {
+	p := platform.Platform{
+		Fine: platform.FineGrain{
+			Area:           o.AFPGA,
+			ReconfigCycles: o.ReconfigCycles,
+			Costs:          platform.DefaultOpCosts(),
+		},
+		Coarse: platform.CoarseGrain{
+			NumCGCs:      o.NumCGCs,
+			Rows:         o.CGCRows,
+			Cols:         o.CGCCols,
+			MemPorts:     o.MemPorts,
+			ClockRatio:   o.ClockRatio,
+			RegBankWords: o.RegBankWords,
+		},
+		Comm: platform.Comm{CyclesPerWord: o.CommCyclesPerWord, SyncCycles: o.CommSyncCycles},
+	}
+	return p
+}
+
+func (o Options) weights() analysis.Weights {
+	return analysis.Weights{ALU: o.WeightALU, Mul: o.WeightMul, Div: o.WeightDiv, Mem: o.WeightMem}
+}
+
+// KernelInfo is one row of the analysis report (Table 1 of the paper).
+type KernelInfo struct {
+	Block       int
+	Name        string
+	Freq        uint64
+	OpWeight    int64
+	TotalWeight int64
+	LoopDepth   int
+}
+
+// Analysis is the facade view of the analysis step's output.
+type Analysis struct {
+	rep *analysis.Report
+	// Kernels lists candidate kernels in decreasing total weight.
+	Kernels []KernelInfo
+}
+
+// Analyze runs the static+dynamic analysis (step 3) against the given
+// block frequencies.
+func (a *App) Analyze(freq []uint64, opts Options) *Analysis {
+	rep := analysis.Analyze(a.flat, freq, opts.weights())
+	out := &Analysis{rep: rep}
+	for _, id := range rep.Kernels {
+		b := rep.Block(id)
+		out.Kernels = append(out.Kernels, KernelInfo{
+			Block:       int(b.ID),
+			Name:        b.Name,
+			Freq:        b.Freq,
+			OpWeight:    b.OpWeight,
+			TotalWeight: b.TotalWeight,
+			LoopDepth:   b.Depth,
+		})
+	}
+	return out
+}
+
+// FormatTable renders the top-n kernels like the paper's Table 1.
+func (an *Analysis) FormatTable(n int) string { return an.rep.FormatTable(n) }
+
+// Result is the outcome of a partitioning run (Tables 2–3 of the paper).
+type Result struct {
+	InitialCycles int64
+	// InitialPartitions is the number of configuration bit-streams of the
+	// all-FPGA mapping.
+	InitialPartitions int
+	FinalCycles       int64
+	CyclesInCGC       int64
+	TFPGA             int64
+	TCoarse           int64
+	TComm             int64
+	Constraint        int64
+	Met               bool
+	Moved             []int
+	Unmappable        []int
+	Skipped           []int
+	table             string
+}
+
+// ReductionPct is the % cycle reduction over the all-FPGA mapping.
+func (r *Result) ReductionPct() float64 {
+	if r.InitialCycles == 0 {
+		return 0
+	}
+	return 100 * float64(r.InitialCycles-r.FinalCycles) / float64(r.InitialCycles)
+}
+
+// Format renders the result in the layout of the paper's Tables 2–3.
+func (r *Result) Format() string { return r.table }
+
+// Partition runs the full methodology (steps 2–5) for the given profile and
+// options.
+func (a *App) Partition(p *RunProfile, opts Options) (*Result, error) {
+	an := a.Analyze(p.Freq, opts)
+	res, err := partition.Partition(a.fprog, a.flat, an.rep, partition.Config{
+		Platform:         opts.platform(),
+		Constraint:       opts.Constraint,
+		Order:            opts.Order,
+		Edges:            p.edges,
+		MaxMoves:         opts.MaxMoves,
+		SkipNonImproving: opts.SkipNonImproving,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		InitialCycles:     res.InitialCycles,
+		InitialPartitions: res.InitialPartitions,
+		FinalCycles:       res.FinalCycles,
+		CyclesInCGC:       res.CyclesInCGC,
+		TFPGA:             res.TFPGA,
+		TCoarse:           res.TCoarse,
+		TComm:             res.TComm,
+		Constraint:        res.Constraint,
+		Met:               res.Met,
+		table:             res.FormatTable(),
+	}
+	for _, b := range res.Moved {
+		out.Moved = append(out.Moved, int(b))
+	}
+	for _, b := range res.Unmappable {
+		out.Unmappable = append(out.Unmappable, int(b))
+	}
+	for _, b := range res.Skipped {
+		out.Skipped = append(out.Skipped, int(b))
+	}
+	return out, nil
+}

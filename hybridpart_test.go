@@ -1,0 +1,290 @@
+package hybridpart
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const firSrc = `
+const int N = 128;
+int TAPS[16] = {1, 2, 3, 4, 5, 6, 7, 8, 8, 7, 6, 5, 4, 3, 2, 1};
+int INPUT[N];
+int OUTPUT[N];
+void prep() {
+    int i;
+    for (i = 0; i < N; i++) { INPUT[i] = (i * 13 + 5) & 127; }
+}
+int main_fn() {
+    int n;
+    prep();
+    for (n = 16; n < N; n++) {
+        int acc = ((TAPS[0] * INPUT[n] + TAPS[1] * INPUT[n - 1])
+                 + (TAPS[2] * INPUT[n - 2] + TAPS[3] * INPUT[n - 3]))
+                + ((TAPS[4] * INPUT[n - 4] + TAPS[5] * INPUT[n - 5])
+                 + (TAPS[6] * INPUT[n - 6] + TAPS[7] * INPUT[n - 7]))
+                + ((TAPS[8] * INPUT[n - 8] + TAPS[9] * INPUT[n - 9])
+                 + (TAPS[10] * INPUT[n - 10] + TAPS[11] * INPUT[n - 11]))
+                + ((TAPS[12] * INPUT[n - 12] + TAPS[13] * INPUT[n - 13])
+                 + (TAPS[14] * INPUT[n - 14] + TAPS[15] * INPUT[n - 15]));
+        OUTPUT[n] = acc >> 6;
+    }
+    return OUTPUT[N - 1];
+}
+`
+
+func compileFIR(t *testing.T) (*App, *RunProfile) {
+	t.Helper()
+	app, err := Compile(firSrc, "main_fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := app.NewRunner()
+	if _, err := run.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return app, run.Profile()
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile("int f() { return zz; }", "f"); err == nil {
+		t.Fatal("semantic error accepted")
+	}
+	if _, err := Compile("int f() { return 1; }", "missing"); err == nil {
+		t.Fatal("unknown entry accepted")
+	}
+	if _, err := Compile("not C at all", "f"); err == nil {
+		t.Fatal("parse error accepted")
+	}
+}
+
+func TestEndToEndFlow(t *testing.T) {
+	app, prof := compileFIR(t)
+	if app.NumBlocks() < 5 {
+		t.Fatalf("suspiciously small CDFG: %d blocks", app.NumBlocks())
+	}
+	opts := DefaultOptions()
+	an := app.Analyze(prof.Freq, opts)
+	if len(an.Kernels) == 0 {
+		t.Fatal("no kernels detected")
+	}
+	// The FIR inner body (the mul-add loop) must dominate.
+	if an.Kernels[0].TotalWeight < an.Kernels[len(an.Kernels)-1].TotalWeight {
+		t.Fatal("kernel ordering broken")
+	}
+
+	loose := opts
+	loose.Constraint = 1 << 60
+	all, err := app.Partition(prof, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !all.Met || all.InitialCycles <= 0 {
+		t.Fatalf("all-FPGA run malformed: %+v", all)
+	}
+	opts.Constraint = all.InitialCycles / 2
+	res, err := app.Partition(prof, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met || len(res.Moved) == 0 {
+		t.Fatalf("halving constraint failed: met=%v moved=%v", res.Met, res.Moved)
+	}
+	if res.TFPGA+res.TCoarse+res.TComm != res.FinalCycles {
+		t.Fatal("eq. 2 decomposition broken at the facade")
+	}
+	if !strings.Contains(res.Format(), "BB no. moved") {
+		t.Fatalf("Format() malformed:\n%s", res.Format())
+	}
+}
+
+func TestRunnerGlobals(t *testing.T) {
+	app, _ := compileFIR(t)
+	run := app.NewRunner()
+	if err := run.SetGlobal("INPUT", []int32{9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if run.Global("INPUT")[0] != 9 {
+		t.Fatal("SetGlobal did not write")
+	}
+	if err := run.SetGlobal("NOPE", []int32{1}); err == nil {
+		t.Fatal("unknown global accepted")
+	}
+	if err := run.SetGlobal("TAPS", make([]int32, 999)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+}
+
+func TestDotOutputs(t *testing.T) {
+	app, _ := compileFIR(t)
+	var buf bytes.Buffer
+	if err := app.WriteCFGDot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "digraph") {
+		t.Fatal("CFG dot malformed")
+	}
+	buf.Reset()
+	if err := app.WriteDFGDot(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.WriteDFGDot(&buf, 9999); err == nil {
+		t.Fatal("out-of-range block accepted")
+	}
+}
+
+func TestBenchmarkProfilesAreStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark compilation in -short mode")
+	}
+	app1, prof1, err := ProfileBenchmark(BenchOFDM, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, prof2, err := ProfileBenchmark(BenchOFDM, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range prof1.Freq {
+		if prof1.Freq[i] != prof2.Freq[i] {
+			t.Fatalf("profiles differ at block %d", i)
+		}
+	}
+	// The paper's property: OFDM's hot kernels sit in the IFFT. The top
+	// kernel must be multiply-rich.
+	an := app1.Analyze(prof1.Freq, DefaultOptions())
+	if an.Kernels[0].OpWeight < 20 {
+		t.Fatalf("top OFDM kernel too light: %+v", an.Kernels[0])
+	}
+	if _, _, err := ProfileBenchmark("nope", 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestPaperShapeProperties(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark compilation in -short mode")
+	}
+	app, prof, err := ProfileBenchmark(BenchOFDM, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose := DefaultOptions()
+	loose.Constraint = 1 << 60
+
+	// Property 1: initial cycles shrink monotonically with A_FPGA.
+	prev := int64(1 << 62)
+	for _, area := range []int{1000, 1500, 5000, 10000} {
+		o := loose
+		o.AFPGA = area
+		res, err := app.Partition(prof, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.InitialCycles > prev {
+			t.Fatalf("A_FPGA=%d slower than smaller area (%d > %d)", area, res.InitialCycles, prev)
+		}
+		prev = res.InitialCycles
+	}
+
+	// Property 2: the paper's constraint (60000) is satisfiable at both
+	// areas, with at most as many moves at 5000 as at 1500.
+	o1 := DefaultOptions()
+	o1.Constraint = 60000
+	r1500, err := app.Partition(prof, o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2 := o1
+	o2.AFPGA = 5000
+	r5000, err := app.Partition(prof, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1500.Met || !r5000.Met {
+		t.Fatalf("paper constraint unmet: 1500=%v 5000=%v", r1500.Met, r5000.Met)
+	}
+	if len(r5000.Moved) > len(r1500.Moved) {
+		t.Fatalf("larger FPGA needed more moves (%d > %d)", len(r5000.Moved), len(r1500.Moved))
+	}
+	// Property 3: % reduction larger at the smaller area (Table 2 shape).
+	if r1500.ReductionPct() < r5000.ReductionPct() {
+		t.Fatalf("reduction at 1500 (%.1f%%) below 5000 (%.1f%%)",
+			r1500.ReductionPct(), r5000.ReductionPct())
+	}
+	// Property 4: cycles in CGC are independent of A_FPGA when the same
+	// kernels move (compare per-move latencies via a single-move run).
+	o1.MaxMoves, o2.MaxMoves = 1, 1
+	o1.Constraint, o2.Constraint = 1, 1
+	m1500, err := app.Partition(prof, o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m5000, err := app.Partition(prof, o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1500.CyclesInCGC != m5000.CyclesInCGC {
+		t.Fatalf("CGC cycles depend on A_FPGA: %d vs %d", m1500.CyclesInCGC, m5000.CyclesInCGC)
+	}
+}
+
+func TestPipelineFacade(t *testing.T) {
+	app, prof := compileFIR(t)
+	opts := DefaultOptions()
+	opts.Constraint = 1
+	opts.MaxMoves = 1
+	res, err := app.Partition(prof, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := res.Pipeline()
+	if pm.Pipelined(10) > pm.Sequential(10) {
+		t.Fatal("pipelining slower than sequential")
+	}
+	s := pm.Speedup(100)
+	if s < 1 || s > 2 {
+		t.Fatalf("speedup %f outside [1,2]", s)
+	}
+	if !strings.Contains(pm.Report([]int{1, 10}), "speedup") {
+		t.Fatal("pipeline report malformed")
+	}
+}
+
+func TestEnergyFacade(t *testing.T) {
+	app, prof := compileFIR(t)
+	opts := DefaultOptions()
+	loose, err := app.PartitionEnergy(prof, opts, 1e18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loose.Met || loose.InitialEnergy <= 0 {
+		t.Fatalf("loose energy run malformed: %+v", loose)
+	}
+	res, err := app.PartitionEnergy(prof, opts, loose.InitialEnergy*0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met || len(res.Moved) == 0 {
+		t.Fatalf("80%% budget failed: %+v", res)
+	}
+	if res.Final.Total() != res.FinalEnergy {
+		t.Fatal("breakdown total mismatch")
+	}
+}
+
+func TestOptionsRoundTrip(t *testing.T) {
+	opts := DefaultOptions()
+	p := opts.platform()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("DefaultOptions platform invalid: %v", err)
+	}
+	if p.Fine.Area != opts.AFPGA || p.Coarse.NumCGCs != opts.NumCGCs ||
+		p.Coarse.RegBankWords != opts.RegBankWords {
+		t.Fatal("options not faithfully converted")
+	}
+	w := opts.weights()
+	if w.ALU != 1 || w.Mul != 2 {
+		t.Fatalf("paper weights wrong: %+v", w)
+	}
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"sort"
+
+	"hybridpart/internal/ir"
+)
+
+// Loop is a natural loop: the target of one or more back edges plus every
+// block that can reach those back edges without passing the header.
+type Loop struct {
+	Header ir.BlockID
+	// Blocks is the loop body including the header, sorted by ID.
+	Blocks []ir.BlockID
+	// Parent is the index (into LoopForest.Loops) of the innermost enclosing
+	// loop, or -1 for top-level loops.
+	Parent int
+}
+
+// Contains reports whether the loop body includes b.
+func (l *Loop) Contains(b ir.BlockID) bool {
+	i := sort.Search(len(l.Blocks), func(i int) bool { return l.Blocks[i] >= b })
+	return i < len(l.Blocks) && l.Blocks[i] == b
+}
+
+// LoopForest is the set of natural loops of one function with per-block
+// nesting depths. Kernels — the paper's critical basic blocks — live at
+// depth ≥ 1.
+type LoopForest struct {
+	Loops []Loop
+	// Depth[b] is the loop nesting depth of block b (0 = not in any loop).
+	Depth []int
+}
+
+// FindLoops detects the natural loops of f using its dominator tree.
+func FindLoops(f *ir.Function, dom *Dominators) *LoopForest {
+	f.RecomputeEdges()
+	bodies := map[ir.BlockID]map[ir.BlockID]bool{} // header -> body set
+
+	for _, b := range f.Blocks {
+		if !dom.Reachable(b.ID) {
+			continue
+		}
+		for _, h := range b.Succs {
+			if !dom.Dominates(h, b.ID) {
+				continue // not a back edge
+			}
+			body := bodies[h]
+			if body == nil {
+				body = map[ir.BlockID]bool{h: true}
+				bodies[h] = body
+			}
+			// Reverse flood fill from the latch, stopping at the header.
+			stack := []ir.BlockID{b.ID}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if body[x] {
+					continue
+				}
+				body[x] = true
+				stack = append(stack, f.Blocks[x].Preds...)
+			}
+		}
+	}
+
+	lf := &LoopForest{Depth: make([]int, len(f.Blocks))}
+	headers := make([]ir.BlockID, 0, len(bodies))
+	for h := range bodies {
+		headers = append(headers, h)
+	}
+	sort.Slice(headers, func(i, j int) bool { return headers[i] < headers[j] })
+	for _, h := range headers {
+		var blocks []ir.BlockID
+		for b := range bodies[h] {
+			blocks = append(blocks, b)
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+		lf.Loops = append(lf.Loops, Loop{Header: h, Blocks: blocks, Parent: -1})
+		for _, b := range blocks {
+			lf.Depth[b]++
+		}
+	}
+
+	// Nesting: loop i's parent is the smallest enclosing loop j ≠ i whose
+	// body contains i's header and is a superset.
+	for i := range lf.Loops {
+		best, bestSize := -1, 1<<30
+		for j := range lf.Loops {
+			if i == j {
+				continue
+			}
+			if len(lf.Loops[j].Blocks) <= len(lf.Loops[i].Blocks) {
+				continue
+			}
+			if !lf.Loops[j].Contains(lf.Loops[i].Header) {
+				continue
+			}
+			if len(lf.Loops[j].Blocks) < bestSize {
+				best, bestSize = j, len(lf.Loops[j].Blocks)
+			}
+		}
+		lf.Loops[i].Parent = best
+	}
+	return lf
+}
+
+// InAnyLoop reports whether b belongs to at least one natural loop.
+func (lf *LoopForest) InAnyLoop(b ir.BlockID) bool {
+	return int(b) < len(lf.Depth) && lf.Depth[b] > 0
+}

@@ -1,0 +1,55 @@
+package apps
+
+// Deterministic input-vector generators. The paper profiles each benchmark
+// with "input vectors that represent the typical operation of the
+// application"; these produce a reproducible random bit stream for the
+// transmitter and a natural-image-like (smooth with texture and noise)
+// gray-scale frame for the encoder.
+
+// xorshift32 is a full-period 32-bit xorshift PRNG step.
+func xorshift32(s uint32) uint32 {
+	s ^= s << 13
+	s ^= s >> 17
+	s ^= s << 5
+	return s
+}
+
+// GenBits returns n pseudo-random payload bits (0/1 values).
+func GenBits(n int, seed uint32) []int32 {
+	if seed == 0 {
+		seed = 0x2545F491
+	}
+	out := make([]int32, n)
+	s := seed
+	for i := range out {
+		s = xorshift32(s)
+		out[i] = int32(s & 1)
+	}
+	return out
+}
+
+// GenImage returns an ImageDim×ImageDim gray image (row-major, 0..255):
+// a diagonal illumination gradient with a low-frequency texture and a few
+// bits of sensor-style noise, giving the encoder realistic run-length and
+// coefficient statistics.
+func GenImage(seed uint32) []int32 {
+	if seed == 0 {
+		seed = 0x9E3779B9
+	}
+	out := make([]int32, ImagePixels)
+	s := seed
+	for y := 0; y < ImageDim; y++ {
+		for x := 0; x < ImageDim; x++ {
+			s = xorshift32(s)
+			grad := int32((x*3 + y*2) >> 2)
+			texture := int32((x * y) >> 9)
+			noise := int32(s & 15)
+			v := 32 + grad&127 + texture&63 + noise
+			if v > 255 {
+				v = 255
+			}
+			out[y*ImageDim+x] = v
+		}
+	}
+	return out
+}

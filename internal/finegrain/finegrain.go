@@ -1,0 +1,174 @@
+// Package finegrain implements the paper's mapping methodology for the
+// fine-grain (embedded FPGA) part of the architecture: the temporal
+// partitioning algorithm of Figure 3. DFG nodes are classified by their
+// ASAP levels and assigned level by level to temporal partitions; when the
+// usable area A_FPGA is exhausted, a new partition (a separate
+// configuration bit-stream) is opened. Each partition pays the full
+// reconfiguration time of the device.
+package finegrain
+
+import (
+	"fmt"
+	"sort"
+
+	"hybridpart/internal/ir"
+	"hybridpart/internal/platform"
+)
+
+// Partition is one temporal partition: a set of DFG nodes that are resident
+// on the fabric simultaneously.
+type Partition struct {
+	// Nodes lists DFG node indices in assignment order.
+	Nodes []int
+	// Area is the summed operator area of the partition.
+	Area int
+	// Cycles is the partition's execution time in FPGA cycles (excluding
+	// reconfiguration): the sum over its level groups of the group's
+	// slowest operator.
+	Cycles int64
+	// levels records the distinct ASAP levels present (for reports).
+	Levels []int
+}
+
+// Mapping is the fine-grain mapping of one basic block's DFG.
+type Mapping struct {
+	DFG        *ir.DFG
+	Partitions []Partition
+	// CyclesPerExec is the FPGA-cycle cost of one execution of the block:
+	// Σ partition cycles + ReconfigCycles per partition, with a floor of
+	// one cycle per execution for control-only blocks.
+	CyclesPerExec int64
+}
+
+// NumPartitions returns the number of temporal partitions (configuration
+// bit-streams) the block needs.
+func (m *Mapping) NumPartitions() int { return len(m.Partitions) }
+
+// MapDFG runs the Figure 3 algorithm on d under the fine-grain
+// characterization fg. It fails only when a single operator exceeds A_FPGA
+// (the algorithm cannot make progress then — the pseudocode would loop).
+func MapDFG(d *ir.DFG, fg platform.FineGrain) (*Mapping, error) {
+	m := &Mapping{DFG: d}
+	if d.NumNodes() == 0 {
+		// Control-only block: one cycle for the branch logic, no
+		// reconfiguration (nothing is mapped).
+		m.CyclesPerExec = 1
+		return m, nil
+	}
+
+	cur := Partition{}
+	areaCovered := 0
+	flush := func() {
+		if len(cur.Nodes) > 0 {
+			m.Partitions = append(m.Partitions, cur)
+			cur = Partition{}
+		}
+	}
+
+	// Figure 3: traverse nodes level by level; same-level nodes share a
+	// partition while area remains; otherwise open the next partition.
+	for level := 1; level <= d.MaxLevel; level++ {
+		for _, u := range d.NodesAtLevel(level) {
+			sz := fg.Costs.Area(ir.ClassOf(d.Op(u)))
+			if sz > fg.Area {
+				return nil, fmt.Errorf(
+					"finegrain: node %d (%s, %d units) exceeds A_FPGA (%d units)",
+					u, d.Op(u), sz, fg.Area)
+			}
+			if areaCovered+sz <= fg.Area {
+				cur.Nodes = append(cur.Nodes, u)
+				cur.Area += sz
+				areaCovered += sz
+			} else {
+				flush()
+				cur.Nodes = append(cur.Nodes, u)
+				cur.Area = sz
+				areaCovered = sz
+			}
+		}
+	}
+	flush()
+
+	// Cycle model: within a partition, same-level nodes execute in the same
+	// step; a step costs the latency of its slowest operator. Every
+	// partition pays the reconfiguration time.
+	var total int64
+	for pi := range m.Partitions {
+		p := &m.Partitions[pi]
+		levelCost := map[int]int{}
+		for _, u := range p.Nodes {
+			lat := fg.Costs.Latency(ir.ClassOf(d.Op(u)))
+			lvl := d.ASAP[u]
+			if lat > levelCost[lvl] {
+				levelCost[lvl] = lat
+			}
+		}
+		var cycles int64
+		for lvl, c := range levelCost {
+			cycles += int64(c)
+			p.Levels = append(p.Levels, lvl)
+		}
+		sort.Ints(p.Levels)
+		p.Cycles = cycles
+		total += cycles + int64(fg.ReconfigCycles)
+	}
+	if total < 1 {
+		total = 1
+	}
+	m.CyclesPerExec = total
+	return m, nil
+}
+
+// BlockCycles maps block b of f and returns its per-execution FPGA cycles
+// (t_to_FPGA(BB) in eq. 4).
+func BlockCycles(f *ir.Function, b *ir.Block, fg platform.FineGrain) (int64, error) {
+	mapping, err := MapDFG(ir.BuildDFG(f, b), fg)
+	if err != nil {
+		return 0, fmt.Errorf("finegrain: block b%d: %w", b.ID, err)
+	}
+	return mapping.CyclesPerExec, nil
+}
+
+// FunctionTiming is the fine-grain timing of a whole function (the CDFG is
+// mapped by iterating its DFGs, as in section 3.2).
+type FunctionTiming struct {
+	// PerBlock[i] is the per-execution cycle cost of block i.
+	PerBlock []int64
+	// PartitionsPerBlock[i] is the number of temporal partitions block i
+	// requires under the given A_FPGA.
+	PartitionsPerBlock []int
+}
+
+// MapFunction maps every basic block of f onto the fine-grain fabric.
+func MapFunction(f *ir.Function, fg platform.FineGrain) (*FunctionTiming, error) {
+	ft := &FunctionTiming{
+		PerBlock:           make([]int64, len(f.Blocks)),
+		PartitionsPerBlock: make([]int, len(f.Blocks)),
+	}
+	for _, b := range f.Blocks {
+		m, err := MapDFG(ir.BuildDFG(f, b), fg)
+		if err != nil {
+			return nil, fmt.Errorf("finegrain: block b%d: %w", b.ID, err)
+		}
+		ft.PerBlock[b.ID] = m.CyclesPerExec
+		ft.PartitionsPerBlock[b.ID] = m.NumPartitions()
+	}
+	return ft, nil
+}
+
+// TotalCycles evaluates eq. 4: t_FPGA = Σ t_to_FPGA(BB_i) × Iter(BB_i) over
+// the given blocks (all blocks when filter is nil).
+func (ft *FunctionTiming) TotalCycles(freq []uint64, filter func(ir.BlockID) bool) int64 {
+	var total int64
+	for i, c := range ft.PerBlock {
+		if filter != nil && !filter(ir.BlockID(i)) {
+			continue
+		}
+		var n uint64
+		if i < len(freq) {
+			n = freq[i]
+		}
+		total += c * int64(n)
+	}
+	return total
+}

@@ -1,0 +1,281 @@
+package finegrain
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hybridpart/internal/ir"
+	"hybridpart/internal/platform"
+)
+
+// chainDFG builds a DFG that is a single dependence chain of n adds.
+func chainDFG(n int) *ir.DFG {
+	f := ir.NewFunction("chain")
+	b := f.Block(f.Entry)
+	r := f.NewReg("")
+	b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpConst, Dst: r, A: ir.Imm(1)})
+	for i := 0; i < n-1; i++ {
+		nr := f.NewReg("")
+		b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpAdd, Dst: nr, A: ir.Reg(r), B: ir.Imm(1)})
+		r = nr
+	}
+	b.Term = ir.Terminator{Kind: ir.TermReturn}
+	return ir.BuildDFG(f, b)
+}
+
+// wideDFG builds a DFG of n independent adds (all at level 1).
+func wideDFG(n int) *ir.DFG {
+	f := ir.NewFunction("wide")
+	b := f.Block(f.Entry)
+	x := f.NewReg("x")
+	for i := 0; i < n; i++ {
+		b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpAdd, Dst: f.NewReg(""), A: ir.Reg(x), B: ir.Imm(int32(i))})
+	}
+	b.Term = ir.Terminator{Kind: ir.TermReturn}
+	return ir.BuildDFG(f, b)
+}
+
+// testCosts pins the characterization these tests were calibrated against
+// (independent of the package default, which targets the paper benchmarks).
+func testCosts() platform.OpCosts {
+	return platform.OpCosts{
+		AreaALU: 8, AreaMul: 32, AreaDiv: 64, AreaMem: 8,
+		LatALU: 1, LatMul: 2, LatDiv: 8, LatMem: 1,
+	}
+}
+
+func fgWith(area, reconfig int) platform.FineGrain {
+	return platform.FineGrain{Area: area, ReconfigCycles: reconfig, Costs: testCosts()}
+}
+
+func TestMapDFGSinglePartition(t *testing.T) {
+	d := wideDFG(10) // 10 ALU ops * 8 units = 80 << 1500
+	m, err := MapDFG(d, fgWith(1500, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumPartitions() != 1 {
+		t.Fatalf("partitions = %d, want 1", m.NumPartitions())
+	}
+	// All at level 1 → one step of ALU latency (1) + one reconfig (32).
+	if m.CyclesPerExec != 1+32 {
+		t.Fatalf("CyclesPerExec = %d, want 33", m.CyclesPerExec)
+	}
+}
+
+func TestMapDFGAreaForcesSplit(t *testing.T) {
+	// 10 ALU ops of 8 units with A_FPGA = 32: 4 nodes per partition → 3
+	// partitions (Figure 3 greedy).
+	d := wideDFG(10)
+	m, err := MapDFG(d, fgWith(32, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumPartitions() != 3 {
+		t.Fatalf("partitions = %d, want 3", m.NumPartitions())
+	}
+	// Each partition holds one level group of cost 1 plus reconfiguration.
+	if m.CyclesPerExec != 3*(1+10) {
+		t.Fatalf("CyclesPerExec = %d, want 33", m.CyclesPerExec)
+	}
+}
+
+func TestMapDFGChainLevels(t *testing.T) {
+	// A chain of 12 dependent ALU ops in ample area: 12 levels → 12 cycles
+	// + 1 reconfig.
+	d := chainDFG(12)
+	m, err := MapDFG(d, fgWith(1500, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumPartitions() != 1 {
+		t.Fatalf("partitions = %d, want 1", m.NumPartitions())
+	}
+	if m.CyclesPerExec != 12+32 {
+		t.Fatalf("CyclesPerExec = %d, want 44", m.CyclesPerExec)
+	}
+}
+
+func TestMapDFGMulLatencyDominatesLevel(t *testing.T) {
+	// One level containing a mul (latency 2) and adds: the level costs 2.
+	f := ir.NewFunction("mix")
+	b := f.Block(f.Entry)
+	x := f.NewReg("x")
+	b.Instrs = []ir.Instr{
+		{Op: ir.OpAdd, Dst: f.NewReg(""), A: ir.Reg(x), B: ir.Imm(1)},
+		{Op: ir.OpMul, Dst: f.NewReg(""), A: ir.Reg(x), B: ir.Imm(3)},
+	}
+	b.Term = ir.Terminator{Kind: ir.TermReturn}
+	m, err := MapDFG(ir.BuildDFG(f, b), fgWith(1500, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CyclesPerExec != 2 {
+		t.Fatalf("CyclesPerExec = %d, want 2 (mul-dominated level)", m.CyclesPerExec)
+	}
+}
+
+func TestMapDFGEmptyBlock(t *testing.T) {
+	f := ir.NewFunction("empty")
+	b := f.Block(f.Entry)
+	b.Term = ir.Terminator{Kind: ir.TermReturn}
+	m, err := MapDFG(ir.BuildDFG(f, b), fgWith(100, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CyclesPerExec != 1 || m.NumPartitions() != 0 {
+		t.Fatalf("empty block: cycles=%d partitions=%d, want 1 and 0", m.CyclesPerExec, m.NumPartitions())
+	}
+}
+
+func TestMapDFGNodeTooBig(t *testing.T) {
+	f := ir.NewFunction("big")
+	b := f.Block(f.Entry)
+	x := f.NewReg("x")
+	b.Instrs = []ir.Instr{{Op: ir.OpMul, Dst: f.NewReg(""), A: ir.Reg(x), B: ir.Reg(x)}}
+	b.Term = ir.Terminator{Kind: ir.TermReturn}
+	// A_FPGA below the multiplier area must be rejected, not loop.
+	if _, err := MapDFG(ir.BuildDFG(f, b), fgWith(16, 0)); err == nil {
+		t.Fatal("expected error for operator larger than A_FPGA")
+	}
+}
+
+func TestMoreAreaNeverSlower(t *testing.T) {
+	// Figure-3 behaviour: growing A_FPGA can only reduce (or keep) the
+	// cycle count — the paper's Tables 2–3 rely on this.
+	d := wideDFG(40)
+	prev := int64(1 << 62)
+	for _, area := range []int{40, 80, 160, 320, 640, 1500, 5000} {
+		m, err := MapDFG(d, fgWith(area, 32))
+		if err != nil {
+			t.Fatalf("area %d: %v", area, err)
+		}
+		if m.CyclesPerExec > prev {
+			t.Fatalf("area %d: cycles %d > previous %d", area, m.CyclesPerExec, prev)
+		}
+		prev = m.CyclesPerExec
+	}
+}
+
+// randomDFGBlock builds a random straight-line block (same generator style
+// as the ir tests) for property checking.
+func randomDFGBlock(rng *rand.Rand, n int) *ir.DFG {
+	f := ir.NewFunction("rand")
+	arr := f.AddArray(ir.ArrayDecl{Name: "m", Len: 64})
+	b := f.Block(f.Entry)
+	seed := f.NewReg("")
+	b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpConst, Dst: seed, A: ir.Imm(1)})
+	ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpXor, ir.OpLoad, ir.OpStore, ir.OpShl}
+	for i := 0; i < n; i++ {
+		op := ops[rng.Intn(len(ops))]
+		pick := func() ir.Operand { return ir.Reg(ir.RegID(rng.Intn(f.NumRegs))) }
+		switch op {
+		case ir.OpLoad:
+			b.Instrs = append(b.Instrs, ir.Instr{Op: op, Dst: f.NewReg(""), A: pick(), Arr: arr})
+		case ir.OpStore:
+			b.Instrs = append(b.Instrs, ir.Instr{Op: op, A: pick(), B: pick(), Arr: arr})
+		default:
+			b.Instrs = append(b.Instrs, ir.Instr{Op: op, Dst: f.NewReg(""), A: pick(), B: pick()})
+		}
+	}
+	b.Term = ir.Terminator{Kind: ir.TermReturn}
+	return ir.BuildDFG(f, b)
+}
+
+// TestTemporalPartitionInvariants checks the Figure 3 postconditions on
+// random DFGs: every node in exactly one partition, assignment follows
+// non-decreasing ASAP levels, every partition within the area budget.
+func TestTemporalPartitionInvariants(t *testing.T) {
+	fgBase := testCosts()
+	check := func(seed int64, szRaw, areaRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(szRaw%64) + 1
+		// Area between the largest op (32) and ~4x.
+		area := int(areaRaw%96) + 33
+		d := randomDFGBlock(rng, n)
+		fg := platform.FineGrain{Area: area, ReconfigCycles: 7, Costs: fgBase}
+		m, err := MapDFG(d, fg)
+		if err != nil {
+			return false
+		}
+		seen := map[int]bool{}
+		lastLevel := 0
+		for _, p := range m.Partitions {
+			if p.Area > fg.Area {
+				t.Logf("partition area %d > %d", p.Area, fg.Area)
+				return false
+			}
+			sum := 0
+			for _, u := range p.Nodes {
+				if seen[u] {
+					t.Logf("node %d assigned twice", u)
+					return false
+				}
+				seen[u] = true
+				if d.ASAP[u] < lastLevel {
+					t.Logf("ASAP order violated at node %d", u)
+					return false
+				}
+				lastLevel = d.ASAP[u]
+				sum += fg.Costs.Area(ir.ClassOf(d.Op(u)))
+			}
+			if sum != p.Area {
+				t.Logf("partition area mismatch: %d != %d", sum, p.Area)
+				return false
+			}
+		}
+		if len(seen) != d.NumNodes() {
+			t.Logf("%d of %d nodes assigned", len(seen), d.NumNodes())
+			return false
+		}
+		// Cycle accounting: Σ partition cycles + reconfig each.
+		var want int64
+		for _, p := range m.Partitions {
+			want += p.Cycles + int64(fg.ReconfigCycles)
+		}
+		if want < 1 {
+			want = 1
+		}
+		return m.CyclesPerExec == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapFunctionAndEq4(t *testing.T) {
+	f := ir.NewFunction("two")
+	x := f.NewReg("x")
+	b0 := f.Block(f.Entry)
+	b0.Instrs = []ir.Instr{
+		{Op: ir.OpAdd, Dst: f.NewReg(""), A: ir.Reg(x), B: ir.Imm(1)},
+	}
+	b1 := f.AddBlock("second")
+	b1.Instrs = []ir.Instr{
+		{Op: ir.OpMul, Dst: f.NewReg(""), A: ir.Reg(x), B: ir.Reg(x)},
+		{Op: ir.OpMul, Dst: f.NewReg(""), A: ir.Reg(x), B: ir.Imm(3)},
+	}
+	b0.Term = ir.Terminator{Kind: ir.TermJump, Then: b1.ID}
+	b1.Term = ir.Terminator{Kind: ir.TermReturn}
+
+	fg := fgWith(1500, 10)
+	ft, err := MapFunction(f, fg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b0: 1 level ALU → 1 + 10; b1: one level of muls → 2 + 10.
+	if ft.PerBlock[0] != 11 || ft.PerBlock[1] != 12 {
+		t.Fatalf("PerBlock = %v, want [11 12]", ft.PerBlock)
+	}
+	// eq. 4 with frequencies 5 and 7.
+	got := ft.TotalCycles([]uint64{5, 7}, nil)
+	if want := int64(5*11 + 7*12); got != want {
+		t.Fatalf("TotalCycles = %d, want %d", got, want)
+	}
+	// Filter restricted to block 1 only.
+	got = ft.TotalCycles([]uint64{5, 7}, func(id ir.BlockID) bool { return id == 1 })
+	if want := int64(7 * 12); got != want {
+		t.Fatalf("filtered TotalCycles = %d, want %d", got, want)
+	}
+}

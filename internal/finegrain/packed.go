@@ -1,0 +1,176 @@
+package finegrain
+
+import (
+	"fmt"
+
+	"hybridpart/internal/ir"
+	"hybridpart/internal/platform"
+)
+
+// PackedMapping is the fine-grain mapping of a whole CDFG with the Figure 3
+// greedy applied across basic blocks: area accumulates block after block so
+// that several blocks share one temporal partition (one configuration
+// bit-stream). Loops whose blocks share a partition execute without any
+// reconfiguration; the device reconfigures only when control transfers
+// between blocks of different partitions. This is the model the
+// partitioning engine uses to evaluate t_FPGA: per-execution level cycles
+// (eq. 4) plus ReconfigCycles per profiled partition crossing.
+type PackedMapping struct {
+	// Included reports whether a block was mapped (the engine excludes
+	// blocks moved to the coarse-grain data-path).
+	Included []bool
+	// PerBlockCycles is the per-execution cycle cost of each included
+	// block, without any reconfiguration.
+	PerBlockCycles []int64
+	// FirstPart and LastPart give the partition holding a block's first and
+	// last DFG nodes (equal unless the block straddles a boundary); for
+	// blocks without nodes both report the partition in effect at that
+	// point in the packing order.
+	FirstPart []int
+	LastPart  []int
+	// InternalCrossings counts the partition boundaries inside a block
+	// (LastPart−FirstPart): every execution of a straddling block pays that
+	// many reconfigurations.
+	InternalCrossings []int
+	// NumPartitions is the number of configuration bit-streams generated.
+	NumPartitions int
+}
+
+// PackFunction maps every block of f accepted by include (nil = all) onto
+// the fine-grain fabric with cross-block area packing.
+func PackFunction(f *ir.Function, fg platform.FineGrain, include func(ir.BlockID) bool) (*PackedMapping, error) {
+	n := len(f.Blocks)
+	pm := &PackedMapping{
+		Included:          make([]bool, n),
+		PerBlockCycles:    make([]int64, n),
+		FirstPart:         make([]int, n),
+		LastPart:          make([]int, n),
+		InternalCrossings: make([]int, n),
+	}
+	part := 0 // current partition index (0-based)
+	areaCovered := 0
+	usedAny := false
+
+	for _, b := range f.Blocks {
+		if include != nil && !include(b.ID) {
+			pm.FirstPart[b.ID] = part
+			pm.LastPart[b.ID] = part
+			continue
+		}
+		pm.Included[b.ID] = true
+		d := ir.BuildDFG(f, b)
+		if d.NumNodes() == 0 {
+			pm.PerBlockCycles[b.ID] = 1 // control-only sequencing
+			pm.FirstPart[b.ID] = part
+			pm.LastPart[b.ID] = part
+			continue
+		}
+		usedAny = true
+		first := -1
+		// levelCost[partition][level] accumulation for this block.
+		levelCost := map[[2]int]int{}
+		for level := 1; level <= d.MaxLevel; level++ {
+			for _, u := range d.NodesAtLevel(level) {
+				sz := fg.Costs.Area(ir.ClassOf(d.Op(u)))
+				if sz > fg.Area {
+					return nil, fmt.Errorf(
+						"finegrain: block b%d node %d (%s, %d units) exceeds A_FPGA (%d units)",
+						b.ID, u, d.Op(u), sz, fg.Area)
+				}
+				if areaCovered+sz > fg.Area {
+					part++
+					areaCovered = 0
+				}
+				areaCovered += sz
+				if first < 0 {
+					first = part
+				}
+				lat := fg.Costs.Latency(ir.ClassOf(d.Op(u)))
+				key := [2]int{part, level}
+				if lat > levelCost[key] {
+					levelCost[key] = lat
+				}
+			}
+		}
+		var cycles int64
+		for _, c := range levelCost {
+			cycles += int64(c)
+		}
+		if cycles < 1 {
+			cycles = 1
+		}
+		pm.PerBlockCycles[b.ID] = cycles
+		pm.FirstPart[b.ID] = first
+		pm.LastPart[b.ID] = part
+		pm.InternalCrossings[b.ID] = part - first
+	}
+	if usedAny {
+		pm.NumPartitions = part + 1
+	}
+	return pm, nil
+}
+
+// EdgeFreq is a profiled control-flow transition count.
+type EdgeFreq struct {
+	From ir.BlockID
+	To   ir.BlockID
+	N    uint64
+}
+
+// Crossings counts the dynamic partition crossings (reconfigurations):
+// block-internal boundaries, profiled edges whose endpoints sit in
+// different partitions, and the initial configuration.
+func (pm *PackedMapping) Crossings(freq []uint64, edges []EdgeFreq) int64 {
+	var crossings int64
+	for id, inc := range pm.Included {
+		if !inc {
+			continue
+		}
+		var n uint64
+		if id < len(freq) {
+			n = freq[id]
+		}
+		crossings += int64(pm.InternalCrossings[id]) * int64(n)
+	}
+	for _, e := range edges {
+		if int(e.From) >= len(pm.Included) || int(e.To) >= len(pm.Included) {
+			continue
+		}
+		// Only transitions between two FPGA-resident blocks reconfigure the
+		// fabric; while the coarse-grain data-path runs, the FPGA keeps its
+		// configuration.
+		if !pm.Included[e.From] || !pm.Included[e.To] {
+			continue
+		}
+		if pm.LastPart[e.From] != pm.FirstPart[e.To] {
+			crossings += int64(e.N)
+		}
+	}
+	if pm.NumPartitions > 0 {
+		crossings++ // initial configuration
+	}
+	return crossings
+}
+
+// LevelCycles evaluates the eq. 4 sum without reconfiguration: per-block
+// level cycles weighted by execution frequency.
+func (pm *PackedMapping) LevelCycles(freq []uint64) int64 {
+	var total int64
+	for id, inc := range pm.Included {
+		if !inc {
+			continue
+		}
+		var n uint64
+		if id < len(freq) {
+			n = freq[id]
+		}
+		total += pm.PerBlockCycles[id] * int64(n)
+	}
+	return total
+}
+
+// TotalCycles evaluates the packed fine-grain execution time: eq. 4 level
+// cycles plus ReconfigCycles per dynamic partition crossing.
+func (pm *PackedMapping) TotalCycles(freq []uint64, edges []EdgeFreq, reconfigCycles int) int64 {
+	return pm.LevelCycles(freq) + pm.Crossings(freq, edges)*int64(reconfigCycles)
+}

@@ -1,0 +1,151 @@
+package finegrain
+
+import (
+	"testing"
+
+	"hybridpart/internal/ir"
+)
+
+// twoBlockFunc builds entry(8 ALU ops) -> second(8 ALU ops) -> return.
+func twoBlockFunc() *ir.Function {
+	f := ir.NewFunction("two")
+	x := f.NewReg("x")
+	b0 := f.Block(f.Entry)
+	for i := 0; i < 8; i++ {
+		b0.Instrs = append(b0.Instrs, ir.Instr{Op: ir.OpAdd, Dst: f.NewReg(""), A: ir.Reg(x), B: ir.Imm(int32(i))})
+	}
+	b1 := f.AddBlock("second")
+	for i := 0; i < 8; i++ {
+		b1.Instrs = append(b1.Instrs, ir.Instr{Op: ir.OpXor, Dst: f.NewReg(""), A: ir.Reg(x), B: ir.Imm(int32(i))})
+	}
+	b0.Term = ir.Terminator{Kind: ir.TermJump, Then: b1.ID}
+	b1.Term = ir.Terminator{Kind: ir.TermReturn}
+	return f
+}
+
+func TestPackFunctionSharesPartitions(t *testing.T) {
+	f := twoBlockFunc()
+	// 16 ALU ops × 8 units = 128: fits one partition at area 200.
+	pm, err := PackFunction(f, fgWith(200, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.NumPartitions != 1 {
+		t.Fatalf("partitions = %d, want 1", pm.NumPartitions)
+	}
+	if pm.FirstPart[0] != pm.FirstPart[1] {
+		t.Fatalf("blocks did not share the partition: %v", pm.FirstPart)
+	}
+	// No crossings: total = freq-weighted level cycles + 1 initial config.
+	freq := []uint64{5, 5}
+	edges := []EdgeFreq{{From: 0, To: 1, N: 5}}
+	got := pm.TotalCycles(freq, edges, 10)
+	if want := int64(5*1+5*1) + 10; got != want {
+		t.Fatalf("TotalCycles = %d, want %d", got, want)
+	}
+}
+
+func TestPackFunctionCrossingCharged(t *testing.T) {
+	f := twoBlockFunc()
+	// Area 64 holds 8 ALU ops: each block gets its own partition.
+	pm, err := PackFunction(f, fgWith(64, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.NumPartitions != 2 {
+		t.Fatalf("partitions = %d, want 2", pm.NumPartitions)
+	}
+	freq := []uint64{5, 5}
+	edges := []EdgeFreq{{From: 0, To: 1, N: 5}}
+	got := pm.TotalCycles(freq, edges, 10)
+	// 10 level cycles + (5 crossings + 1 initial) × 10 reconfig.
+	if want := int64(10) + 6*10; got != want {
+		t.Fatalf("TotalCycles = %d, want %d", got, want)
+	}
+}
+
+func TestPackFunctionStraddlingBlock(t *testing.T) {
+	// One block of 8 ALU ops with area for 4: the block straddles two
+	// partitions and pays an internal crossing per execution.
+	f := ir.NewFunction("straddle")
+	x := f.NewReg("x")
+	b0 := f.Block(f.Entry)
+	for i := 0; i < 8; i++ {
+		b0.Instrs = append(b0.Instrs, ir.Instr{Op: ir.OpAdd, Dst: f.NewReg(""), A: ir.Reg(x), B: ir.Imm(int32(i))})
+	}
+	b0.Term = ir.Terminator{Kind: ir.TermReturn}
+	pm, err := PackFunction(f, fgWith(32, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.InternalCrossings[0] != 1 {
+		t.Fatalf("internal crossings = %d, want 1", pm.InternalCrossings[0])
+	}
+	got := pm.TotalCycles([]uint64{7}, nil, 10)
+	// Per exec: 2 level-group cycles (level 1 split across two partitions)
+	// + 1 internal crossing; plus 1 initial config.
+	if want := int64(7*2) + (7+1)*10; got != want {
+		t.Fatalf("TotalCycles = %d, want %d", got, want)
+	}
+}
+
+func TestPackFunctionExcludesBlocks(t *testing.T) {
+	f := twoBlockFunc()
+	pm, err := PackFunction(f, fgWith(64, 10), func(id ir.BlockID) bool { return id == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Included[1] {
+		t.Fatal("excluded block marked included")
+	}
+	if pm.NumPartitions != 1 {
+		t.Fatalf("partitions = %d, want 1 (half the work excluded)", pm.NumPartitions)
+	}
+	// Edges touching excluded blocks never charge reconfiguration.
+	got := pm.TotalCycles([]uint64{5, 5}, []EdgeFreq{{From: 0, To: 1, N: 5}}, 10)
+	if want := int64(5) + 10; got != want {
+		t.Fatalf("TotalCycles = %d, want %d", got, want)
+	}
+}
+
+func TestPackFunctionEmptyAndOversize(t *testing.T) {
+	f := ir.NewFunction("empty")
+	f.Block(f.Entry).Term = ir.Terminator{Kind: ir.TermReturn}
+	pm, err := PackFunction(f, fgWith(64, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.NumPartitions != 0 {
+		t.Fatalf("empty function produced %d partitions", pm.NumPartitions)
+	}
+	if got := pm.TotalCycles([]uint64{3}, nil, 10); got != 3 {
+		t.Fatalf("TotalCycles = %d, want 3 (control only)", got)
+	}
+
+	g := ir.NewFunction("big")
+	x := g.NewReg("x")
+	gb := g.Block(g.Entry)
+	gb.Instrs = []ir.Instr{{Op: ir.OpMul, Dst: g.NewReg(""), A: ir.Reg(x), B: ir.Reg(x)}}
+	gb.Term = ir.Terminator{Kind: ir.TermReturn}
+	if _, err := PackFunction(g, fgWith(16, 0), nil); err == nil {
+		t.Fatal("oversized operator accepted")
+	}
+}
+
+func TestPackedMoreAreaNeverSlower(t *testing.T) {
+	f := twoBlockFunc()
+	freq := []uint64{100, 100}
+	edges := []EdgeFreq{{From: 0, To: 1, N: 100}}
+	prev := int64(1 << 62)
+	for _, area := range []int{32, 64, 128, 256, 1024} {
+		pm, err := PackFunction(f, fgWith(area, 25), nil)
+		if err != nil {
+			t.Fatalf("area %d: %v", area, err)
+		}
+		got := pm.TotalCycles(freq, edges, 25)
+		if got > prev {
+			t.Fatalf("area %d slower: %d > %d", area, got, prev)
+		}
+		prev = got
+	}
+}

@@ -1,0 +1,78 @@
+package ir
+
+import "fmt"
+
+// BlockID indexes a basic block within its Function.
+type BlockID int32
+
+// NoBlock marks an absent block reference.
+const NoBlock BlockID = -1
+
+// TermKind discriminates the terminator of a basic block.
+type TermKind uint8
+
+// Terminator kinds. Every reachable block ends in exactly one terminator;
+// this is the branch "at the end of each basic block [that] controls which
+// basic block executes next" in the paper's definition.
+const (
+	TermNone   TermKind = iota // unterminated (only during construction)
+	TermJump                   // unconditional jump to Then
+	TermBranch                 // if Cond != 0 goto Then else goto Else
+	TermReturn                 // return [Val]
+)
+
+// Terminator ends a basic block.
+type Terminator struct {
+	Kind   TermKind
+	Cond   Operand // Branch only
+	Then   BlockID // Jump/Branch target
+	Else   BlockID // Branch fall-through
+	Val    Operand // Return value (if HasVal)
+	HasVal bool
+	Pos    int
+}
+
+func (t Terminator) String() string {
+	switch t.Kind {
+	case TermJump:
+		return fmt.Sprintf("jump b%d", t.Then)
+	case TermBranch:
+		return fmt.Sprintf("branch %s ? b%d : b%d", t.Cond, t.Then, t.Else)
+	case TermReturn:
+		if t.HasVal {
+			return fmt.Sprintf("return %s", t.Val)
+		}
+		return "return"
+	default:
+		return "unterminated"
+	}
+}
+
+// Block is a basic block: a straight-line instruction sequence with a single
+// entry (its head) and a single exit (its terminator).
+type Block struct {
+	ID     BlockID
+	Name   string // diagnostic label, e.g. "for.body"
+	Instrs []Instr
+	Term   Terminator
+
+	// Preds and Succs are derived edge lists, maintained by
+	// Function.RecomputeEdges.
+	Preds []BlockID
+	Succs []BlockID
+}
+
+// Succtargets returns the control-flow successors encoded by the terminator.
+func (b *Block) Succtargets() []BlockID {
+	switch b.Term.Kind {
+	case TermJump:
+		return []BlockID{b.Term.Then}
+	case TermBranch:
+		if b.Term.Then == b.Term.Else {
+			return []BlockID{b.Term.Then}
+		}
+		return []BlockID{b.Term.Then, b.Term.Else}
+	default:
+		return nil
+	}
+}

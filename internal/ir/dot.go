@@ -1,0 +1,65 @@
+package ir
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCFGDot emits the control-flow graph of f in Graphviz DOT syntax.
+func WriteCFGDot(w io.Writer, f *Function) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  node [shape=box, fontname=monospace];\n", "cfg_"+f.Name)
+	for _, b := range f.Blocks {
+		var lines []string
+		lines = append(lines, fmt.Sprintf("b%d: %s", b.ID, b.Name))
+		for i := range b.Instrs {
+			lines = append(lines, b.Instrs[i].String())
+		}
+		lines = append(lines, b.Term.String())
+		fmt.Fprintf(&sb, "  b%d [label=%q];\n", b.ID, strings.Join(lines, "\\l")+"\\l")
+	}
+	for _, b := range f.Blocks {
+		switch b.Term.Kind {
+		case TermJump:
+			fmt.Fprintf(&sb, "  b%d -> b%d;\n", b.ID, b.Term.Then)
+		case TermBranch:
+			fmt.Fprintf(&sb, "  b%d -> b%d [label=\"T\"];\n", b.ID, b.Term.Then)
+			fmt.Fprintf(&sb, "  b%d -> b%d [label=\"F\"];\n", b.ID, b.Term.Else)
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteDFGDot emits the data-flow graph of a single basic block in DOT
+// syntax, ranking nodes by ASAP level as the fine-grain mapper sees them.
+func WriteDFGDot(w io.Writer, d *DFG) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  node [shape=ellipse, fontname=monospace];\n",
+		fmt.Sprintf("dfg_%s_b%d", d.Fn.Name, d.Block.ID))
+	for lvl := 1; lvl <= d.MaxLevel; lvl++ {
+		nodes := d.NodesAtLevel(lvl)
+		if len(nodes) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "  { rank=same;")
+		for _, n := range nodes {
+			fmt.Fprintf(&sb, " n%d;", n)
+		}
+		fmt.Fprintf(&sb, " }\n")
+	}
+	for i := range d.Block.Instrs {
+		fmt.Fprintf(&sb, "  n%d [label=%q];\n", i,
+			fmt.Sprintf("%d: %s (L%d)", i, d.Block.Instrs[i].Op, d.ASAP[i]))
+	}
+	for u, succs := range d.Succs {
+		for _, v := range succs {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", u, v)
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

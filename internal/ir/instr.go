@@ -1,0 +1,140 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RegID names a virtual register inside a Function. Registers hold 32-bit
+// signed integers, the only scalar type of the source language.
+type RegID int32
+
+// NoReg marks an absent register operand.
+const NoReg RegID = -1
+
+// ArrID names an array inside a Function (locals and lowered parameters) or
+// Program (globals, held in the shared data memory of the platform).
+type ArrID int32
+
+// NoArr marks an absent array operand.
+const NoArr ArrID = -1
+
+// OperandKind discriminates Operand.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	OperandNone OperandKind = iota // absent
+	OperandReg                     // virtual register
+	OperandImm                     // 32-bit immediate
+)
+
+// Operand is a source operand of an instruction: a register or an immediate.
+type Operand struct {
+	Kind OperandKind
+	Reg  RegID
+	Imm  int32
+}
+
+// Reg returns a register operand.
+func Reg(r RegID) Operand { return Operand{Kind: OperandReg, Reg: r} }
+
+// Imm returns an immediate operand.
+func Imm(v int32) Operand { return Operand{Kind: OperandImm, Imm: v} }
+
+// IsReg reports whether o is a register operand.
+func (o Operand) IsReg() bool { return o.Kind == OperandReg }
+
+// IsImm reports whether o is an immediate operand.
+func (o Operand) IsImm() bool { return o.Kind == OperandImm }
+
+func (o Operand) String() string {
+	switch o.Kind {
+	case OperandReg:
+		return fmt.Sprintf("r%d", o.Reg)
+	case OperandImm:
+		return fmt.Sprintf("%d", o.Imm)
+	default:
+		return "_"
+	}
+}
+
+// Instr is a single three-address instruction.
+//
+// Operand usage by Op:
+//
+//	Const          Dst = Imm(A)      (A holds the immediate)
+//	unary ops      Dst = op A
+//	binary ops     Dst = A op B
+//	Load           Dst = Arr[A]
+//	Store          Arr[A] = B
+//	Call           Dst = Callee(Args...)   (Dst only if CallHasDst)
+type Instr struct {
+	Op  Op
+	Dst RegID
+	A   Operand
+	B   Operand
+	Arr ArrID
+
+	// Call fields. Args carries the scalar arguments in the order of the
+	// callee's scalar parameters; ArrArgs carries the array arguments (by
+	// reference) in the order of the callee's array parameters.
+	Callee     string
+	Args       []Operand
+	ArrArgs    []ArrID
+	CallHasDst bool
+
+	// Pos is the 1-based source line of the originating statement, kept for
+	// diagnostics and reports.
+	Pos int
+}
+
+// HasDst reports whether the instruction writes Dst.
+func (in *Instr) HasDst() bool {
+	if in.Op == OpCall {
+		return in.CallHasDst
+	}
+	return in.Op.HasDst()
+}
+
+// Uses appends every register read by the instruction to buf and returns it.
+func (in *Instr) Uses(buf []RegID) []RegID {
+	add := func(o Operand) {
+		if o.Kind == OperandReg {
+			buf = append(buf, o.Reg)
+		}
+	}
+	add(in.A)
+	add(in.B)
+	for _, a := range in.Args {
+		add(a)
+	}
+	return buf
+}
+
+func (in *Instr) String() string {
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("r%d = const %d", in.Dst, in.A.Imm)
+	case OpCopy, OpNeg, OpNot, OpLNot:
+		return fmt.Sprintf("r%d = %s %s", in.Dst, in.Op, in.A)
+	case OpLoad:
+		return fmt.Sprintf("r%d = load a%d[%s]", in.Dst, in.Arr, in.A)
+	case OpStore:
+		return fmt.Sprintf("store a%d[%s] = %s", in.Arr, in.A, in.B)
+	case OpCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = a.String()
+		}
+		call := fmt.Sprintf("call %s(%s)", in.Callee, strings.Join(args, ", "))
+		if in.CallHasDst {
+			return fmt.Sprintf("r%d = %s", in.Dst, call)
+		}
+		return call
+	case OpInvalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("r%d = %s %s, %s", in.Dst, in.Op, in.A, in.B)
+	}
+}

@@ -1,0 +1,111 @@
+package ir
+
+import "fmt"
+
+// Validate checks structural well-formedness of the whole program: register
+// and array operands in range, terminators present on reachable blocks,
+// branch targets valid, call targets resolvable with matching arity.
+func (p *Program) Validate() error {
+	for _, f := range p.Funcs {
+		if err := p.validateFunc(f); err != nil {
+			return fmt.Errorf("ir: func %s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateFunc(f *Function) error {
+	if f.Entry < 0 || int(f.Entry) >= len(f.Blocks) {
+		return fmt.Errorf("entry block b%d out of range", f.Entry)
+	}
+	checkOperand := func(o Operand) error {
+		if o.Kind == OperandReg && (o.Reg < 0 || int(o.Reg) >= f.NumRegs) {
+			return fmt.Errorf("register r%d out of range [0,%d)", o.Reg, f.NumRegs)
+		}
+		return nil
+	}
+	reach := f.Reachable()
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op == OpInvalid || in.Op >= opMax {
+				return fmt.Errorf("b%d/%d: invalid opcode", b.ID, i)
+			}
+			if in.HasDst() && (in.Dst < 0 || int(in.Dst) >= f.NumRegs) {
+				return fmt.Errorf("b%d/%d: dst r%d out of range", b.ID, i, in.Dst)
+			}
+			if err := checkOperand(in.A); err != nil {
+				return fmt.Errorf("b%d/%d: %w", b.ID, i, err)
+			}
+			if err := checkOperand(in.B); err != nil {
+				return fmt.Errorf("b%d/%d: %w", b.ID, i, err)
+			}
+			for _, a := range in.Args {
+				if err := checkOperand(a); err != nil {
+					return fmt.Errorf("b%d/%d: %w", b.ID, i, err)
+				}
+			}
+			switch in.Op {
+			case OpLoad, OpStore:
+				if _, ok := p.ArrayByRef(f, in.Arr); !ok {
+					return fmt.Errorf("b%d/%d: array a%d unresolved", b.ID, i, in.Arr)
+				}
+			case OpCall:
+				callee := p.Func(in.Callee)
+				if callee == nil {
+					return fmt.Errorf("b%d/%d: call to undefined %q", b.ID, i, in.Callee)
+				}
+				nScalar, nArr := 0, 0
+				for _, pr := range callee.Params {
+					if pr.IsArray {
+						nArr++
+					} else {
+						nScalar++
+					}
+				}
+				if len(in.Args) != nScalar || len(in.ArrArgs) != nArr {
+					return fmt.Errorf("b%d/%d: call %s: %d scalar + %d array args, want %d + %d",
+						b.ID, i, in.Callee, len(in.Args), len(in.ArrArgs), nScalar, nArr)
+				}
+				for _, a := range in.ArrArgs {
+					if _, ok := p.ArrayByRef(f, a); !ok {
+						return fmt.Errorf("b%d/%d: call %s: array arg a%d unresolved", b.ID, i, in.Callee, a)
+					}
+				}
+				if in.CallHasDst && !callee.HasRet {
+					return fmt.Errorf("b%d/%d: call %s: void callee used as value", b.ID, i, in.Callee)
+				}
+			}
+		}
+		if !reach[b.ID] {
+			continue
+		}
+		switch b.Term.Kind {
+		case TermJump:
+			if f.Block(b.Term.Then) == nil {
+				return fmt.Errorf("b%d: jump target b%d out of range", b.ID, b.Term.Then)
+			}
+		case TermBranch:
+			if f.Block(b.Term.Then) == nil || f.Block(b.Term.Else) == nil {
+				return fmt.Errorf("b%d: branch target out of range", b.ID)
+			}
+			if err := checkOperand(b.Term.Cond); err != nil {
+				return fmt.Errorf("b%d: branch cond: %w", b.ID, err)
+			}
+		case TermReturn:
+			if b.Term.HasVal {
+				if !f.HasRet {
+					return fmt.Errorf("b%d: value return in void function", b.ID)
+				}
+				if err := checkOperand(b.Term.Val); err != nil {
+					return fmt.Errorf("b%d: return value: %w", b.ID, err)
+				}
+			} else if f.HasRet {
+				return fmt.Errorf("b%d: missing return value", b.ID)
+			}
+		default:
+			return fmt.Errorf("b%d: reachable block unterminated", b.ID)
+		}
+	}
+	return nil
+}

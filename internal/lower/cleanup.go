@@ -1,0 +1,123 @@
+package lower
+
+import "hybridpart/internal/ir"
+
+// Cleanup normalizes a freshly lowered or inlined function:
+//
+//  1. empty jump-only blocks are skipped (edges retargeted past them),
+//  2. unreachable blocks are dropped,
+//  3. straight-line block pairs are merged (A jumps to B, B has one pred),
+//  4. blocks are renumbered in reverse-postorder so block IDs are stable,
+//     dense and follow control flow.
+//
+// The resulting block list is what the analysis step numbers and reports as
+// the application's basic blocks.
+func Cleanup(f *ir.Function) {
+	skipTrivialJumps(f)
+	mergeChains(f)
+	renumberRPO(f)
+	f.RecomputeEdges()
+}
+
+// skipTrivialJumps retargets edges that point at an empty block whose only
+// content is an unconditional jump.
+func skipTrivialJumps(f *ir.Function) {
+	// resolve follows chains of empty jump blocks with cycle protection.
+	var resolve func(id ir.BlockID, seen map[ir.BlockID]bool) ir.BlockID
+	resolve = func(id ir.BlockID, seen map[ir.BlockID]bool) ir.BlockID {
+		b := f.Block(id)
+		if b == nil || seen[id] {
+			return id
+		}
+		if len(b.Instrs) == 0 && b.Term.Kind == ir.TermJump && b.ID != f.Entry {
+			seen[id] = true
+			return resolve(b.Term.Then, seen)
+		}
+		return id
+	}
+	for _, b := range f.Blocks {
+		switch b.Term.Kind {
+		case ir.TermJump:
+			b.Term.Then = resolve(b.Term.Then, map[ir.BlockID]bool{})
+		case ir.TermBranch:
+			b.Term.Then = resolve(b.Term.Then, map[ir.BlockID]bool{})
+			b.Term.Else = resolve(b.Term.Else, map[ir.BlockID]bool{})
+		}
+	}
+	// The entry itself may be a trivial jump; hoist its target's body by
+	// merging later (mergeChains handles it once preds are recomputed).
+	f.RecomputeEdges()
+}
+
+// mergeChains merges A→B when A ends in an unconditional jump to B and B has
+// no other predecessors (and B is not the entry).
+func mergeChains(f *ir.Function) {
+	f.RecomputeEdges()
+	merged := true
+	for merged {
+		merged = false
+		for _, a := range f.Blocks {
+			if a.Term.Kind != ir.TermJump {
+				continue
+			}
+			b := f.Block(a.Term.Then)
+			if b == nil || b.ID == a.ID || b.ID == f.Entry {
+				continue
+			}
+			if len(b.Preds) != 1 || b.Preds[0] != a.ID {
+				continue
+			}
+			a.Instrs = append(a.Instrs, b.Instrs...)
+			a.Term = b.Term
+			// b becomes an unreachable stub with no out-edges so it neither
+			// pollutes predecessor counts nor survives renumbering.
+			b.Instrs = nil
+			b.Term = ir.Terminator{Kind: ir.TermNone}
+			f.RecomputeEdges()
+			merged = true
+		}
+	}
+}
+
+// renumberRPO drops unreachable blocks and renumbers the survivors in
+// reverse postorder.
+func renumberRPO(f *ir.Function) {
+	var order []ir.BlockID
+	state := map[ir.BlockID]int{} // 0 unseen, 1 visiting, 2 done
+	var dfs func(id ir.BlockID)
+	dfs = func(id ir.BlockID) {
+		if state[id] != 0 {
+			return
+		}
+		state[id] = 1
+		b := f.Block(id)
+		for _, s := range b.Succtargets() {
+			dfs(s)
+		}
+		state[id] = 2
+		order = append(order, id)
+	}
+	dfs(f.Entry)
+
+	remap := make(map[ir.BlockID]ir.BlockID, len(order))
+	newBlocks := make([]*ir.Block, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		old := order[i]
+		nid := ir.BlockID(len(newBlocks))
+		remap[old] = nid
+		blk := f.Block(old)
+		blk.ID = nid
+		newBlocks = append(newBlocks, blk)
+	}
+	for _, b := range newBlocks {
+		switch b.Term.Kind {
+		case ir.TermJump:
+			b.Term.Then = remap[b.Term.Then]
+		case ir.TermBranch:
+			b.Term.Then = remap[b.Term.Then]
+			b.Term.Else = remap[b.Term.Else]
+		}
+	}
+	f.Blocks = newBlocks
+	f.Entry = remap[f.Entry]
+}

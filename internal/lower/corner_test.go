@@ -1,0 +1,234 @@
+package lower
+
+import (
+	"testing"
+
+	"hybridpart/internal/interp"
+	"hybridpart/internal/ir"
+)
+
+// Additional lowering corner cases complementing lower_test.go.
+
+func TestNestedShortCircuitInForCondition(t *testing.T) {
+	src := `
+int f(int a, int b) {
+    int i;
+    int n = 0;
+    for (i = 0; i < 20 && (a > 0 || b > i); i++) { n++; }
+    return n;
+}`
+	ref := func(a, b int32) int32 {
+		n := int32(0)
+		for i := int32(0); i < 20 && (a > 0 || b > i); i++ {
+			n++
+		}
+		return n
+	}
+	for _, c := range [][2]int32{{1, 0}, {0, 5}, {0, 0}, {0, 25}} {
+		got := run(t, src, "f", interp.Int(c[0]), interp.Int(c[1]))
+		if want := ref(c[0], c[1]); got != want {
+			t.Errorf("f(%d,%d) = %d, want %d", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestContinueInDoWhile(t *testing.T) {
+	src := `
+int f(int n) {
+    int i = 0;
+    int s = 0;
+    do {
+        i++;
+        if (i & 1) { continue; }
+        s += i;
+    } while (i < n);
+    return s;
+}`
+	// Sum of even numbers 2..10 = 30.
+	if got := run(t, src, "f", interp.Int(10)); got != 30 {
+		t.Fatalf("f(10) = %d, want 30", got)
+	}
+}
+
+func TestBreakFromNestedLoopOnlyInner(t *testing.T) {
+	src := `
+int f() {
+    int i;
+    int j;
+    int c = 0;
+    for (i = 0; i < 4; i++) {
+        for (j = 0; j < 100; j++) {
+            if (j == 3) { break; }
+            c++;
+        }
+    }
+    return c;
+}`
+	if got := run(t, src, "f"); got != 4*3 {
+		t.Fatalf("f() = %d, want 12", got)
+	}
+}
+
+func TestCompoundAssignOn2DArray(t *testing.T) {
+	src := `
+int m[3][3];
+int f(int k) {
+    int i;
+    for (i = 0; i < 3; i++) { m[i][i] = i + 1; }
+    m[1][1] *= k;
+    m[2][2] >>= 1;
+    m[0][0] ^= 5;
+    return m[0][0] * 100 + m[1][1] * 10 + m[2][2];
+}`
+	// m00 = 1^5 = 4, m11 = 2*7 = 14, m22 = 3>>1 = 1.
+	if got := run(t, src, "f", interp.Int(7)); got != 4*100+14*10+1 {
+		t.Fatalf("f(7) = %d, want 541", got)
+	}
+}
+
+func TestTernaryNestedAndSideEffectFree(t *testing.T) {
+	src := `
+int clamp(int v, int lo, int hi) {
+    return (v < lo) ? lo : ((v > hi) ? hi : v);
+}`
+	cases := [][4]int32{{5, 0, 10, 5}, {-3, 0, 10, 0}, {42, 0, 10, 10}}
+	for _, c := range cases {
+		if got := run(t, src, "clamp", interp.Int(c[0]), interp.Int(c[1]), interp.Int(c[2])); got != c[3] {
+			t.Errorf("clamp(%d,%d,%d) = %d, want %d", c[0], c[1], c[2], got, c[3])
+		}
+	}
+}
+
+func TestArrayInitializerDynamicValues(t *testing.T) {
+	src := `
+int f(int x) {
+    int v[4] = {x, x * 2, x * 3, 1 + 2};
+    return v[0] + v[1] + v[2] + v[3];
+}`
+	if got := run(t, src, "f", interp.Int(5)); got != 5+10+15+3 {
+		t.Fatalf("f(5) = %d, want 33", got)
+	}
+}
+
+func TestGlobalArrayInitConstExprs(t *testing.T) {
+	src := `
+const int K = 3;
+int g[4] = {K, K * K, K << 2, ~K};
+int f() { return g[0] + g[1] + g[2] + g[3]; }`
+	if got := run(t, src, "f"); got != 3+9+12+^int32(3) {
+		t.Fatalf("f() = %d", got)
+	}
+}
+
+func TestShadowingInNestedBlocks(t *testing.T) {
+	src := `
+int f() {
+    int x = 1;
+    {
+        int x = 10;
+        x++;
+        if (x != 11) { return -1; }
+    }
+    return x;
+}`
+	if got := run(t, src, "f"); got != 1 {
+		t.Fatalf("f() = %d, want 1 (outer x untouched)", got)
+	}
+}
+
+func TestForWithDeclInit(t *testing.T) {
+	src := `
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) { s += i; }
+    return s;
+}`
+	if got := run(t, src, "f", interp.Int(5)); got != 10 {
+		t.Fatalf("f(5) = %d, want 10", got)
+	}
+}
+
+func TestNegativeModuloAndShiftSemantics(t *testing.T) {
+	// C99 truncated division/modulo and arithmetic right shift.
+	src := `
+int m(int a, int b) { return a % b; }
+int d(int a, int b) { return a / b; }
+int s(int a) { return a >> 1; }`
+	cases := []struct {
+		fn   string
+		a, b int32
+		want int32
+	}{
+		{"m", -7, 3, -1}, {"m", 7, -3, 1}, {"d", -7, 3, -2}, {"d", 7, -3, -2},
+		{"s", -5, 0, -3},
+	}
+	for _, c := range cases {
+		var got int32
+		if c.fn == "s" {
+			got = run(t, src, c.fn, interp.Int(c.a))
+		} else {
+			got = run(t, src, c.fn, interp.Int(c.a), interp.Int(c.b))
+		}
+		if got != c.want {
+			t.Errorf("%s(%d,%d) = %d, want %d", c.fn, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDeepInliningChain(t *testing.T) {
+	src := `
+int l4(int x) { return x + 1; }
+int l3(int x) { return l4(x) * 2; }
+int l2(int x) { return l3(x) + l4(x); }
+int l1(int x) { return l2(x) - l3(x); }
+int f(int x) { return l1(x) + l2(x) * l3(x) - l4(x); }`
+	prog, err := LowerSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Flatten(prog, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify value equivalence after full inlining.
+	ref := func(x int32) int32 {
+		l4 := func(x int32) int32 { return x + 1 }
+		l3 := func(x int32) int32 { return l4(x) * 2 }
+		l2 := func(x int32) int32 { return l3(x) + l4(x) }
+		l1 := func(x int32) int32 { return l2(x) - l3(x) }
+		return l1(x) + l2(x)*l3(x) - l4(x)
+	}
+	fp := newFlatProg(t, prog, flat)
+	for _, x := range []int32{0, 1, -3, 1000} {
+		got, err := interp.New(fp).Run("f", interp.Int(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref(x) {
+			t.Fatalf("f(%d) = %d, want %d", x, got, ref(x))
+		}
+	}
+}
+
+func TestWhileFalseBodyUnreachable(t *testing.T) {
+	src := `
+int f() {
+    int s = 7;
+    while (0) { s = 99; }
+    return s;
+}`
+	if got := run(t, src, "f"); got != 7 {
+		t.Fatalf("f() = %d, want 7", got)
+	}
+}
+
+// newFlatProg wraps a flattened function plus the original globals.
+func newFlatProg(t *testing.T, orig *ir.Program, flat *ir.Function) *ir.Program {
+	t.Helper()
+	fp := ir.NewProgram()
+	fp.Globals = orig.Globals
+	if err := fp.AddFunc(flat); err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}

@@ -1,0 +1,246 @@
+package lower
+
+import (
+	"fmt"
+
+	"hybridpart/internal/ir"
+)
+
+// Flatten returns a copy of the entry function with every call (transitively)
+// inlined, leaving a single flat CDFG for the analysis and mapping stages —
+// the same whole-program view the paper's SUIF-based flow hands to its
+// partitioner. The source program is not modified. Recursion is rejected.
+func Flatten(p *ir.Program, entry string) (*ir.Function, error) {
+	root := p.Func(entry)
+	if root == nil {
+		return nil, fmt.Errorf("lower: entry function %q not found", entry)
+	}
+	if err := checkNoRecursion(p, entry); err != nil {
+		return nil, err
+	}
+	fn := cloneFunction(root)
+	// Inline until no calls remain. Termination: the static call graph is a
+	// DAG (no recursion), so the nesting depth of spliced bodies is bounded.
+	for rounds := 0; ; rounds++ {
+		if rounds > 10000 {
+			return nil, fmt.Errorf("lower: inlining did not converge")
+		}
+		site, ok := findCall(fn)
+		if !ok {
+			break
+		}
+		callee := p.Func(fn.Blocks[site.block].Instrs[site.index].Callee)
+		if callee == nil {
+			return nil, fmt.Errorf("lower: call to undefined %q", fn.Blocks[site.block].Instrs[site.index].Callee)
+		}
+		inlineCall(fn, site, callee)
+	}
+	Cleanup(fn)
+	return fn, nil
+}
+
+type callSite struct {
+	block ir.BlockID
+	index int
+}
+
+func findCall(f *ir.Function) (callSite, bool) {
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpCall {
+				return callSite{block: b.ID, index: i}, true
+			}
+		}
+	}
+	return callSite{}, false
+}
+
+func checkNoRecursion(p *ir.Program, entry string) error {
+	state := map[string]int{} // 0 unseen, 1 on stack, 2 done
+	var visit func(name string, path []string) error
+	visit = func(name string, path []string) error {
+		switch state[name] {
+		case 1:
+			return fmt.Errorf("lower: recursion involving %q is not supported (cycle: %v)", name, append(path, name))
+		case 2:
+			return nil
+		}
+		state[name] = 1
+		f := p.Func(name)
+		if f == nil {
+			return fmt.Errorf("lower: call to undefined %q", name)
+		}
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].Op == ir.OpCall {
+					if err := visit(b.Instrs[i].Callee, append(path, name)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		state[name] = 2
+		return nil
+	}
+	return visit(entry, nil)
+}
+
+func cloneFunction(f *ir.Function) *ir.Function {
+	nf := &ir.Function{
+		Name:     f.Name,
+		HasRet:   f.HasRet,
+		NumRegs:  f.NumRegs,
+		RegNames: make(map[ir.RegID]string, len(f.RegNames)),
+		Entry:    f.Entry,
+	}
+	nf.Params = append(nf.Params, f.Params...)
+	nf.Arrays = append(nf.Arrays, f.Arrays...)
+	for k, v := range f.RegNames {
+		nf.RegNames[k] = v
+	}
+	for _, b := range f.Blocks {
+		nb := &ir.Block{ID: b.ID, Name: b.Name, Term: b.Term}
+		nb.Instrs = make([]ir.Instr, len(b.Instrs))
+		copy(nb.Instrs, b.Instrs)
+		for i := range nb.Instrs {
+			if len(nb.Instrs[i].Args) > 0 {
+				nb.Instrs[i].Args = append([]ir.Operand(nil), nb.Instrs[i].Args...)
+			}
+			if len(nb.Instrs[i].ArrArgs) > 0 {
+				nb.Instrs[i].ArrArgs = append([]ir.ArrID(nil), nb.Instrs[i].ArrArgs...)
+			}
+		}
+		nf.Blocks = append(nf.Blocks, nb)
+	}
+	return nf
+}
+
+// inlineCall splices callee's body into caller at the given call site.
+func inlineCall(caller *ir.Function, site callSite, callee *ir.Function) {
+	callBlock := caller.Block(site.block)
+	call := callBlock.Instrs[site.index]
+
+	// Split the call block: everything after the call moves to contBlock.
+	contBlock := caller.AddBlock(callBlock.Name + ".cont")
+	contBlock.Instrs = append(contBlock.Instrs, callBlock.Instrs[site.index+1:]...)
+	contBlock.Term = callBlock.Term
+	callBlock.Instrs = callBlock.Instrs[:site.index]
+	// Terminator is attached after argument copies below.
+
+	// Fresh registers for the callee.
+	regMap := make([]ir.RegID, callee.NumRegs)
+	for r := 0; r < callee.NumRegs; r++ {
+		name := ""
+		if n, ok := callee.RegNames[ir.RegID(r)]; ok {
+			name = callee.Name + "." + n
+		}
+		regMap[r] = caller.NewReg(name)
+	}
+	// Array mapping: by-reference params bind to the call-site arrays;
+	// locals are copied into fresh caller slots.
+	arrMap := make([]ir.ArrID, len(callee.Arrays))
+	scalarArgs, arrArgs := call.Args, call.ArrArgs
+	ai, si := 0, 0
+	paramArr := map[ir.ArrID]ir.ArrID{} // callee param slot -> caller array
+	var paramCopies []ir.Instr
+	for _, p := range callee.Params {
+		if p.IsArray {
+			paramArr[p.Arr] = arrArgs[ai]
+			ai++
+			continue
+		}
+		// Scalar parameters are copied at the call site.
+		src := scalarArgs[si]
+		si++
+		dst := regMap[p.Reg]
+		in := ir.Instr{Op: ir.OpCopy, Dst: dst, A: src, Pos: call.Pos}
+		if src.IsImm() {
+			in = ir.Instr{Op: ir.OpConst, Dst: dst, A: src, Pos: call.Pos}
+		}
+		paramCopies = append(paramCopies, in)
+	}
+	for id := range callee.Arrays {
+		if target, ok := paramArr[ir.ArrID(id)]; ok {
+			arrMap[id] = target
+			continue
+		}
+		decl := callee.Arrays[id]
+		decl.Name = callee.Name + "." + decl.Name
+		arrMap[id] = caller.AddArray(decl)
+	}
+
+	// Clone callee blocks.
+	blockMap := make([]ir.BlockID, len(callee.Blocks))
+	for i, b := range callee.Blocks {
+		blockMap[i] = caller.AddBlock(callee.Name + "." + b.Name).ID
+	}
+	mapOperand := func(o ir.Operand) ir.Operand {
+		if o.Kind == ir.OperandReg {
+			return ir.Reg(regMap[o.Reg])
+		}
+		return o
+	}
+	mapArr := func(a ir.ArrID) ir.ArrID {
+		if ir.IsGlobalArr(a) || a == ir.NoArr {
+			return a
+		}
+		return arrMap[a]
+	}
+	for i, b := range callee.Blocks {
+		nb := caller.Block(blockMap[i])
+		for _, in := range b.Instrs {
+			ni := in
+			ni.A = mapOperand(in.A)
+			ni.B = mapOperand(in.B)
+			if in.HasDst() {
+				ni.Dst = regMap[in.Dst]
+			}
+			// Arr is only meaningful on memory ops; elsewhere its zero value
+			// would be misread as local array 0.
+			if in.Op == ir.OpLoad || in.Op == ir.OpStore {
+				ni.Arr = mapArr(in.Arr)
+			}
+			if len(in.Args) > 0 {
+				ni.Args = make([]ir.Operand, len(in.Args))
+				for k, a := range in.Args {
+					ni.Args[k] = mapOperand(a)
+				}
+			}
+			if len(in.ArrArgs) > 0 {
+				ni.ArrArgs = make([]ir.ArrID, len(in.ArrArgs))
+				for k, a := range in.ArrArgs {
+					ni.ArrArgs[k] = mapArr(a)
+				}
+			}
+			nb.Instrs = append(nb.Instrs, ni)
+		}
+		switch b.Term.Kind {
+		case ir.TermJump:
+			nb.Term = ir.Terminator{Kind: ir.TermJump, Then: blockMap[b.Term.Then], Pos: b.Term.Pos}
+		case ir.TermBranch:
+			nb.Term = ir.Terminator{
+				Kind: ir.TermBranch,
+				Cond: mapOperand(b.Term.Cond),
+				Then: blockMap[b.Term.Then],
+				Else: blockMap[b.Term.Else],
+				Pos:  b.Term.Pos,
+			}
+		case ir.TermReturn:
+			// Returns feed the call result (if any) and continue after the
+			// call site.
+			if call.CallHasDst && b.Term.HasVal {
+				v := mapOperand(b.Term.Val)
+				in := ir.Instr{Op: ir.OpCopy, Dst: call.Dst, A: v, Pos: b.Term.Pos}
+				if v.IsImm() {
+					in.Op = ir.OpConst
+				}
+				nb.Instrs = append(nb.Instrs, in)
+			}
+			nb.Term = ir.Terminator{Kind: ir.TermJump, Then: contBlock.ID, Pos: b.Term.Pos}
+		}
+	}
+
+	// Wire the call block: param copies then jump into the callee entry.
+	callBlock.Instrs = append(callBlock.Instrs, paramCopies...)
+	callBlock.Term = ir.Terminator{Kind: ir.TermJump, Then: blockMap[callee.Entry], Pos: call.Pos}
+}

@@ -1,0 +1,871 @@
+// Package lower translates the mini-C AST into the ir form consumed by the
+// methodology: it flattens expressions to three-address code, lowers
+// short-circuit and ternary operators to control flow, lowers 2-D array
+// addressing to explicit index arithmetic, and provides CFG cleanup plus a
+// whole-program inliner so the partitioner sees one flat CDFG per entry
+// point (the role SUIF2/MachineSUIF passes play in the paper's framework).
+package lower
+
+import (
+	"fmt"
+
+	"hybridpart/internal/ir"
+	"hybridpart/internal/minic"
+)
+
+// Lower type-checks f and translates every function into IR. Global arrays
+// become program globals; const ints were already folded by the parser.
+func Lower(f *minic.File) (*ir.Program, error) {
+	if err := minic.Check(f); err != nil {
+		return nil, err
+	}
+	prog := ir.NewProgram()
+	l := &lowerer{prog: prog, globals: map[string]binding{}, fileDecls: f.Decls}
+
+	// Pass 1: globals (arrays and consts) and function signatures.
+	var funcs []*minic.FuncDecl
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *minic.VarDecl:
+			if err := l.lowerGlobal(d); err != nil {
+				return nil, err
+			}
+		case *minic.FuncDecl:
+			funcs = append(funcs, d)
+		}
+	}
+	// Pass 2: bodies.
+	for _, fd := range funcs {
+		fn, err := l.lowerFunc(fd)
+		if err != nil {
+			return nil, err
+		}
+		if err := prog.AddFunc(fn); err != nil {
+			return nil, err
+		}
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("lower: internal error: %w", err)
+	}
+	return prog, nil
+}
+
+// LowerSource parses, checks and lowers source text in one step.
+func LowerSource(src string) (*ir.Program, error) {
+	file, err := minic.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(file)
+}
+
+type bindKind uint8
+
+const (
+	bindConst bindKind = iota
+	bindScalar
+	bindArray
+)
+
+type binding struct {
+	kind     bindKind
+	constVal int32
+	reg      ir.RegID
+	arr      ir.ArrID
+	innerDim int32 // 2-D arrays
+}
+
+type lowerer struct {
+	prog      *ir.Program
+	globals   map[string]binding
+	fileDecls []minic.Decl
+}
+
+func (l *lowerer) lowerGlobal(d *minic.VarDecl) error {
+	if d.IsConst {
+		lit, ok := d.Init.(*minic.IntLit)
+		if !ok {
+			return fmt.Errorf("lower: const %q not folded", d.Name)
+		}
+		l.globals[d.Name] = binding{kind: bindConst, constVal: lit.Val}
+		return nil
+	}
+	total := d.Dims[0]
+	inner := int32(0)
+	if len(d.Dims) == 2 {
+		total *= d.Dims[1]
+		inner = d.Dims[1]
+	}
+	init := make([]int32, 0, len(d.ArrInit))
+	for _, e := range d.ArrInit {
+		v, ok := foldExpr(e, l.globals)
+		if !ok {
+			return fmt.Errorf("lower: global %q initializer not constant", d.Name)
+		}
+		init = append(init, v)
+	}
+	id := l.prog.AddGlobal(ir.ArrayDecl{Name: d.Name, Len: total, Init: init})
+	l.globals[d.Name] = binding{kind: bindArray, arr: id, innerDim: inner}
+	return nil
+}
+
+// foldExpr folds constant expressions over const-int bindings.
+func foldExpr(e minic.Expr, env map[string]binding) (int32, bool) {
+	switch e := e.(type) {
+	case *minic.IntLit:
+		return e.Val, true
+	case *minic.Ident:
+		b, ok := env[e.Name]
+		if ok && b.kind == bindConst {
+			return b.constVal, true
+		}
+		return 0, false
+	case *minic.UnaryExpr:
+		x, ok := foldExpr(e.X, env)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case minic.Minus:
+			return -x, true
+		case minic.Tilde:
+			return ^x, true
+		case minic.Bang:
+			if x == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *minic.BinaryExpr:
+		x, ok := foldExpr(e.X, env)
+		if !ok {
+			return 0, false
+		}
+		y, ok := foldExpr(e.Y, env)
+		if !ok {
+			return 0, false
+		}
+		return evalBinary(e.Op, x, y)
+	case *minic.CondExpr:
+		c, ok := foldExpr(e.Cond, env)
+		if !ok {
+			return 0, false
+		}
+		if c != 0 {
+			return foldExpr(e.Then, env)
+		}
+		return foldExpr(e.Else, env)
+	}
+	return 0, false
+}
+
+// funcLowerer holds per-function lowering state.
+type funcLowerer struct {
+	l      *lowerer
+	fd     *minic.FuncDecl
+	fn     *ir.Function
+	scopes []map[string]binding
+	cur    *ir.Block
+	// loop context stacks for break/continue.
+	breakTo    []ir.BlockID
+	continueTo []ir.BlockID
+}
+
+func (l *lowerer) lowerFunc(fd *minic.FuncDecl) (*ir.Function, error) {
+	fl := &funcLowerer{l: l, fd: fd, fn: ir.NewFunction(fd.Name)}
+	fl.fn.HasRet = !fd.Void
+	fl.cur = fl.fn.Block(fl.fn.Entry)
+	fl.pushScope()
+
+	for _, p := range fd.Params {
+		if p.IsArray {
+			arr := fl.fn.AddArray(ir.ArrayDecl{Name: p.Name, IsParam: true})
+			fl.fn.Params = append(fl.fn.Params, ir.Param{Name: p.Name, IsArray: true, Arr: arr, Reg: ir.NoReg})
+			fl.bind(p.Name, binding{kind: bindArray, arr: arr, innerDim: p.InnerDim})
+		} else {
+			reg := fl.fn.NewReg(p.Name)
+			fl.fn.Params = append(fl.fn.Params, ir.Param{Name: p.Name, Reg: reg, Arr: ir.NoArr})
+			fl.bind(p.Name, binding{kind: bindScalar, reg: reg})
+		}
+	}
+
+	if err := fl.stmt(fd.Body); err != nil {
+		return nil, err
+	}
+	// Implicit return: C permits falling off the end; int functions yield 0.
+	if fl.cur != nil && fl.cur.Term.Kind == ir.TermNone {
+		if fd.Void {
+			fl.cur.Term = ir.Terminator{Kind: ir.TermReturn}
+		} else {
+			fl.cur.Term = ir.Terminator{Kind: ir.TermReturn, Val: ir.Imm(0), HasVal: true}
+		}
+	}
+	Cleanup(fl.fn)
+	return fl.fn, nil
+}
+
+func (fl *funcLowerer) pushScope() {
+	fl.scopes = append(fl.scopes, map[string]binding{})
+}
+
+func (fl *funcLowerer) popScope() {
+	fl.scopes = fl.scopes[:len(fl.scopes)-1]
+}
+
+func (fl *funcLowerer) bind(name string, b binding) {
+	fl.scopes[len(fl.scopes)-1][name] = b
+}
+
+func (fl *funcLowerer) lookup(name string) (binding, bool) {
+	for i := len(fl.scopes) - 1; i >= 0; i-- {
+		if b, ok := fl.scopes[i][name]; ok {
+			return b, true
+		}
+	}
+	b, ok := fl.l.globals[name]
+	return b, ok
+}
+
+func (fl *funcLowerer) emit(in ir.Instr) {
+	if fl.cur == nil {
+		// Unreachable code after return/break; drop it (cleanup would
+		// remove the block anyway).
+		return
+	}
+	fl.cur.Instrs = append(fl.cur.Instrs, in)
+}
+
+func (fl *funcLowerer) newBlock(name string) *ir.Block { return fl.fn.AddBlock(name) }
+
+// setTerm terminates the current block and moves to next (nil = dead code).
+func (fl *funcLowerer) setTerm(t ir.Terminator, next *ir.Block) {
+	if fl.cur != nil {
+		fl.cur.Term = t
+	}
+	fl.cur = next
+}
+
+func (fl *funcLowerer) jumpTo(b *ir.Block) {
+	if fl.cur != nil && fl.cur.Term.Kind == ir.TermNone {
+		fl.cur.Term = ir.Terminator{Kind: ir.TermJump, Then: b.ID}
+	}
+	fl.cur = b
+}
+
+func (fl *funcLowerer) stmt(s minic.Stmt) error {
+	switch s := s.(type) {
+	case *minic.BlockStmt:
+		fl.pushScope()
+		for _, st := range s.List {
+			if err := fl.stmt(st); err != nil {
+				return err
+			}
+		}
+		fl.popScope()
+	case *minic.DeclStmt:
+		for _, d := range s.Decls {
+			if err := fl.localDecl(d); err != nil {
+				return err
+			}
+		}
+	case *minic.AssignStmt:
+		return fl.assign(s)
+	case *minic.IncDecStmt:
+		op := minic.PlusAssign
+		if s.Op == minic.Dec {
+			op = minic.MinusAssign
+		}
+		return fl.assign(&minic.AssignStmt{Op: op, LHS: s.LHS,
+			RHS: &minic.IntLit{Val: 1, Line: s.Line}, Line: s.Line})
+	case *minic.ExprStmt:
+		call := s.X.(*minic.CallExpr)
+		_, err := fl.lowerCall(call, false)
+		return err
+	case *minic.IfStmt:
+		return fl.ifStmt(s)
+	case *minic.ForStmt:
+		return fl.forStmt(s)
+	case *minic.WhileStmt:
+		return fl.whileStmt(s)
+	case *minic.DoWhileStmt:
+		return fl.doWhileStmt(s)
+	case *minic.ReturnStmt:
+		if s.X == nil {
+			fl.setTerm(ir.Terminator{Kind: ir.TermReturn, Pos: s.Line}, nil)
+			return nil
+		}
+		v, err := fl.expr(s.X)
+		if err != nil {
+			return err
+		}
+		fl.setTerm(ir.Terminator{Kind: ir.TermReturn, Val: v, HasVal: true, Pos: s.Line}, nil)
+	case *minic.BreakStmt:
+		if len(fl.breakTo) == 0 {
+			return fmt.Errorf("lower: %d: break outside loop", s.Line)
+		}
+		fl.setTerm(ir.Terminator{Kind: ir.TermJump, Then: fl.breakTo[len(fl.breakTo)-1], Pos: s.Line}, nil)
+	case *minic.ContinueStmt:
+		if len(fl.continueTo) == 0 {
+			return fmt.Errorf("lower: %d: continue outside loop", s.Line)
+		}
+		fl.setTerm(ir.Terminator{Kind: ir.TermJump, Then: fl.continueTo[len(fl.continueTo)-1], Pos: s.Line}, nil)
+	case *minic.EmptyStmt:
+	default:
+		return fmt.Errorf("lower: unknown statement %T", s)
+	}
+	return nil
+}
+
+func (fl *funcLowerer) localDecl(d *minic.VarDecl) error {
+	if d.IsConst {
+		lit, ok := d.Init.(*minic.IntLit)
+		if !ok {
+			return fmt.Errorf("lower: %d: const %q not folded", d.Line, d.Name)
+		}
+		fl.bind(d.Name, binding{kind: bindConst, constVal: lit.Val})
+		return nil
+	}
+	if len(d.Dims) > 0 {
+		total := d.Dims[0]
+		inner := int32(0)
+		if len(d.Dims) == 2 {
+			total *= d.Dims[1]
+			inner = d.Dims[1]
+		}
+		var init []int32
+		allConst := true
+		for _, e := range d.ArrInit {
+			v, ok := foldExpr(e, fl.l.globals)
+			if !ok {
+				allConst = false
+				break
+			}
+			init = append(init, v)
+		}
+		arr := fl.fn.AddArray(ir.ArrayDecl{Name: d.Name, Len: total})
+		fl.bind(d.Name, binding{kind: bindArray, arr: arr, innerDim: inner})
+		if len(d.ArrInit) > 0 {
+			if allConst {
+				fl.fn.Arrays[arr].Init = init
+			} else {
+				// Element-wise stores for dynamic initializers.
+				for i, e := range d.ArrInit {
+					v, err := fl.expr(e)
+					if err != nil {
+						return err
+					}
+					fl.emit(ir.Instr{Op: ir.OpStore, Arr: arr, A: ir.Imm(int32(i)), B: v, Pos: d.Line})
+				}
+			}
+		}
+		return nil
+	}
+	reg := fl.fn.NewReg(d.Name)
+	fl.bind(d.Name, binding{kind: bindScalar, reg: reg})
+	if d.Init != nil {
+		v, err := fl.expr(d.Init)
+		if err != nil {
+			return err
+		}
+		fl.emitCopy(reg, v, d.Line)
+	}
+	return nil
+}
+
+func (fl *funcLowerer) emitCopy(dst ir.RegID, v ir.Operand, pos int) {
+	if v.IsReg() && v.Reg == dst {
+		return
+	}
+	if v.IsImm() {
+		fl.emit(ir.Instr{Op: ir.OpConst, Dst: dst, A: v, Pos: pos})
+		return
+	}
+	fl.emit(ir.Instr{Op: ir.OpCopy, Dst: dst, A: v, Pos: pos})
+}
+
+var assignOpMap = map[minic.Kind]ir.Op{
+	minic.PlusAssign:    ir.OpAdd,
+	minic.MinusAssign:   ir.OpSub,
+	minic.StarAssign:    ir.OpMul,
+	minic.SlashAssign:   ir.OpDiv,
+	minic.PercentAssign: ir.OpRem,
+	minic.ShlAssign:     ir.OpShl,
+	minic.ShrAssign:     ir.OpShr,
+	minic.AmpAssign:     ir.OpAnd,
+	minic.PipeAssign:    ir.OpOr,
+	minic.CaretAssign:   ir.OpXor,
+}
+
+func (fl *funcLowerer) assign(s *minic.AssignStmt) error {
+	switch lhs := s.LHS.(type) {
+	case *minic.Ident:
+		b, ok := fl.lookup(lhs.Name)
+		if !ok || b.kind != bindScalar {
+			return fmt.Errorf("lower: %d: bad assignment target %q", s.Line, lhs.Name)
+		}
+		if s.Op == minic.Assign {
+			v, err := fl.expr(s.RHS)
+			if err != nil {
+				return err
+			}
+			fl.emitCopy(b.reg, v, s.Line)
+			return nil
+		}
+		op := assignOpMap[s.Op]
+		v, err := fl.expr(s.RHS)
+		if err != nil {
+			return err
+		}
+		fl.emit(ir.Instr{Op: op, Dst: b.reg, A: ir.Reg(b.reg), B: v, Pos: s.Line})
+		return nil
+	case *minic.IndexExpr:
+		b, idx, err := fl.arrayIndex(lhs)
+		if err != nil {
+			return err
+		}
+		if s.Op == minic.Assign {
+			v, err := fl.expr(s.RHS)
+			if err != nil {
+				return err
+			}
+			fl.emit(ir.Instr{Op: ir.OpStore, Arr: b.arr, A: idx, B: v, Pos: s.Line})
+			return nil
+		}
+		// Compound assignment: load, modify, store. The index operand is
+		// reused, so it is materialized once.
+		op := assignOpMap[s.Op]
+		oldv := fl.fn.NewReg("")
+		fl.emit(ir.Instr{Op: ir.OpLoad, Dst: oldv, Arr: b.arr, A: idx, Pos: s.Line})
+		v, err := fl.expr(s.RHS)
+		if err != nil {
+			return err
+		}
+		tmp := fl.fn.NewReg("")
+		fl.emit(ir.Instr{Op: op, Dst: tmp, A: ir.Reg(oldv), B: v, Pos: s.Line})
+		fl.emit(ir.Instr{Op: ir.OpStore, Arr: b.arr, A: idx, B: ir.Reg(tmp), Pos: s.Line})
+		return nil
+	}
+	return fmt.Errorf("lower: %d: invalid assignment target", s.Line)
+}
+
+// arrayIndex resolves an IndexExpr to its array binding and flat index
+// operand, emitting 2-D address arithmetic as needed.
+func (fl *funcLowerer) arrayIndex(e *minic.IndexExpr) (binding, ir.Operand, error) {
+	b, ok := fl.lookup(e.Name)
+	if !ok || b.kind != bindArray {
+		return binding{}, ir.Operand{}, fmt.Errorf("lower: %d: %q is not an array", e.Line, e.Name)
+	}
+	i, err := fl.expr(e.I)
+	if err != nil {
+		return binding{}, ir.Operand{}, err
+	}
+	if e.J == nil {
+		return b, i, nil
+	}
+	j, err := fl.expr(e.J)
+	if err != nil {
+		return binding{}, ir.Operand{}, err
+	}
+	// idx = i*innerDim + j, folded when both parts are constant.
+	if i.IsImm() && j.IsImm() {
+		return b, ir.Imm(i.Imm*b.innerDim + j.Imm), nil
+	}
+	var rowOp ir.Operand
+	if i.IsImm() {
+		rowOp = ir.Imm(i.Imm * b.innerDim)
+	} else {
+		row := fl.fn.NewReg("")
+		fl.emit(ir.Instr{Op: ir.OpMul, Dst: row, A: i, B: ir.Imm(b.innerDim), Pos: e.Line})
+		rowOp = ir.Reg(row)
+	}
+	idx := fl.fn.NewReg("")
+	fl.emit(ir.Instr{Op: ir.OpAdd, Dst: idx, A: rowOp, B: j, Pos: e.Line})
+	return b, ir.Reg(idx), nil
+}
+
+func (fl *funcLowerer) ifStmt(s *minic.IfStmt) error {
+	thenB := fl.newBlock("if.then")
+	var elseB *ir.Block
+	joinB := fl.newBlock("if.end")
+	if s.Else != nil {
+		elseB = fl.newBlock("if.else")
+		if err := fl.condBranch(s.Cond, thenB.ID, elseB.ID); err != nil {
+			return err
+		}
+	} else {
+		if err := fl.condBranch(s.Cond, thenB.ID, joinB.ID); err != nil {
+			return err
+		}
+	}
+	fl.cur = thenB
+	if err := fl.stmt(s.Then); err != nil {
+		return err
+	}
+	fl.jumpTo(joinB)
+	if s.Else != nil {
+		fl.cur = elseB
+		if err := fl.stmt(s.Else); err != nil {
+			return err
+		}
+		fl.jumpTo(joinB)
+	}
+	fl.cur = joinB
+	return nil
+}
+
+func (fl *funcLowerer) forStmt(s *minic.ForStmt) error {
+	fl.pushScope()
+	defer fl.popScope()
+	if s.Init != nil {
+		if err := fl.stmt(s.Init); err != nil {
+			return err
+		}
+	}
+	condB := fl.newBlock("for.cond")
+	bodyB := fl.newBlock("for.body")
+	postB := fl.newBlock("for.inc")
+	exitB := fl.newBlock("for.end")
+	fl.jumpTo(condB)
+	if s.Cond != nil {
+		if err := fl.condBranch(s.Cond, bodyB.ID, exitB.ID); err != nil {
+			return err
+		}
+	} else {
+		fl.setTerm(ir.Terminator{Kind: ir.TermJump, Then: bodyB.ID}, nil)
+	}
+	fl.cur = bodyB
+	fl.breakTo = append(fl.breakTo, exitB.ID)
+	fl.continueTo = append(fl.continueTo, postB.ID)
+	err := fl.stmt(s.Body)
+	fl.breakTo = fl.breakTo[:len(fl.breakTo)-1]
+	fl.continueTo = fl.continueTo[:len(fl.continueTo)-1]
+	if err != nil {
+		return err
+	}
+	fl.jumpTo(postB)
+	if s.Post != nil {
+		if err := fl.stmt(s.Post); err != nil {
+			return err
+		}
+	}
+	fl.setTerm(ir.Terminator{Kind: ir.TermJump, Then: condB.ID}, exitB)
+	return nil
+}
+
+func (fl *funcLowerer) whileStmt(s *minic.WhileStmt) error {
+	condB := fl.newBlock("while.cond")
+	bodyB := fl.newBlock("while.body")
+	exitB := fl.newBlock("while.end")
+	fl.jumpTo(condB)
+	if err := fl.condBranch(s.Cond, bodyB.ID, exitB.ID); err != nil {
+		return err
+	}
+	fl.cur = bodyB
+	fl.breakTo = append(fl.breakTo, exitB.ID)
+	fl.continueTo = append(fl.continueTo, condB.ID)
+	err := fl.stmt(s.Body)
+	fl.breakTo = fl.breakTo[:len(fl.breakTo)-1]
+	fl.continueTo = fl.continueTo[:len(fl.continueTo)-1]
+	if err != nil {
+		return err
+	}
+	fl.setTerm(ir.Terminator{Kind: ir.TermJump, Then: condB.ID}, exitB)
+	return nil
+}
+
+func (fl *funcLowerer) doWhileStmt(s *minic.DoWhileStmt) error {
+	bodyB := fl.newBlock("do.body")
+	condB := fl.newBlock("do.cond")
+	exitB := fl.newBlock("do.end")
+	fl.jumpTo(bodyB)
+	fl.breakTo = append(fl.breakTo, exitB.ID)
+	fl.continueTo = append(fl.continueTo, condB.ID)
+	err := fl.stmt(s.Body)
+	fl.breakTo = fl.breakTo[:len(fl.breakTo)-1]
+	fl.continueTo = fl.continueTo[:len(fl.continueTo)-1]
+	if err != nil {
+		return err
+	}
+	fl.jumpTo(condB)
+	if err := fl.condBranch(s.Cond, bodyB.ID, exitB.ID); err != nil {
+		return err
+	}
+	fl.cur = exitB
+	return nil
+}
+
+// condBranch lowers e as a branch condition with short-circuit evaluation,
+// terminating the current block.
+func (fl *funcLowerer) condBranch(e minic.Expr, thenID, elseID ir.BlockID) error {
+	switch e := e.(type) {
+	case *minic.BinaryExpr:
+		switch e.Op {
+		case minic.AndAnd:
+			mid := fl.newBlock("land.rhs")
+			if err := fl.condBranch(e.X, mid.ID, elseID); err != nil {
+				return err
+			}
+			fl.cur = mid
+			return fl.condBranch(e.Y, thenID, elseID)
+		case minic.OrOr:
+			mid := fl.newBlock("lor.rhs")
+			if err := fl.condBranch(e.X, thenID, mid.ID); err != nil {
+				return err
+			}
+			fl.cur = mid
+			return fl.condBranch(e.Y, thenID, elseID)
+		}
+	case *minic.UnaryExpr:
+		if e.Op == minic.Bang {
+			return fl.condBranch(e.X, elseID, thenID)
+		}
+	}
+	v, err := fl.expr(e)
+	if err != nil {
+		return err
+	}
+	if v.IsImm() {
+		// Constant condition folds to an unconditional jump.
+		target := thenID
+		if v.Imm == 0 {
+			target = elseID
+		}
+		fl.setTerm(ir.Terminator{Kind: ir.TermJump, Then: target}, nil)
+		return nil
+	}
+	fl.setTerm(ir.Terminator{Kind: ir.TermBranch, Cond: v, Then: thenID, Else: elseID}, nil)
+	return nil
+}
+
+var binOpMap = map[minic.Kind]ir.Op{
+	minic.Plus: ir.OpAdd, minic.Minus: ir.OpSub, minic.Star: ir.OpMul,
+	minic.Slash: ir.OpDiv, minic.Percent: ir.OpRem,
+	minic.Amp: ir.OpAnd, minic.Pipe: ir.OpOr, minic.Caret: ir.OpXor,
+	minic.Shl: ir.OpShl, minic.Shr: ir.OpShr,
+	minic.Lt: ir.OpLt, minic.Le: ir.OpLe, minic.Gt: ir.OpGt, minic.Ge: ir.OpGe,
+	minic.EqEq: ir.OpEq, minic.NotEq: ir.OpNe,
+}
+
+// expr lowers e and returns the operand holding its value.
+func (fl *funcLowerer) expr(e minic.Expr) (ir.Operand, error) {
+	switch e := e.(type) {
+	case *minic.IntLit:
+		return ir.Imm(e.Val), nil
+	case *minic.Ident:
+		b, ok := fl.lookup(e.Name)
+		if !ok {
+			return ir.Operand{}, fmt.Errorf("lower: %d: undefined %q", e.Line, e.Name)
+		}
+		switch b.kind {
+		case bindConst:
+			return ir.Imm(b.constVal), nil
+		case bindScalar:
+			return ir.Reg(b.reg), nil
+		default:
+			return ir.Operand{}, fmt.Errorf("lower: %d: array %q used as scalar", e.Line, e.Name)
+		}
+	case *minic.IndexExpr:
+		b, idx, err := fl.arrayIndex(e)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		dst := fl.fn.NewReg("")
+		fl.emit(ir.Instr{Op: ir.OpLoad, Dst: dst, Arr: b.arr, A: idx, Pos: e.Line})
+		return ir.Reg(dst), nil
+	case *minic.CallExpr:
+		return fl.lowerCall(e, true)
+	case *minic.UnaryExpr:
+		x, err := fl.expr(e.X)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		if x.IsImm() {
+			switch e.Op {
+			case minic.Minus:
+				return ir.Imm(-x.Imm), nil
+			case minic.Tilde:
+				return ir.Imm(^x.Imm), nil
+			case minic.Bang:
+				if x.Imm == 0 {
+					return ir.Imm(1), nil
+				}
+				return ir.Imm(0), nil
+			}
+		}
+		var op ir.Op
+		switch e.Op {
+		case minic.Minus:
+			op = ir.OpNeg
+		case minic.Tilde:
+			op = ir.OpNot
+		case minic.Bang:
+			op = ir.OpLNot
+		default:
+			return ir.Operand{}, fmt.Errorf("lower: %d: bad unary op %s", e.Line, e.Op)
+		}
+		dst := fl.fn.NewReg("")
+		fl.emit(ir.Instr{Op: op, Dst: dst, A: x, Pos: e.Line})
+		return ir.Reg(dst), nil
+	case *minic.BinaryExpr:
+		if e.Op == minic.AndAnd || e.Op == minic.OrOr {
+			return fl.materializeCond(e)
+		}
+		x, err := fl.expr(e.X)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		y, err := fl.expr(e.Y)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		if x.IsImm() && y.IsImm() {
+			if v, ok := evalBinary(e.Op, x.Imm, y.Imm); ok {
+				return ir.Imm(v), nil
+			}
+		}
+		op, ok := binOpMap[e.Op]
+		if !ok {
+			return ir.Operand{}, fmt.Errorf("lower: %d: bad binary op %s", e.Line, e.Op)
+		}
+		dst := fl.fn.NewReg("")
+		fl.emit(ir.Instr{Op: op, Dst: dst, A: x, B: y, Pos: e.Line})
+		return ir.Reg(dst), nil
+	case *minic.CondExpr:
+		// result = cond ? then : else via control flow.
+		dst := fl.fn.NewReg("")
+		thenB := fl.newBlock("cond.then")
+		elseB := fl.newBlock("cond.else")
+		joinB := fl.newBlock("cond.end")
+		if err := fl.condBranch(e.Cond, thenB.ID, elseB.ID); err != nil {
+			return ir.Operand{}, err
+		}
+		fl.cur = thenB
+		tv, err := fl.expr(e.Then)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		fl.emitCopy(dst, tv, e.Line)
+		fl.jumpTo(joinB)
+		fl.cur = elseB
+		ev, err := fl.expr(e.Else)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		fl.emitCopy(dst, ev, e.Line)
+		fl.jumpTo(joinB)
+		fl.cur = joinB
+		return ir.Reg(dst), nil
+	}
+	return ir.Operand{}, fmt.Errorf("lower: unknown expression %T", e)
+}
+
+// materializeCond lowers a short-circuit operator in value position to a
+// 0/1 register via control flow.
+func (fl *funcLowerer) materializeCond(e minic.Expr) (ir.Operand, error) {
+	dst := fl.fn.NewReg("")
+	trueB := fl.newBlock("bool.true")
+	falseB := fl.newBlock("bool.false")
+	joinB := fl.newBlock("bool.end")
+	if err := fl.condBranch(e, trueB.ID, falseB.ID); err != nil {
+		return ir.Operand{}, err
+	}
+	trueB.Instrs = append(trueB.Instrs, ir.Instr{Op: ir.OpConst, Dst: dst, A: ir.Imm(1), Pos: e.Pos()})
+	trueB.Term = ir.Terminator{Kind: ir.TermJump, Then: joinB.ID}
+	falseB.Instrs = append(falseB.Instrs, ir.Instr{Op: ir.OpConst, Dst: dst, A: ir.Imm(0), Pos: e.Pos()})
+	falseB.Term = ir.Terminator{Kind: ir.TermJump, Then: joinB.ID}
+	fl.cur = joinB
+	return ir.Reg(dst), nil
+}
+
+// lowerCall lowers a call; wantValue selects value or statement context.
+func (fl *funcLowerer) lowerCall(e *minic.CallExpr, wantValue bool) (ir.Operand, error) {
+	// Callee bodies may not have been lowered yet (declaration order is
+	// arbitrary), so parameter shapes come from the AST declaration list.
+	var calleeDecl *minic.FuncDecl
+	for _, d := range fl.l.fileDecls {
+		if fd, ok := d.(*minic.FuncDecl); ok && fd.Name == e.Name {
+			calleeDecl = fd
+			break
+		}
+	}
+	if calleeDecl == nil {
+		return ir.Operand{}, fmt.Errorf("lower: %d: call to undefined %q", e.Line, e.Name)
+	}
+	in := ir.Instr{Op: ir.OpCall, Callee: e.Name, Pos: e.Line}
+	for i, a := range e.Args {
+		p := calleeDecl.Params[i]
+		if p.IsArray {
+			id := a.(*minic.Ident)
+			b, ok := fl.lookup(id.Name)
+			if !ok || b.kind != bindArray {
+				return ir.Operand{}, fmt.Errorf("lower: %d: bad array argument %q", e.Line, id.Name)
+			}
+			in.ArrArgs = append(in.ArrArgs, b.arr)
+			continue
+		}
+		v, err := fl.expr(a)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		in.Args = append(in.Args, v)
+	}
+	if wantValue {
+		in.CallHasDst = true
+		in.Dst = fl.fn.NewReg("")
+		fl.emit(in)
+		return ir.Reg(in.Dst), nil
+	}
+	fl.emit(in)
+	return ir.Operand{}, nil
+}
+
+func evalBinary(op minic.Kind, x, y int32) (int32, bool) {
+	b2i := func(b bool) int32 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case minic.Plus:
+		return x + y, true
+	case minic.Minus:
+		return x - y, true
+	case minic.Star:
+		return x * y, true
+	case minic.Slash:
+		if y == 0 || (x == -1<<31 && y == -1) {
+			return 0, false
+		}
+		return x / y, true
+	case minic.Percent:
+		if y == 0 || (x == -1<<31 && y == -1) {
+			return 0, false
+		}
+		return x % y, true
+	case minic.Amp:
+		return x & y, true
+	case minic.Pipe:
+		return x | y, true
+	case minic.Caret:
+		return x ^ y, true
+	case minic.Shl:
+		return x << (uint32(y) & 31), true
+	case minic.Shr:
+		return x >> (uint32(y) & 31), true
+	case minic.Lt:
+		return b2i(x < y), true
+	case minic.Le:
+		return b2i(x <= y), true
+	case minic.Gt:
+		return b2i(x > y), true
+	case minic.Ge:
+		return b2i(x >= y), true
+	case minic.EqEq:
+		return b2i(x == y), true
+	case minic.NotEq:
+		return b2i(x != y), true
+	}
+	return 0, false
+}

@@ -1,0 +1,292 @@
+package minic
+
+import "strconv"
+
+// Lexer tokenizes mini-C source text. It is resumable: Next returns EOF
+// forever once the input is exhausted.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errf(startLine, startCol, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Line: line, Col: col}, nil
+	}
+	c := l.peek()
+
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Line: line, Col: col}, nil
+		}
+		return Token{Kind: IDENT, Text: text, Line: line, Col: col}, nil
+
+	case isDigit(c):
+		start := l.pos
+		base := 10
+		if c == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+			base = 16
+			l.advance()
+			l.advance()
+			for l.pos < len(l.src) && isHexDigit(l.peek()) {
+				l.advance()
+			}
+			if l.pos == start+2 {
+				return Token{}, errf(line, col, "malformed hex literal")
+			}
+		} else {
+			for l.pos < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		text := l.src[start:l.pos]
+		digits := text
+		if base == 16 {
+			digits = text[2:]
+		}
+		// Literals up to 2^32-1 are accepted and wrapped to int32, giving
+		// C-style behaviour for 0xFFFFFFFF-style masks and -2147483648.
+		v, err := strconv.ParseUint(digits, base, 32)
+		if err != nil {
+			return Token{}, errf(line, col, "integer literal %q out of 32-bit range", text)
+		}
+		return Token{Kind: INTLIT, Text: text, Val: int32(uint32(v)), Line: line, Col: col}, nil
+	}
+
+	// Operators and punctuation.
+	two := func(k Kind) (Token, error) {
+		l.advance()
+		l.advance()
+		return Token{Kind: k, Line: line, Col: col}, nil
+	}
+	three := func(k Kind) (Token, error) {
+		l.advance()
+		l.advance()
+		l.advance()
+		return Token{Kind: k, Line: line, Col: col}, nil
+	}
+	one := func(k Kind) (Token, error) {
+		l.advance()
+		return Token{Kind: k, Line: line, Col: col}, nil
+	}
+
+	c2, c3 := l.peek2(), byte(0)
+	if l.pos+2 < len(l.src) {
+		c3 = l.src[l.pos+2]
+	}
+	switch c {
+	case '(':
+		return one(LParen)
+	case ')':
+		return one(RParen)
+	case '{':
+		return one(LBrace)
+	case '}':
+		return one(RBrace)
+	case '[':
+		return one(LBrack)
+	case ']':
+		return one(RBrack)
+	case ';':
+		return one(Semi)
+	case ',':
+		return one(Comma)
+	case '?':
+		return one(Question)
+	case ':':
+		return one(Colon)
+	case '~':
+		return one(Tilde)
+	case '+':
+		if c2 == '+' {
+			return two(Inc)
+		}
+		if c2 == '=' {
+			return two(PlusAssign)
+		}
+		return one(Plus)
+	case '-':
+		if c2 == '-' {
+			return two(Dec)
+		}
+		if c2 == '=' {
+			return two(MinusAssign)
+		}
+		return one(Minus)
+	case '*':
+		if c2 == '=' {
+			return two(StarAssign)
+		}
+		return one(Star)
+	case '/':
+		if c2 == '=' {
+			return two(SlashAssign)
+		}
+		return one(Slash)
+	case '%':
+		if c2 == '=' {
+			return two(PercentAssign)
+		}
+		return one(Percent)
+	case '&':
+		if c2 == '&' {
+			return two(AndAnd)
+		}
+		if c2 == '=' {
+			return two(AmpAssign)
+		}
+		return one(Amp)
+	case '|':
+		if c2 == '|' {
+			return two(OrOr)
+		}
+		if c2 == '=' {
+			return two(PipeAssign)
+		}
+		return one(Pipe)
+	case '^':
+		if c2 == '=' {
+			return two(CaretAssign)
+		}
+		return one(Caret)
+	case '!':
+		if c2 == '=' {
+			return two(NotEq)
+		}
+		return one(Bang)
+	case '<':
+		if c2 == '<' && c3 == '=' {
+			return three(ShlAssign)
+		}
+		if c2 == '<' {
+			return two(Shl)
+		}
+		if c2 == '=' {
+			return two(Le)
+		}
+		return one(Lt)
+	case '>':
+		if c2 == '>' && c3 == '=' {
+			return three(ShrAssign)
+		}
+		if c2 == '>' {
+			return two(Shr)
+		}
+		if c2 == '=' {
+			return two(Ge)
+		}
+		return one(Gt)
+	case '=':
+		if c2 == '=' {
+			return two(EqEq)
+		}
+		return one(Assign)
+	}
+	return Token{}, errf(line, col, "unexpected character %q", string(c))
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

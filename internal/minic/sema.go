@@ -1,0 +1,411 @@
+package minic
+
+import "fmt"
+
+// symKind classifies a resolved name.
+type symKind uint8
+
+const (
+	symConst symKind = iota
+	symScalar
+	symArray
+	symFunc
+)
+
+type symbol struct {
+	kind     symKind
+	dims     int   // 0 scalar, 1 or 2 for arrays
+	innerDim int32 // 2-D arrays: inner dimension
+	fn       *FuncDecl
+	isConst  bool
+}
+
+type scope struct {
+	parent *scope
+	names  map[string]*symbol
+}
+
+func (s *scope) lookup(name string) *symbol {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.names[name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+func (s *scope) declare(name string, sym *symbol) bool {
+	if _, dup := s.names[name]; dup {
+		return false
+	}
+	s.names[name] = sym
+	return true
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, names: map[string]*symbol{}}
+}
+
+// Check performs semantic analysis on the file: name resolution, scalar vs
+// array usage, call arity and argument shapes, const-ness, loop-context of
+// break/continue, and initializer sanity. It returns the first error found.
+func Check(f *File) error {
+	c := &checker{globals: newScope(nil), constVals: map[string]int32{}}
+	// Two passes so functions may call functions declared later.
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *FuncDecl:
+			if !c.globals.declare(d.Name, &symbol{kind: symFunc, fn: d}) {
+				return errf(d.Line, 1, "redeclaration of %q", d.Name)
+			}
+		case *VarDecl:
+			sym, err := varSymbol(d)
+			if err != nil {
+				return err
+			}
+			if !c.globals.declare(d.Name, sym) {
+				return errf(d.Line, 1, "redeclaration of %q", d.Name)
+			}
+			if d.IsConst {
+				if lit, ok := d.Init.(*IntLit); ok {
+					c.constVals[d.Name] = lit.Val
+				}
+			}
+			if !d.IsConst && len(d.Dims) == 0 {
+				return errf(d.Line, 1, "global scalar %q must be const (mutable globals must be arrays in the shared data memory)", d.Name)
+			}
+			if err := c.checkVarInit(d, c.globals); err != nil {
+				return err
+			}
+		}
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*FuncDecl); ok {
+			if err := c.checkFunc(fd); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func varSymbol(d *VarDecl) (*symbol, error) {
+	sym := &symbol{dims: len(d.Dims), isConst: d.IsConst}
+	switch len(d.Dims) {
+	case 0:
+		if d.IsConst {
+			sym.kind = symConst
+		} else {
+			sym.kind = symScalar
+		}
+	case 1:
+		sym.kind = symArray
+	case 2:
+		sym.kind = symArray
+		sym.innerDim = d.Dims[1]
+	default:
+		return nil, errf(d.Line, 1, "too many dimensions on %q", d.Name)
+	}
+	return sym, nil
+}
+
+type checker struct {
+	globals   *scope
+	constVals map[string]int32
+	fn        *FuncDecl
+	loopDepth int
+}
+
+func (c *checker) checkVarInit(d *VarDecl, sc *scope) error {
+	if len(d.Dims) > 0 {
+		total := int(d.Dims[0])
+		if len(d.Dims) == 2 {
+			total *= int(d.Dims[1])
+		}
+		if len(d.ArrInit) > total {
+			return errf(d.Line, 1, "%d initializers for array %q of %d elements", len(d.ArrInit), d.Name, total)
+		}
+		for _, e := range d.ArrInit {
+			if err := c.checkExpr(e, sc, false); err != nil {
+				return err
+			}
+		}
+		if d.IsGlobal {
+			// Global array initializers must be constant (no code runs at
+			// global scope).
+			p := &Parser{consts: c.constVals}
+			for _, e := range d.ArrInit {
+				if _, ok := p.foldConst(e); !ok {
+					return errf(e.Pos(), 1, "global array %q initializer must be constant", d.Name)
+				}
+			}
+		}
+		return nil
+	}
+	if d.Init != nil {
+		return c.checkExpr(d.Init, sc, false)
+	}
+	return nil
+}
+
+func (c *checker) checkFunc(fd *FuncDecl) error {
+	c.fn = fd
+	sc := newScope(c.globals)
+	for i := range fd.Params {
+		p := &fd.Params[i]
+		sym := &symbol{kind: symScalar}
+		if p.IsArray {
+			sym.kind = symArray
+			sym.dims = 1
+			if p.InnerDim > 0 {
+				sym.dims = 2
+				sym.innerDim = p.InnerDim
+			}
+		}
+		if !sc.declare(p.Name, sym) {
+			return errf(p.Line, 1, "duplicate parameter %q", p.Name)
+		}
+	}
+	return c.checkStmt(fd.Body, sc)
+}
+
+func (c *checker) checkStmt(s Stmt, sc *scope) error {
+	switch s := s.(type) {
+	case *BlockStmt:
+		inner := newScope(sc)
+		for _, st := range s.List {
+			if err := c.checkStmt(st, inner); err != nil {
+				return err
+			}
+		}
+	case *DeclStmt:
+		for _, d := range s.Decls {
+			sym, err := varSymbol(d)
+			if err != nil {
+				return err
+			}
+			if err := c.checkVarInit(d, sc); err != nil {
+				return err
+			}
+			if !sc.declare(d.Name, sym) {
+				return errf(d.Line, 1, "redeclaration of %q", d.Name)
+			}
+		}
+	case *AssignStmt:
+		if err := c.checkLvalue(s.LHS, sc); err != nil {
+			return err
+		}
+		return c.checkExpr(s.RHS, sc, false)
+	case *IncDecStmt:
+		return c.checkLvalue(s.LHS, sc)
+	case *ExprStmt:
+		call, ok := s.X.(*CallExpr)
+		if !ok {
+			return errf(s.Line, 1, "expression statement must be a call")
+		}
+		return c.checkCall(call, sc, true)
+	case *IfStmt:
+		if err := c.checkExpr(s.Cond, sc, false); err != nil {
+			return err
+		}
+		if err := c.checkStmt(s.Then, sc); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkStmt(s.Else, sc)
+		}
+	case *ForStmt:
+		inner := newScope(sc)
+		if s.Init != nil {
+			if err := c.checkStmt(s.Init, inner); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := c.checkExpr(s.Cond, inner, false); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if err := c.checkStmt(s.Post, inner); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		err := c.checkStmt(s.Body, inner)
+		c.loopDepth--
+		return err
+	case *WhileStmt:
+		if err := c.checkExpr(s.Cond, sc, false); err != nil {
+			return err
+		}
+		c.loopDepth++
+		err := c.checkStmt(s.Body, sc)
+		c.loopDepth--
+		return err
+	case *DoWhileStmt:
+		c.loopDepth++
+		err := c.checkStmt(s.Body, sc)
+		c.loopDepth--
+		if err != nil {
+			return err
+		}
+		return c.checkExpr(s.Cond, sc, false)
+	case *ReturnStmt:
+		if c.fn.Void && s.X != nil {
+			return errf(s.Line, 1, "void function %q returns a value", c.fn.Name)
+		}
+		if !c.fn.Void && s.X == nil {
+			return errf(s.Line, 1, "function %q must return a value", c.fn.Name)
+		}
+		if s.X != nil {
+			return c.checkExpr(s.X, sc, false)
+		}
+	case *BreakStmt:
+		if c.loopDepth == 0 {
+			return errf(s.Line, 1, "break outside loop")
+		}
+	case *ContinueStmt:
+		if c.loopDepth == 0 {
+			return errf(s.Line, 1, "continue outside loop")
+		}
+	case *EmptyStmt:
+	default:
+		return fmt.Errorf("minic: unknown statement %T", s)
+	}
+	return nil
+}
+
+func (c *checker) checkLvalue(e Expr, sc *scope) error {
+	switch e := e.(type) {
+	case *Ident:
+		sym := sc.lookup(e.Name)
+		if sym == nil {
+			return errf(e.Line, 1, "undefined: %q", e.Name)
+		}
+		switch sym.kind {
+		case symConst:
+			return errf(e.Line, 1, "cannot assign to const %q", e.Name)
+		case symArray:
+			return errf(e.Line, 1, "cannot assign to array %q without an index", e.Name)
+		case symFunc:
+			return errf(e.Line, 1, "cannot assign to function %q", e.Name)
+		}
+		return nil
+	case *IndexExpr:
+		return c.checkIndex(e, sc)
+	}
+	return errf(e.Pos(), 1, "not an lvalue")
+}
+
+func (c *checker) checkIndex(e *IndexExpr, sc *scope) error {
+	sym := sc.lookup(e.Name)
+	if sym == nil {
+		return errf(e.Line, 1, "undefined: %q", e.Name)
+	}
+	if sym.kind != symArray {
+		return errf(e.Line, 1, "%q is not an array", e.Name)
+	}
+	wantDims := 1
+	if sym.dims == 2 {
+		wantDims = 2
+	}
+	gotDims := 1
+	if e.J != nil {
+		gotDims = 2
+	}
+	if gotDims != wantDims {
+		return errf(e.Line, 1, "array %q requires %d indices, got %d", e.Name, wantDims, gotDims)
+	}
+	if err := c.checkExpr(e.I, sc, false); err != nil {
+		return err
+	}
+	if e.J != nil {
+		return c.checkExpr(e.J, sc, false)
+	}
+	return nil
+}
+
+func (c *checker) checkCall(e *CallExpr, sc *scope, stmtContext bool) error {
+	sym := c.globals.lookup(e.Name)
+	if sym == nil || sym.kind != symFunc {
+		return errf(e.Line, 1, "call to undefined function %q", e.Name)
+	}
+	fd := sym.fn
+	if !stmtContext && fd.Void {
+		return errf(e.Line, 1, "void function %q used as a value", e.Name)
+	}
+	if len(e.Args) != len(fd.Params) {
+		return errf(e.Line, 1, "%q takes %d arguments, got %d", e.Name, len(fd.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		p := fd.Params[i]
+		if p.IsArray {
+			id, ok := a.(*Ident)
+			if !ok {
+				return errf(a.Pos(), 1, "argument %d of %q must be an array name", i+1, e.Name)
+			}
+			asym := sc.lookup(id.Name)
+			if asym == nil {
+				return errf(a.Pos(), 1, "undefined: %q", id.Name)
+			}
+			if asym.kind != symArray {
+				return errf(a.Pos(), 1, "argument %d of %q: %q is not an array", i+1, e.Name, id.Name)
+			}
+			wantDims := 1
+			if p.InnerDim > 0 {
+				wantDims = 2
+			}
+			if asym.dims != wantDims {
+				return errf(a.Pos(), 1, "argument %d of %q: array dimensionality mismatch", i+1, e.Name)
+			}
+			if wantDims == 2 && asym.innerDim != p.InnerDim {
+				return errf(a.Pos(), 1, "argument %d of %q: inner dimension %d, want %d", i+1, e.Name, asym.innerDim, p.InnerDim)
+			}
+			continue
+		}
+		if err := c.checkExpr(a, sc, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkExpr(e Expr, sc *scope, allowArray bool) error {
+	switch e := e.(type) {
+	case *IntLit:
+		return nil
+	case *Ident:
+		sym := sc.lookup(e.Name)
+		if sym == nil {
+			return errf(e.Line, 1, "undefined: %q", e.Name)
+		}
+		if sym.kind == symFunc {
+			return errf(e.Line, 1, "function %q used as a value", e.Name)
+		}
+		if sym.kind == symArray && !allowArray {
+			return errf(e.Line, 1, "array %q used as a scalar value", e.Name)
+		}
+		return nil
+	case *IndexExpr:
+		return c.checkIndex(e, sc)
+	case *CallExpr:
+		return c.checkCall(e, sc, false)
+	case *UnaryExpr:
+		return c.checkExpr(e.X, sc, false)
+	case *BinaryExpr:
+		if err := c.checkExpr(e.X, sc, false); err != nil {
+			return err
+		}
+		return c.checkExpr(e.Y, sc, false)
+	case *CondExpr:
+		if err := c.checkExpr(e.Cond, sc, false); err != nil {
+			return err
+		}
+		if err := c.checkExpr(e.Then, sc, false); err != nil {
+			return err
+		}
+		return c.checkExpr(e.Else, sc, false)
+	}
+	return fmt.Errorf("minic: unknown expression %T", e)
+}

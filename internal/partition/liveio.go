@@ -1,0 +1,91 @@
+package partition
+
+import "hybridpart/internal/ir"
+
+// LiveIO counts the scalar values a basic block exchanges with the rest of
+// the application: In is the number of distinct registers read before any
+// local definition (the block's live-ins), Out is the number of distinct
+// locally defined registers observable outside one execution of the block —
+// used by another block, by the block's own terminator (the branch decision
+// returns to the sequencer), or loop-carried back into the block itself.
+//
+// When a kernel moves to the coarse-grain data-path these are exactly the
+// words that must cross through the shared data memory on every invocation
+// (arrays already live there), so t_comm scales with In+Out.
+type LiveIO struct {
+	In  int
+	Out int
+}
+
+// ComputeLiveIO analyzes every block of f.
+func ComputeLiveIO(f *ir.Function) []LiveIO {
+	// usedIn[r] = set of blocks reading register r (instruction operands or
+	// terminator condition/return value).
+	usedIn := map[ir.RegID]map[ir.BlockID]bool{}
+	note := func(o ir.Operand, b ir.BlockID) {
+		if o.Kind != ir.OperandReg {
+			return
+		}
+		set := usedIn[o.Reg]
+		if set == nil {
+			set = map[ir.BlockID]bool{}
+			usedIn[o.Reg] = set
+		}
+		set[b] = true
+	}
+	var buf []ir.RegID
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			buf = b.Instrs[i].Uses(buf[:0])
+			for _, r := range buf {
+				note(ir.Reg(r), b.ID)
+			}
+		}
+		switch b.Term.Kind {
+		case ir.TermBranch:
+			note(b.Term.Cond, b.ID)
+		case ir.TermReturn:
+			if b.Term.HasVal {
+				note(b.Term.Val, b.ID)
+			}
+		}
+	}
+
+	out := make([]LiveIO, len(f.Blocks))
+	for _, b := range f.Blocks {
+		d := ir.BuildDFG(f, b)
+		io := LiveIO{In: len(d.ExternalIn)}
+		extIn := map[ir.RegID]bool{}
+		for _, r := range d.ExternalIn {
+			extIn[r] = true
+		}
+		seen := map[ir.RegID]bool{}
+		termUses := map[ir.RegID]bool{}
+		if b.Term.Kind == ir.TermBranch && b.Term.Cond.Kind == ir.OperandReg {
+			termUses[b.Term.Cond.Reg] = true
+		}
+		if b.Term.Kind == ir.TermReturn && b.Term.HasVal && b.Term.Val.Kind == ir.OperandReg {
+			termUses[b.Term.Val.Reg] = true
+		}
+		for _, r := range d.Defined {
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			live := termUses[r] || extIn[r] // terminator use or loop-carried
+			if !live {
+				for blockID := range usedIn[r] {
+					if blockID != b.ID {
+						live = true
+						break
+					}
+				}
+			}
+			if live {
+				io.Out++
+			}
+		}
+		out[b.ID] = io
+	}
+	return out
+}

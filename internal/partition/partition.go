@@ -1,0 +1,241 @@
+// Package partition implements the paper's partitioning engine (step 4 of
+// Figure 2): kernels — the critical basic blocks ordered by the analysis
+// step — move one by one from the fine-grain FPGA to the coarse-grain CGC
+// data-path; after each move the total execution time
+//
+//	t_total = t_FPGA + t_coarse + t_comm        (eq. 2)
+//
+// is recomputed from the two mapping procedures (eqs. 3 and 4) and the
+// shared-memory communication model, until the timing constraint is met.
+// The fine-grain side is re-mapped after every move (Figure 2 iterates the
+// "map to fine-grain hardware" box), using the packed temporal-partitioning
+// model: the vacated area lets the remaining blocks share fewer
+// configurations.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"hybridpart/internal/analysis"
+	"hybridpart/internal/coarsegrain"
+	"hybridpart/internal/finegrain"
+	"hybridpart/internal/ir"
+	"hybridpart/internal/platform"
+)
+
+// Config parameterizes one partitioning run.
+type Config struct {
+	// Platform characterizes both reconfigurable fabrics (Figure 1).
+	Platform platform.Platform
+	// Constraint is the timing constraint in FPGA clock cycles ("the clock
+	// cycle period is set to the clock period of the fine-grain hardware").
+	Constraint int64
+	// Order selects the kernel ordering; the paper uses eq. 1 total weight.
+	Order analysis.KernelOrder
+	// Edges carries the profiled control-flow transition counts used by the
+	// reconfiguration model (empty = only the initial configuration is
+	// charged).
+	Edges []finegrain.EdgeFreq
+	// MaxMoves bounds the number of kernels moved (0 = all candidates).
+	MaxMoves int
+	// SkipNonImproving, when set, rejects moves that increase t_total
+	// (communication overhead exceeding the acceleration gain). The paper's
+	// engine moves unconditionally; this switch exists for the ablation
+	// benches.
+	SkipNonImproving bool
+}
+
+// Move records one accepted kernel move and the resulting system state.
+type Move struct {
+	Block ir.BlockID
+	// CGCCycles is the kernel's per-execution latency on the data-path in
+	// T_CGC cycles.
+	CGCCycles int64
+	// TotalAfter is t_total (FPGA cycles) after this move.
+	TotalAfter int64
+}
+
+// Result is the outcome of a partitioning run, mirroring the rows of the
+// paper's Tables 2 and 3.
+type Result struct {
+	Func       string
+	Constraint int64
+
+	// InitialCycles is the all-FPGA execution time (first row of the
+	// tables); Met reports whether the constraint was satisfied.
+	InitialCycles int64
+	Met           bool
+
+	// InitialPartitions is the number of temporal partitions (configuration
+	// bit-streams) of the all-FPGA mapping.
+	InitialPartitions int
+
+	// Moved lists the blocks accelerated on the CGC data-path, in move
+	// order (fourth row); Moves carries the per-move details.
+	Moved []ir.BlockID
+	Moves []Move
+
+	// FinalCycles is t_total after partitioning (fifth row); TFPGA,
+	// TCoarse and TComm are its eq. 2 components, all in FPGA cycles.
+	FinalCycles int64
+	TFPGA       int64
+	TCoarse     int64
+	TComm       int64
+
+	// CyclesInCGC is the cycles spent executing the moved kernels on the
+	// data-path, expressed in FPGA-cycle units (third row of the tables).
+	CyclesInCGC int64
+
+	// Unmappable lists kernels the CGC cannot execute (divisions); they
+	// stay on the FPGA.
+	Unmappable []ir.BlockID
+
+	// Skipped lists kernels rejected by SkipNonImproving.
+	Skipped []ir.BlockID
+}
+
+// ReductionPct returns the % cycles reduction over the all-FPGA solution
+// (last row of Tables 2–3).
+func (r *Result) ReductionPct() float64 {
+	if r.InitialCycles == 0 {
+		return 0
+	}
+	return 100 * float64(r.InitialCycles-r.FinalCycles) / float64(r.InitialCycles)
+}
+
+// ErrInfeasible reports that a mapping step failed outright (for example an
+// operator wider than A_FPGA).
+var ErrInfeasible = errors.New("partition: mapping infeasible")
+
+// Partition runs the engine on the flat function f of prog using the
+// analysis report rep (which must describe f).
+func Partition(prog *ir.Program, f *ir.Function, rep *analysis.Report, cfg Config) (*Result, error) {
+	if err := cfg.Platform.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Constraint <= 0 {
+		return nil, fmt.Errorf("partition: timing constraint must be positive, got %d", cfg.Constraint)
+	}
+	if rep == nil || len(rep.Blocks) != len(f.Blocks) {
+		return nil, fmt.Errorf("partition: analysis report does not match function")
+	}
+
+	plat := cfg.Platform
+	freq := make([]uint64, len(f.Blocks))
+	for i := range rep.Blocks {
+		freq[i] = rep.Blocks[i].Freq
+	}
+
+	// Step 2: map everything to the fine-grain hardware.
+	pm, err := finegrain.PackFunction(f, plat.Fine, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
+	}
+	res := &Result{Func: f.Name, Constraint: cfg.Constraint}
+	res.InitialCycles = pm.TotalCycles(freq, cfg.Edges, plat.Fine.ReconfigCycles)
+	res.InitialPartitions = pm.NumPartitions
+	res.FinalCycles = res.InitialCycles
+	res.TFPGA = res.InitialCycles
+	if res.InitialCycles <= cfg.Constraint {
+		// Timing met by the all-FPGA solution: the methodology exits before
+		// the analysis/partitioning steps.
+		res.Met = true
+		return res, nil
+	}
+
+	// Step 3 products: ordered kernels and live-in/out footprints.
+	kernels := analysis.OrderKernels(rep, cfg.Order)
+	liveIO := ComputeLiveIO(f)
+	arrLen := coarsegrain.ArrLenOf(prog, f)
+
+	moved := map[ir.BlockID]bool{}
+	var coarseCGCCycles int64 // Σ latency×freq in T_CGC cycles (eq. 3)
+	var commCycles int64
+	ratio := int64(plat.Coarse.ClockRatio)
+
+	evalTotal := func() (tFPGA, tCoarse, tComm, total int64, err error) {
+		cur, err := finegrain.PackFunction(f, plat.Fine, func(id ir.BlockID) bool { return !moved[id] })
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+		tFPGA = cur.TotalCycles(freq, cfg.Edges, plat.Fine.ReconfigCycles)
+		tCoarse = (coarseCGCCycles + ratio - 1) / ratio
+		tComm = commCycles
+		return tFPGA, tCoarse, tComm, tFPGA + tCoarse + tComm, nil
+	}
+
+	// Step 4: move kernels one by one until the constraint is met.
+	for _, k := range kernels {
+		if cfg.MaxMoves > 0 && len(res.Moved) >= cfg.MaxMoves {
+			break
+		}
+		blk := f.Block(k)
+		sched, err := coarsegrain.MapDFG(ir.BuildDFG(f, blk), plat.Coarse, arrLen)
+		if err != nil {
+			if errors.Is(err, coarsegrain.ErrUnmappable) {
+				res.Unmappable = append(res.Unmappable, k)
+				continue
+			}
+			return nil, err
+		}
+		io := liveIO[k]
+		moveComm := int64(freq[k]) * (int64(io.In+io.Out)*int64(plat.Comm.CyclesPerWord) + int64(plat.Comm.SyncCycles))
+		moveCGC := sched.Latency * int64(freq[k])
+
+		if cfg.SkipNonImproving {
+			// Does the move pay for itself? Compare the kernel's current
+			// FPGA cost against its coarse cost plus communication.
+			curPM, err := finegrain.PackFunction(f, plat.Fine, func(id ir.BlockID) bool { return !moved[id] })
+			if err != nil {
+				return nil, err
+			}
+			fpgaCost := curPM.PerBlockCycles[k] * int64(freq[k])
+			coarseCost := (moveCGC+ratio-1)/ratio + moveComm
+			if coarseCost >= fpgaCost {
+				res.Skipped = append(res.Skipped, k)
+				continue
+			}
+		}
+
+		moved[k] = true
+		coarseCGCCycles += moveCGC
+		commCycles += moveComm
+		res.Moved = append(res.Moved, k)
+
+		tFPGA, tCoarse, tComm, total, err := evalTotal()
+		if err != nil {
+			return nil, err
+		}
+		res.TFPGA, res.TCoarse, res.TComm = tFPGA, tCoarse, tComm
+		res.FinalCycles = total
+		res.CyclesInCGC = tCoarse
+		res.Moves = append(res.Moves, Move{Block: k, CGCCycles: sched.Latency, TotalAfter: total})
+		if total <= cfg.Constraint {
+			res.Met = true
+			return res, nil
+		}
+	}
+
+	// Candidates exhausted without satisfying the constraint: report the
+	// best-effort partitioning (Met stays false).
+	return res, nil
+}
+
+// FormatTable renders the result in the layout of the paper's Tables 2–3.
+func (r *Result) FormatTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Initial cycles (all-FPGA): %d\n", r.InitialCycles)
+	fmt.Fprintf(&sb, "Timing constraint:         %d\n", r.Constraint)
+	fmt.Fprintf(&sb, "Cycles in CGC:             %d\n", r.CyclesInCGC)
+	ids := make([]string, len(r.Moved))
+	for i, b := range r.Moved {
+		ids[i] = fmt.Sprintf("%d", b)
+	}
+	fmt.Fprintf(&sb, "BB no. moved:              %s\n", strings.Join(ids, ", "))
+	fmt.Fprintf(&sb, "Final cycles:              %d\n", r.FinalCycles)
+	fmt.Fprintf(&sb, "%% cycles reduction:        %.1f\n", r.ReductionPct())
+	fmt.Fprintf(&sb, "Constraint met:            %v\n", r.Met)
+	return sb.String()
+}

@@ -1,0 +1,91 @@
+// Package pipeline implements the paper's ongoing work: "multiple threads
+// of execution for parallel operation of the fine and coarse-grain
+// reconfigurable blocks". Within one frame the two fabrics execute mutually
+// exclusively (the methodology's assumption), but DSP and multimedia
+// applications process a stream of frames, and "through the pipelining
+// among the stages of computations, the reconfigurable processing units of
+// the hybrid architecture are always utilized" (section 3). This package
+// models that two-stage frame pipeline: while the coarse-grain data-path
+// accelerates frame i's kernels, the FPGA already works on frame i+1.
+package pipeline
+
+import "fmt"
+
+// Model carries the per-frame timing split produced by the partitioning
+// engine, in FPGA cycles.
+type Model struct {
+	// TFine is the per-frame time of the FPGA-resident blocks.
+	TFine int64
+	// TCoarse is the per-frame time of the moved kernels on the data-path.
+	TCoarse int64
+	// TComm is the per-frame fabric-to-fabric transfer time; it is charged
+	// to the coarse stage (transfers happen at kernel entry/exit).
+	TComm int64
+}
+
+// Validate rejects physically meaningless splits.
+func (m Model) Validate() error {
+	if m.TFine < 0 || m.TCoarse < 0 || m.TComm < 0 {
+		return fmt.Errorf("pipeline: negative stage time: %+v", m)
+	}
+	return nil
+}
+
+// coarseStage is the data-path stage including transfers.
+func (m Model) coarseStage() int64 { return m.TCoarse + m.TComm }
+
+// Sequential returns the execution time of frames frames with mutually
+// exclusive fabric operation (the baseline methodology).
+func (m Model) Sequential(frames int) int64 {
+	if frames <= 0 {
+		return 0
+	}
+	return int64(frames) * (m.TFine + m.coarseStage())
+}
+
+// Pipelined returns the execution time with two-stage frame pipelining:
+// the first frame fills the pipe; afterwards each frame costs the slower
+// stage.
+func (m Model) Pipelined(frames int) int64 {
+	if frames <= 0 {
+		return 0
+	}
+	stage := m.TFine
+	if m.coarseStage() > stage {
+		stage = m.coarseStage()
+	}
+	return (m.TFine + m.coarseStage()) + int64(frames-1)*stage
+}
+
+// Speedup returns Sequential/Pipelined for the given frame count (1.0 when
+// either is zero). A two-stage pipeline is bounded by 2× and approaches
+// the bound as stages balance and the frame count grows.
+func (m Model) Speedup(frames int) float64 {
+	p := m.Pipelined(frames)
+	if p == 0 {
+		return 1
+	}
+	return float64(m.Sequential(frames)) / float64(p)
+}
+
+// Utilization returns the busy fraction of each fabric in steady state
+// (fine, coarse) under pipelining.
+func (m Model) Utilization() (fine, coarse float64) {
+	stage := m.TFine
+	if m.coarseStage() > stage {
+		stage = m.coarseStage()
+	}
+	if stage == 0 {
+		return 0, 0
+	}
+	return float64(m.TFine) / float64(stage), float64(m.coarseStage()) / float64(stage)
+}
+
+// Report formats a frame-sweep comparison table.
+func (m Model) Report(frameCounts []int) string {
+	out := fmt.Sprintf("%-8s %-14s %-14s %-8s\n", "frames", "sequential", "pipelined", "speedup")
+	for _, n := range frameCounts {
+		out += fmt.Sprintf("%-8d %-14d %-14d %-8.3f\n", n, m.Sequential(n), m.Pipelined(n), m.Speedup(n))
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialAndPipelined(t *testing.T) {
+	m := Model{TFine: 100, TCoarse: 40, TComm: 10}
+	if got := m.Sequential(4); got != 4*150 {
+		t.Fatalf("Sequential(4) = %d, want 600", got)
+	}
+	// Fill (150) + 3 frames × slower stage (100).
+	if got := m.Pipelined(4); got != 150+3*100 {
+		t.Fatalf("Pipelined(4) = %d, want 450", got)
+	}
+	if m.Speedup(4) <= 1 {
+		t.Fatalf("no speedup: %f", m.Speedup(4))
+	}
+}
+
+func TestBalancedStagesApproachTwo(t *testing.T) {
+	m := Model{TFine: 100, TCoarse: 90, TComm: 10}
+	s := m.Speedup(1000)
+	if s < 1.9 || s > 2.0 {
+		t.Fatalf("balanced speedup = %f, want ~2", s)
+	}
+}
+
+func TestSingleFrameNoGain(t *testing.T) {
+	m := Model{TFine: 100, TCoarse: 50, TComm: 5}
+	if m.Pipelined(1) != m.Sequential(1) {
+		t.Fatalf("one frame: pipelined %d != sequential %d", m.Pipelined(1), m.Sequential(1))
+	}
+	if m.Speedup(1) != 1 {
+		t.Fatalf("Speedup(1) = %f", m.Speedup(1))
+	}
+}
+
+func TestZeroAndNegativeFrames(t *testing.T) {
+	m := Model{TFine: 10, TCoarse: 10}
+	if m.Sequential(0) != 0 || m.Pipelined(0) != 0 || m.Sequential(-3) != 0 {
+		t.Fatal("zero/negative frame counts must cost nothing")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	m := Model{TFine: 100, TCoarse: 40, TComm: 10}
+	fine, coarse := m.Utilization()
+	if fine != 1.0 {
+		t.Fatalf("fine utilization = %f, want 1.0 (bottleneck stage)", fine)
+	}
+	if coarse != 0.5 {
+		t.Fatalf("coarse utilization = %f, want 0.5", coarse)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Model{TFine: -1}).Validate(); err == nil {
+		t.Fatal("negative stage accepted")
+	}
+	if err := (Model{TFine: 1, TCoarse: 2, TComm: 3}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportShape(t *testing.T) {
+	out := Model{TFine: 10, TCoarse: 5, TComm: 1}.Report([]int{1, 10, 100})
+	if !strings.Contains(out, "speedup") || len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Fatalf("report malformed:\n%s", out)
+	}
+}
+
+// Property: 1 <= speedup <= 2 for any non-degenerate model; pipelined never
+// exceeds sequential; both monotone in frames.
+func TestPipelinePropertiesQuick(t *testing.T) {
+	check := func(fineRaw, coarseRaw, commRaw uint16, framesRaw uint8) bool {
+		m := Model{
+			TFine:   int64(fineRaw) + 1,
+			TCoarse: int64(coarseRaw),
+			TComm:   int64(commRaw),
+		}
+		frames := int(framesRaw%64) + 1
+		seq, pip := m.Sequential(frames), m.Pipelined(frames)
+		if pip > seq {
+			return false
+		}
+		s := m.Speedup(frames)
+		if s < 1.0-1e-9 || s > 2.0+1e-9 {
+			return false
+		}
+		if frames > 1 && m.Pipelined(frames) < m.Pipelined(frames-1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
