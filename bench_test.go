@@ -113,6 +113,55 @@ func BenchmarkTable3JPEGPartitioning(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepEngine compares the two ways of producing the paper's
+// evaluation grids. "serial-recompile" is the seed behavior: every cell of
+// the A_FPGA × CGC-count grid compiles and re-profiles the benchmark from
+// scratch before partitioning. "shared-parallel" is the explore engine:
+// one compiled+profiled App shared across all cells, evaluated on a worker
+// pool. Profiling is input-deterministic, so both paths produce identical
+// numbers (TestSweepMatchesSerial); only the wall clock differs.
+func BenchmarkSweepEngine(b *testing.B) {
+	areas := []int{1500, 5000}
+	ncgcs := []int{1, 2, 4}
+	b.Run("serial-recompile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, afpga := range areas {
+				for _, ncgc := range ncgcs {
+					app, prof, err := ProfileBenchmark(BenchOFDM, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					opts := DefaultOptions()
+					opts.AFPGA = afpga
+					opts.NumCGCs = ncgc
+					opts.Constraint = 60000
+					if _, err := app.Partition(prof, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+	b.Run("shared-parallel", func(b *testing.B) {
+		spec := SweepSpec{
+			Benchmarks: []string{BenchOFDM},
+			Areas:      areas,
+			CGCs:       ncgcs,
+			Seed:       1,
+			Workers:    4,
+		}
+		for i := 0; i < b.N; i++ {
+			rs, err := Sweep(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if failed := rs.Failed(); len(failed) > 0 {
+				b.Fatalf("sweep cell failed: %+v", failed[0])
+			}
+		}
+	})
+}
+
 // BenchmarkFigure2Flow times the complete methodology (steps 2-5) on the
 // OFDM transmitter with the paper's constraint.
 func BenchmarkFigure2Flow(b *testing.B) {

@@ -164,47 +164,47 @@ func table1(seed uint32) error {
 	return nil
 }
 
+// partitionTable regenerates one Table 2/3 grid as a thin caller of the
+// design-space-exploration engine: the A_FPGA × CGC-count cross product is
+// a SweepSpec, evaluated by hybridpart.Sweep against one shared profile.
 func partitionTable(title, bench string, seed uint32, constraint int64) error {
 	fmt.Printf("== %s for timing constraint of %d clock cycles ==\n", title, constraint)
-	app, prof, err := hybridpart.ProfileBenchmark(bench, seed)
+	areas := []int{1500, 5000}
+	ncgcs := []int{2, 3}
+	rs, err := hybridpart.Sweep(hybridpart.SweepSpec{
+		Benchmarks:  []string{bench},
+		Areas:       areas,
+		CGCs:        ncgcs,
+		Constraints: []int64{constraint},
+		Seed:        seed,
+	})
 	if err != nil {
 		return err
 	}
-	type cell struct {
-		initial, cgc, final int64
-		moved               []int
-		met                 bool
-		red                 float64
-	}
-	var cells [2][2]cell
-	for ai, afpga := range []int{1500, 5000} {
-		for ci, ncgc := range []int{2, 3} {
-			opts := hybridpart.DefaultOptions()
-			opts.AFPGA = afpga
-			opts.NumCGCs = ncgc
-			opts.Constraint = constraint
-			res, err := app.Partition(prof, opts)
-			if err != nil {
-				return err
+	var cells [2][2]*hybridpart.SweepOutcome
+	for ai, afpga := range areas {
+		for ci, ncgc := range ncgcs {
+			o := rs.Find(bench, "", afpga, ncgc, constraint)
+			if o == nil {
+				return fmt.Errorf("sweep missing cell A_FPGA=%d cgcs=%d", afpga, ncgc)
 			}
-			cells[ai][ci] = cell{
-				initial: res.InitialCycles, cgc: res.CyclesInCGC,
-				final: res.FinalCycles, moved: res.Moved,
-				met: res.Met, red: res.ReductionPct(),
+			if o.Failed() {
+				return fmt.Errorf("cell A_FPGA=%d cgcs=%d: %s", afpga, ncgc, o.Err)
 			}
+			cells[ai][ci] = o
 		}
 	}
 	fmt.Printf("%-22s | %-21s | %-21s\n", "", "A_FPGA=1500", "A_FPGA=5000")
 	fmt.Printf("%-22s | %-10s %-10s | %-10s %-10s\n", "", "two 2x2", "three 2x2", "two 2x2", "three 2x2")
-	row := func(name string, get func(c cell) string) {
+	row := func(name string, get func(c *hybridpart.SweepOutcome) string) {
 		fmt.Printf("%-22s | %-10s %-10s | %-10s %-10s\n", name,
 			get(cells[0][0]), get(cells[0][1]), get(cells[1][0]), get(cells[1][1]))
 	}
-	row("Initial cycles", func(c cell) string { return fmt.Sprintf("%d", c.initial) })
-	row("Cycles in CGC", func(c cell) string { return fmt.Sprintf("%d", c.cgc) })
-	row("BB no. moved", func(c cell) string {
+	row("Initial cycles", func(c *hybridpart.SweepOutcome) string { return fmt.Sprintf("%d", c.InitialCycles) })
+	row("Cycles in CGC", func(c *hybridpart.SweepOutcome) string { return fmt.Sprintf("%d", c.CyclesInCGC) })
+	row("BB no. moved", func(c *hybridpart.SweepOutcome) string {
 		s := ""
-		for i, b := range c.moved {
+		for i, b := range c.Moved {
 			if i > 0 {
 				s += ","
 			}
@@ -215,9 +215,9 @@ func partitionTable(title, bench string, seed uint32, constraint int64) error {
 		}
 		return s
 	})
-	row("Final cycles", func(c cell) string { return fmt.Sprintf("%d", c.final) })
-	row("% cycles reduction", func(c cell) string { return fmt.Sprintf("%.1f", c.red) })
-	row("Constraint met", func(c cell) string { return fmt.Sprintf("%v", c.met) })
+	row("Final cycles", func(c *hybridpart.SweepOutcome) string { return fmt.Sprintf("%d", c.FinalCycles) })
+	row("% cycles reduction", func(c *hybridpart.SweepOutcome) string { return fmt.Sprintf("%.1f", c.ReductionPct) })
+	row("Constraint met", func(c *hybridpart.SweepOutcome) string { return fmt.Sprintf("%v", c.Met) })
 	fmt.Println()
 	return nil
 }

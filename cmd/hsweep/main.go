@@ -1,0 +1,157 @@
+// Command hsweep runs the design-space-exploration engine: it expands a
+// benchmarks × presets × A_FPGA × CGC-count × constraint grid, partitions
+// every cell on a bounded worker pool against one shared compiled+profiled
+// application per benchmark, and reports the grid plus the speedup-vs-area
+// Pareto front. The paper's Tables 2–3 are the special case
+//
+//	hsweep -bench ofdm -areas 1500,5000 -cgcs 2,3
+//	hsweep -bench jpeg -areas 1500,5000 -cgcs 2,3
+//
+// and larger grids explore beyond them:
+//
+//	hsweep -bench ofdm -areas 1500,5000 -cgcs 1,2,4 -workers 8
+//	hsweep -bench ofdm,jpeg -presets default,dsp-rich,lut-only -format csv
+//
+// Constraints default to the paper's per-benchmark values (OFDM 60000,
+// JPEG 21000000 FPGA cycles). -format json/csv emits machine-readable
+// output (to -o when given); -list-presets prints the platform registry.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"hybridpart"
+)
+
+func main() {
+	bench := flag.String("bench", "", `comma-separated benchmarks ("ofdm", "jpeg")`)
+	areas := flag.String("areas", "", "comma-separated A_FPGA values (empty = preset default)")
+	cgcs := flag.String("cgcs", "", "comma-separated CGC counts (empty = preset default)")
+	constraints := flag.String("constraints", "", "comma-separated timing constraints in FPGA cycles (empty = paper defaults)")
+	presets := flag.String("presets", "", "comma-separated platform presets (see -list-presets)")
+	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS)")
+	seed := flag.Uint("seed", 1, "benchmark input-vector seed")
+	format := flag.String("format", "table", `output format: "table", "json" or "csv"`)
+	out := flag.String("o", "", "write json/csv output to this file instead of stdout")
+	listPresets := flag.Bool("list-presets", false, "list registered platform presets and exit")
+	flag.Parse()
+
+	if *listPresets {
+		for _, name := range hybridpart.PlatformPresets() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "hsweep: need -bench (e.g. -bench ofdm or -bench ofdm,jpeg)")
+		os.Exit(2)
+	}
+
+	spec := hybridpart.SweepSpec{
+		Benchmarks: splitList(*bench),
+		Presets:    splitList(*presets),
+		Seed:       uint32(*seed),
+		Workers:    *workers,
+	}
+	var err error
+	if spec.Areas, err = parseInts(*areas); err != nil {
+		fatal("-areas", err)
+	}
+	if spec.CGCs, err = parseInts(*cgcs); err != nil {
+		fatal("-cgcs", err)
+	}
+	if spec.Constraints, err = parseInt64s(*constraints); err != nil {
+		fatal("-constraints", err)
+	}
+	switch *format {
+	case "table", "json", "csv":
+	default:
+		fatal("-format", fmt.Errorf(`unknown format %q (want "table", "json" or "csv")`, *format))
+	}
+
+	rs, err := hybridpart.Sweep(spec)
+	if err != nil {
+		fatal("sweep", err)
+	}
+
+	var w io.Writer = os.Stdout
+	var f *os.File
+	if *out != "" {
+		if f, err = os.Create(*out); err != nil {
+			fatal("-o", err)
+		}
+		w = f
+	}
+	switch *format {
+	case "table":
+		_, err = fmt.Fprint(w, rs.FormatSummary())
+	case "json":
+		err = rs.WriteJSON(w)
+	case "csv":
+		err = rs.WriteCSV(w)
+	}
+	if err != nil {
+		fatal("emit", err)
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fatal("-o", err)
+		}
+	}
+
+	if failed := rs.Failed(); len(failed) > 0 {
+		for _, o := range failed {
+			fmt.Fprintf(os.Stderr, "hsweep: point %d (%s afpga=%d cgcs=%d): %s\n",
+				o.Index, o.Benchmark, o.AFPGA, o.NumCGCs, o.Err)
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(what string, err error) {
+	fmt.Fprintf(os.Stderr, "hsweep: %s: %v\n", what, err)
+	os.Exit(1)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseInt64s(s string) ([]int64, error) {
+	var out []int64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,48 @@
+// Package hybridpart reproduces the partitioning methodology of Galanis et
+// al., "A Partitioning Methodology for Accelerating Applications in Hybrid
+// Reconfigurable Platforms" (DATE 2004): applications written in a C subset
+// are profiled at the basic-block level, their kernels are ordered by
+// total_weight = exec_freq × bb_weight, and a partitioning engine moves
+// kernels one by one from the fine-grain (FPGA) fabric to the coarse-grain
+// CGC data-path until a timing constraint is met.
+//
+// The package is a facade over the internal substrates:
+//
+//	minic/lower  — C-subset frontend and CDFG construction (SUIF stand-in)
+//	interp       — profiling interpreter (Lex-instrumentation stand-in)
+//	analysis     — kernel extraction and ordering (eq. 1)
+//	finegrain    — Figure-3 temporal partitioning onto the FPGA
+//	coarsegrain  — list scheduling + CGC binding (FPL'04 data-path)
+//	partition    — the partitioning engine (eq. 2)
+//	explore      — design-space-exploration engine (grid sweeps)
+//	platform     — platform characterization and the preset registry
+//	apps         — the OFDM transmitter and JPEG encoder benchmarks
+//
+// # Quickstart
+//
+// Compile a mini-C source, profile one execution, and partition against a
+// timing constraint:
+//
+//	app, _ := hybridpart.Compile(src, "main_fn")
+//	run := app.NewRunner()
+//	run.Run()                                 // dynamic analysis
+//	res, _ := app.Partition(run.Profile(), hybridpart.DefaultOptions())
+//	fmt.Println(res.Format())
+//
+// # Design-space exploration
+//
+// The paper's evaluation (Tables 2–3) is a grid sweep over A_FPGA values
+// and CGC counts. Sweep evaluates such grids on a bounded worker pool,
+// compiling and profiling each benchmark exactly once (profiling is
+// input-deterministic, so the block frequencies are shared by every cell):
+//
+//	rs, _ := hybridpart.Sweep(hybridpart.SweepSpec{
+//		Benchmarks: []string{hybridpart.BenchOFDM},
+//		Areas:      []int{1500, 5000},
+//		CGCs:       []int{2, 3},
+//	})
+//	rs.WriteCSV(os.Stdout)
+//
+// An App is safe for concurrent use, so custom sweeps can also call
+// Partition from multiple goroutines directly.
+package hybridpart

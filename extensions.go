@@ -1,7 +1,6 @@
 package hybridpart
 
 import (
-	"hybridpart/internal/analysis"
 	"hybridpart/internal/energy"
 	"hybridpart/internal/ir"
 	"hybridpart/internal/pipeline"
@@ -71,7 +70,7 @@ func (r *EnergyResult) ReductionPct() float64 {
 // PartitionEnergy runs the energy-constrained engine: kernels move in
 // analysis order until total energy fits the budget.
 func (a *App) PartitionEnergy(p *RunProfile, opts Options, budget float64) (*EnergyResult, error) {
-	rep := analysis.Analyze(a.flat, p.Freq, opts.weights())
+	rep := a.analyze(p.Freq, opts.weights())
 	res, err := energy.Partition(a.fprog, a.flat, rep, energy.Config{
 		Platform: opts.platform(),
 		Costs:    energy.DefaultCosts(),

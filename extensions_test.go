@@ -1,0 +1,105 @@
+package hybridpart
+
+import (
+	"strings"
+	"testing"
+)
+
+func partitionFIROneMove(t *testing.T) *Result {
+	t.Helper()
+	app, prof := compileFIR(t)
+	opts := DefaultOptions()
+	opts.Constraint = 1
+	opts.MaxMoves = 1
+	res, err := app.Partition(prof, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEnergyBreakdownTotal(t *testing.T) {
+	b := EnergyBreakdown{Fine: 1.5, Coarse: 2.25, Reconfig: 0.5, Comm: 0.75}
+	if got := b.Total(); got != 5 {
+		t.Fatalf("Total() = %v, want 5", got)
+	}
+	if (EnergyBreakdown{}).Total() != 0 {
+		t.Fatal("zero breakdown has nonzero total")
+	}
+}
+
+func TestEnergyReductionPctEdgeCases(t *testing.T) {
+	r := &EnergyResult{InitialEnergy: 0, FinalEnergy: 0}
+	if r.ReductionPct() != 0 {
+		t.Fatal("zero initial energy must report 0% reduction, not NaN")
+	}
+	r = &EnergyResult{InitialEnergy: 200, FinalEnergy: 50}
+	if got := r.ReductionPct(); got != 75 {
+		t.Fatalf("ReductionPct() = %v, want 75", got)
+	}
+}
+
+func TestPartitionEnergyInfeasibleBudget(t *testing.T) {
+	app, prof := compileFIR(t)
+	opts := DefaultOptions()
+	// A budget no partitioning can reach: the engine reports best effort
+	// with Met == false instead of erroring.
+	res, err := app.PartitionEnergy(prof, opts, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Met {
+		t.Fatalf("absurd budget reported met: %+v", res)
+	}
+	if res.FinalEnergy > res.InitialEnergy {
+		t.Fatalf("energy increased: %v -> %v", res.InitialEnergy, res.FinalEnergy)
+	}
+}
+
+func TestPipelineModelProperties(t *testing.T) {
+	pm := partitionFIROneMove(t).Pipeline()
+
+	if pm.Sequential(0) != 0 || pm.Pipelined(0) != 0 {
+		t.Fatal("zero frames must cost zero cycles")
+	}
+	// Sequential grows linearly; pipelined never exceeds it.
+	prevSeq, prevPipe := int64(0), int64(0)
+	for _, n := range []int{1, 2, 5, 10, 100} {
+		seq, pipe := pm.Sequential(n), pm.Pipelined(n)
+		if seq < prevSeq || pipe < prevPipe {
+			t.Fatalf("frame sweep not monotone at n=%d", n)
+		}
+		if pipe > seq {
+			t.Fatalf("pipelined (%d) slower than sequential (%d) at n=%d", pipe, seq, n)
+		}
+		prevSeq, prevPipe = seq, pipe
+	}
+	// Two-stage overlap bounds the speedup by 2x.
+	if s := pm.Speedup(1000); s < 1 || s > 2 {
+		t.Fatalf("speedup %v outside [1,2]", s)
+	}
+}
+
+func TestPipelineUtilization(t *testing.T) {
+	pm := partitionFIROneMove(t).Pipeline()
+	fine, coarse := pm.Utilization()
+	for _, u := range []float64{fine, coarse} {
+		if u < 0 || u > 1 {
+			t.Fatalf("utilization outside [0,1]: fine=%v coarse=%v", fine, coarse)
+		}
+	}
+	// One of the fabrics is the bottleneck stage and stays saturated.
+	if fine != 1 && coarse != 1 {
+		t.Fatalf("no saturated stage: fine=%v coarse=%v", fine, coarse)
+	}
+}
+
+func TestPipelineReport(t *testing.T) {
+	pm := partitionFIROneMove(t).Pipeline()
+	rep := pm.Report([]int{1, 10, 100})
+	for _, want := range []string{"speedup", "1", "10", "100"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module hybridpart
+
+go 1.24

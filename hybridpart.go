@@ -1,34 +1,10 @@
-// Package hybridpart reproduces the partitioning methodology of Galanis et
-// al., "A Partitioning Methodology for Accelerating Applications in Hybrid
-// Reconfigurable Platforms" (DATE 2004): applications written in a C subset
-// are profiled at the basic-block level, their kernels are ordered by
-// total_weight = exec_freq × bb_weight, and a partitioning engine moves
-// kernels one by one from the fine-grain (FPGA) fabric to the coarse-grain
-// CGC data-path until a timing constraint is met.
-//
-// The package is a facade over the internal substrates:
-//
-//	minic/lower  — C-subset frontend and CDFG construction (SUIF stand-in)
-//	interp       — profiling interpreter (Lex-instrumentation stand-in)
-//	analysis     — kernel extraction and ordering (eq. 1)
-//	finegrain    — Figure-3 temporal partitioning onto the FPGA
-//	coarsegrain  — list scheduling + CGC binding (FPL'04 data-path)
-//	partition    — the partitioning engine (eq. 2)
-//	apps         — the OFDM transmitter and JPEG encoder benchmarks
-//
-// Quickstart:
-//
-//	app, _ := hybridpart.Compile(src, "main_fn")
-//	run := app.NewRunner()
-//	run.Run()                                 // dynamic analysis
-//	res, _ := app.Partition(run.BlockFrequencies(), hybridpart.DefaultOptions())
-//	fmt.Println(res.Format())
 package hybridpart
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"hybridpart/internal/analysis"
 	"hybridpart/internal/finegrain"
@@ -40,12 +16,27 @@ import (
 )
 
 // App is a compiled application: the lowered program plus the flattened
-// (fully inlined) entry function the methodology operates on.
+// (fully inlined) entry function the methodology operates on. An App is
+// safe for concurrent Analyze/Partition/PartitionEnergy use — the sweep
+// engine shares one App across its whole worker pool.
 type App struct {
 	entry string
 	prog  *ir.Program // original program (used for execution)
 	flat  *ir.Function
 	fprog *ir.Program // single-function program holding flat + globals
+
+	// analysisMu serializes the analysis step: dominator and loop detection
+	// recompute flat's CFG edge lists in place, the one mutation of shared
+	// state on the partitioning path.
+	analysisMu sync.Mutex
+}
+
+// analyze runs the analysis substrate under the App's mutex; everything
+// else Partition does only reads the shared IR and may run concurrently.
+func (a *App) analyze(freq []uint64, w analysis.Weights) *analysis.Report {
+	a.analysisMu.Lock()
+	defer a.analysisMu.Unlock()
+	return analysis.Analyze(a.flat, freq, w)
 }
 
 // Compile parses, checks and lowers mini-C source text, then flattens the
@@ -226,7 +217,22 @@ type Options struct {
 	WeightMul int64
 	WeightDiv int64
 	WeightMem int64
+
+	// Costs is the fine-grain operator cost table (area and latency per
+	// operation class). The zero value selects the default characterization,
+	// so Options built literally keep their previous meaning; presets such
+	// as "dsp-rich" install their own tables here.
+	Costs OpCosts
 }
+
+// OpCosts characterizes the fine-grain fabric per operation class: area in
+// A_FPGA units and latency in FPGA cycles for ALU, multiply, divide and
+// memory operations.
+type OpCosts = platform.OpCosts
+
+// DefaultOpCosts returns the cost table used throughout the paper's
+// experiments (multipliers 4× the ALU area, two cycles).
+func DefaultOpCosts() OpCosts { return platform.DefaultOpCosts() }
 
 // DefaultOptions returns the paper's baseline configuration: A_FPGA = 1500,
 // two 2×2 CGCs, T_FPGA = 3·T_CGC, eq. 1 kernel ordering.
@@ -250,15 +256,20 @@ func DefaultOptions() Options {
 		WeightMul:         w.Mul,
 		WeightDiv:         w.Div,
 		WeightMem:         w.Mem,
+		Costs:             platform.DefaultOpCosts(),
 	}
 }
 
 func (o Options) platform() platform.Platform {
+	costs := o.Costs
+	if costs == (OpCosts{}) {
+		costs = platform.DefaultOpCosts()
+	}
 	p := platform.Platform{
 		Fine: platform.FineGrain{
 			Area:           o.AFPGA,
 			ReconfigCycles: o.ReconfigCycles,
-			Costs:          platform.DefaultOpCosts(),
+			Costs:          costs,
 		},
 		Coarse: platform.CoarseGrain{
 			NumCGCs:      o.NumCGCs,
@@ -297,7 +308,7 @@ type Analysis struct {
 // Analyze runs the static+dynamic analysis (step 3) against the given
 // block frequencies.
 func (a *App) Analyze(freq []uint64, opts Options) *Analysis {
-	rep := analysis.Analyze(a.flat, freq, opts.weights())
+	rep := a.analyze(freq, opts.weights())
 	out := &Analysis{rep: rep}
 	for _, id := range rep.Kernels {
 		b := rep.Block(id)

@@ -1,0 +1,165 @@
+package explore
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ResultSet is a completed sweep: the spec that produced it and one Outcome
+// per expanded point, in expansion order.
+type ResultSet struct {
+	Spec     Spec      `json:"spec"`
+	Outcomes []Outcome `json:"outcomes"`
+}
+
+// Failed returns the outcomes whose evaluation errored.
+func (rs *ResultSet) Failed() []Outcome {
+	var out []Outcome
+	for _, o := range rs.Outcomes {
+		if o.Failed() {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Find returns the outcome of the cell with the given coordinates (the
+// point's raw, pre-defaulting axis values), or nil if the sweep has no such
+// cell.
+func (rs *ResultSet) Find(bench, preset string, afpga, ncgc int, constraint int64) *Outcome {
+	for i := range rs.Outcomes {
+		o := &rs.Outcomes[i]
+		if o.Benchmark == bench && o.Preset == preset &&
+			o.AFPGA == afpga && o.NumCGCs == ncgc && o.Constraint == constraint {
+			return o
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the result set as indented JSON.
+func (rs *ResultSet) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs)
+}
+
+// csvHeader is the fixed column layout of WriteCSV.
+var csvHeader = []string{
+	"index", "benchmark", "preset", "afpga", "cgcs", "constraint",
+	"initial_cycles", "initial_partitions", "cycles_in_cgc",
+	"final_cycles", "t_fpga", "t_coarse", "t_comm",
+	"met", "moved", "reduction_pct", "speedup", "err",
+}
+
+// WriteCSV emits one row per outcome with a fixed header; the moved-block
+// list is "|"-joined to stay a single CSV field.
+func (rs *ResultSet) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, o := range rs.Outcomes {
+		moved := make([]string, len(o.Moved))
+		for i, b := range o.Moved {
+			moved[i] = strconv.Itoa(b)
+		}
+		rec := []string{
+			strconv.Itoa(o.Index), o.Benchmark, o.Preset,
+			strconv.Itoa(o.AreaUsed()), strconv.Itoa(o.CGCsUsed()),
+			strconv.FormatInt(o.EffectiveConstraint, 10),
+			strconv.FormatInt(o.InitialCycles, 10),
+			strconv.Itoa(o.InitialPartitions),
+			strconv.FormatInt(o.CyclesInCGC, 10),
+			strconv.FormatInt(o.FinalCycles, 10),
+			strconv.FormatInt(o.TFPGA, 10),
+			strconv.FormatInt(o.TCoarse, 10),
+			strconv.FormatInt(o.TComm, 10),
+			strconv.FormatBool(o.Met),
+			strings.Join(moved, "|"),
+			strconv.FormatFloat(o.ReductionPct, 'f', 1, 64),
+			strconv.FormatFloat(o.Speedup, 'f', 3, 64),
+			o.Err,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Pareto returns the non-dominated front of the speedup-vs-area trade-off,
+// per benchmark: an outcome is on the front if no other successful outcome
+// of the same benchmark has both a smaller-or-equal effective A_FPGA and a
+// strictly-better speedup (or equal speedup on strictly less area). The
+// front is sorted by benchmark, then ascending area.
+func (rs *ResultSet) Pareto() []Outcome {
+	var front []Outcome
+	for i, o := range rs.Outcomes {
+		if o.Failed() {
+			continue
+		}
+		dominated := false
+		for j, p := range rs.Outcomes {
+			if i == j || p.Failed() || p.Benchmark != o.Benchmark {
+				continue
+			}
+			if p.AreaUsed() <= o.AreaUsed() && p.Speedup >= o.Speedup &&
+				(p.AreaUsed() < o.AreaUsed() || p.Speedup > o.Speedup) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, o)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].Benchmark != front[j].Benchmark {
+			return front[i].Benchmark < front[j].Benchmark
+		}
+		if front[i].AreaUsed() != front[j].AreaUsed() {
+			return front[i].AreaUsed() < front[j].AreaUsed()
+		}
+		return front[i].Index < front[j].Index
+	})
+	return front
+}
+
+// FormatSummary renders the full grid as an aligned text table followed by
+// the Pareto front of the speedup-vs-area trade-off.
+func (rs *ResultSet) FormatSummary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %-10s %-12s %-7s %-5s %-12s %-14s %-14s %-8s %-8s %-6s\n",
+		"index", "bench", "preset", "afpga", "cgcs", "constraint",
+		"initial", "final", "red%", "speedup", "met")
+	for _, o := range rs.Outcomes {
+		preset := o.Preset
+		if preset == "" {
+			preset = "default"
+		}
+		if o.Failed() {
+			fmt.Fprintf(&sb, "%-6d %-10s %-12s %-7d %-5d error: %s\n",
+				o.Index, o.Benchmark, preset, o.AFPGA, o.NumCGCs, o.Err)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-6d %-10s %-12s %-7d %-5d %-12d %-14d %-14d %-8.1f %-8.3f %-6v\n",
+			o.Index, o.Benchmark, preset, o.AreaUsed(), o.CGCsUsed(), o.EffectiveConstraint,
+			o.InitialCycles, o.FinalCycles, o.ReductionPct, o.Speedup, o.Met)
+	}
+	front := rs.Pareto()
+	if len(front) > 0 {
+		sb.WriteString("\nPareto front (speedup vs. A_FPGA):\n")
+		for _, o := range front {
+			fmt.Fprintf(&sb, "  %-10s A_FPGA=%-7d cgcs=%-3d speedup=%.3f (final %d cycles)\n",
+				o.Benchmark, o.AreaUsed(), o.CGCsUsed(), o.Speedup, o.FinalCycles)
+		}
+	}
+	return sb.String()
+}

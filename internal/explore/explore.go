@@ -1,0 +1,260 @@
+// Package explore is the design-space-exploration engine behind the paper's
+// evaluation grids (Tables 2–3): a declarative Spec names the sweep axes —
+// benchmarks × platform presets × A_FPGA values × CGC counts × timing
+// constraints — Expand crosses them into configuration Points in a fixed
+// deterministic order, and Run evaluates every point on a bounded worker
+// pool. The engine is deliberately ignorant of the methodology itself: the
+// caller supplies an Evaluator (the hybridpart facade injects one that
+// shares a single compiled+profiled App per benchmark, so the sweep never
+// recompiles or re-profiles per cell), which keeps this package free of
+// import cycles and trivially testable with fake evaluators.
+//
+// Results land in a ResultSet indexed by expansion order, so the output is
+// identical regardless of the worker count. ResultSet knows how to emit
+// itself as JSON or CSV and how to summarize the speedup-vs-area
+// Pareto front.
+package explore
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Point is one configuration cell of the sweep grid: a benchmark evaluated
+// on one platform variant. Zero-valued axes (AFPGA == 0, NumCGCs == 0,
+// Constraint == 0) mean "use the preset's / benchmark's default" and are
+// resolved by the evaluator, not the engine.
+type Point struct {
+	// Index is the cell's position in expansion order; Run stores its
+	// outcome at the same index of ResultSet.Outcomes.
+	Index int `json:"index"`
+	// Benchmark names the application under evaluation.
+	Benchmark string `json:"benchmark"`
+	// Preset names a registered platform variant ("" = default platform).
+	Preset string `json:"preset,omitempty"`
+	// AFPGA overrides the usable fine-grain area (0 = preset value).
+	AFPGA int `json:"afpga"`
+	// NumCGCs overrides the coarse-grain CGC count (0 = preset value).
+	NumCGCs int `json:"cgcs"`
+	// Constraint overrides the timing constraint in FPGA cycles
+	// (0 = the benchmark's paper constraint).
+	Constraint int64 `json:"constraint"`
+}
+
+// Spec declares a sweep grid. Every slice is one axis of the cross product;
+// an empty axis contributes a single zero-valued entry, which evaluators
+// interpret as "default". The expansion order is fixed — benchmarks
+// outermost, then presets, areas, CGC counts and constraints — so a Spec
+// always yields the same Point sequence.
+type Spec struct {
+	// Benchmarks lists the applications to sweep (required).
+	Benchmarks []string `json:"benchmarks"`
+	// Presets lists platform-variant names (optional).
+	Presets []string `json:"presets,omitempty"`
+	// Areas lists A_FPGA values (optional; the paper uses 1500 and 5000).
+	Areas []int `json:"areas,omitempty"`
+	// CGCs lists coarse-grain CGC counts (optional; the paper uses 2 and 3).
+	CGCs []int `json:"cgcs,omitempty"`
+	// Constraints lists timing constraints in FPGA cycles (optional).
+	Constraints []int64 `json:"constraints,omitempty"`
+	// Seed is the benchmark input-vector seed shared by every point.
+	Seed uint32 `json:"seed"`
+	// Workers bounds the evaluation pool (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+}
+
+// Validate reports whether the spec describes a runnable sweep.
+func (s Spec) Validate() error {
+	if len(s.Benchmarks) == 0 {
+		return fmt.Errorf("explore: spec needs at least one benchmark")
+	}
+	for _, b := range s.Benchmarks {
+		if b == "" {
+			return fmt.Errorf("explore: empty benchmark name")
+		}
+	}
+	for _, a := range s.Areas {
+		if a <= 0 {
+			return fmt.Errorf("explore: A_FPGA must be positive, got %d", a)
+		}
+	}
+	for _, c := range s.CGCs {
+		if c <= 0 {
+			return fmt.Errorf("explore: CGC count must be positive, got %d", c)
+		}
+	}
+	for _, c := range s.Constraints {
+		if c <= 0 {
+			return fmt.Errorf("explore: timing constraint must be positive, got %d", c)
+		}
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("explore: negative worker count %d", s.Workers)
+	}
+	return nil
+}
+
+// NumPoints returns the size of the expanded grid.
+func (s Spec) NumPoints() int {
+	n := len(s.Benchmarks)
+	for _, axis := range []int{len(s.Presets), len(s.Areas), len(s.CGCs), len(s.Constraints)} {
+		if axis > 0 {
+			n *= axis
+		}
+	}
+	return n
+}
+
+// Expand crosses the axes into the deterministic Point sequence.
+func (s Spec) Expand() []Point {
+	presets := s.Presets
+	if len(presets) == 0 {
+		presets = []string{""}
+	}
+	areas := s.Areas
+	if len(areas) == 0 {
+		areas = []int{0}
+	}
+	cgcs := s.CGCs
+	if len(cgcs) == 0 {
+		cgcs = []int{0}
+	}
+	constraints := s.Constraints
+	if len(constraints) == 0 {
+		constraints = []int64{0}
+	}
+	points := make([]Point, 0, s.NumPoints())
+	for _, bench := range s.Benchmarks {
+		for _, preset := range presets {
+			for _, area := range areas {
+				for _, ncgc := range cgcs {
+					for _, c := range constraints {
+						points = append(points, Point{
+							Index:      len(points),
+							Benchmark:  bench,
+							Preset:     preset,
+							AFPGA:      area,
+							NumCGCs:    ncgc,
+							Constraint: c,
+						})
+					}
+				}
+			}
+		}
+	}
+	return points
+}
+
+// Outcome is the evaluated result of one Point: the rows of the paper's
+// Tables 2–3 plus the derived speedup. A failed evaluation records the
+// error text in Err and leaves the metrics zero.
+type Outcome struct {
+	Point
+
+	// InitialCycles is the all-FPGA execution time; InitialPartitions the
+	// number of configuration bit-streams of that mapping.
+	InitialCycles     int64 `json:"initial_cycles"`
+	InitialPartitions int   `json:"initial_partitions"`
+	// CyclesInCGC is the time spent on the coarse-grain data-path, in
+	// FPGA-cycle units.
+	CyclesInCGC int64 `json:"cycles_in_cgc"`
+	// FinalCycles is t_total after partitioning; TFPGA, TCoarse and TComm
+	// are its eq. 2 components.
+	FinalCycles int64 `json:"final_cycles"`
+	TFPGA       int64 `json:"t_fpga"`
+	TCoarse     int64 `json:"t_coarse"`
+	TComm       int64 `json:"t_comm"`
+	// EffectiveAFPGA, EffectiveCGCs and EffectiveConstraint are the values
+	// actually applied after defaulting (a zero Point axis resolves to the
+	// preset's / benchmark's value).
+	EffectiveAFPGA      int   `json:"effective_afpga"`
+	EffectiveCGCs       int   `json:"effective_cgcs"`
+	EffectiveConstraint int64 `json:"effective_constraint"`
+	// Met reports whether the constraint was satisfied.
+	Met bool `json:"met"`
+	// Moved lists the basic blocks accelerated on the CGC data-path, in
+	// move order.
+	Moved []int `json:"moved,omitempty"`
+	// ReductionPct is the % cycle reduction over the all-FPGA mapping;
+	// Speedup is InitialCycles/FinalCycles.
+	ReductionPct float64 `json:"reduction_pct"`
+	Speedup      float64 `json:"speedup"`
+	// Err carries the evaluation error, if any.
+	Err string `json:"err,omitempty"`
+}
+
+// Failed reports whether the point's evaluation errored.
+func (o Outcome) Failed() bool { return o.Err != "" }
+
+// AreaUsed returns the effective A_FPGA of the evaluation, falling back to
+// the raw axis value for evaluators that do not report it.
+func (o Outcome) AreaUsed() int {
+	if o.EffectiveAFPGA > 0 {
+		return o.EffectiveAFPGA
+	}
+	return o.AFPGA
+}
+
+// CGCsUsed returns the effective CGC count of the evaluation, falling back
+// to the raw axis value for evaluators that do not report it.
+func (o Outcome) CGCsUsed() int {
+	if o.EffectiveCGCs > 0 {
+		return o.EffectiveCGCs
+	}
+	return o.NumCGCs
+}
+
+// Evaluator maps one configuration point to its outcome. Run calls it from
+// multiple goroutines, so implementations must be safe for concurrent use.
+type Evaluator func(Point) (Outcome, error)
+
+// Run expands the spec and evaluates every point on a pool of
+// min(spec.Workers, #points) goroutines (GOMAXPROCS workers when
+// spec.Workers is 0). Evaluation errors do not abort the sweep: they are
+// recorded per point in Outcome.Err so one infeasible cell cannot discard
+// the rest of the grid. Outcomes are stored in expansion order, making the
+// ResultSet bit-identical for any worker count.
+func Run(spec Spec, eval Evaluator) (*ResultSet, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if eval == nil {
+		return nil, fmt.Errorf("explore: nil evaluator")
+	}
+	points := spec.Expand()
+	outcomes := make([]Outcome, len(points))
+
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				o, err := eval(points[i])
+				if err != nil {
+					o = Outcome{Point: points[i], Err: err.Error()}
+				} else {
+					o.Point = points[i]
+				}
+				outcomes[i] = o
+			}
+		}()
+	}
+	for i := range points {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	return &ResultSet{Spec: spec, Outcomes: outcomes}, nil
+}

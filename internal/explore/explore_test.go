@@ -1,0 +1,352 @@
+package explore
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSpecValidate(t *testing.T) {
+	good := Spec{Benchmarks: []string{"ofdm"}, Areas: []int{1500}, CGCs: []int{2}, Constraints: []int64{60000}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	for name, bad := range map[string]Spec{
+		"no benchmarks":   {},
+		"empty benchmark": {Benchmarks: []string{""}},
+		"zero area":       {Benchmarks: []string{"a"}, Areas: []int{0}},
+		"negative cgc":    {Benchmarks: []string{"a"}, CGCs: []int{-1}},
+		"zero constraint": {Benchmarks: []string{"a"}, Constraints: []int64{0}},
+		"bad workers":     {Benchmarks: []string{"a"}, Workers: -2},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSpecExpand(t *testing.T) {
+	s := Spec{
+		Benchmarks:  []string{"ofdm", "jpeg"},
+		Presets:     []string{"", "dsp-rich"},
+		Areas:       []int{1500, 5000},
+		CGCs:        []int{2, 3},
+		Constraints: []int64{60000},
+	}
+	points := s.Expand()
+	if want := 2 * 2 * 2 * 2 * 1; len(points) != want || s.NumPoints() != want {
+		t.Fatalf("expanded %d points (NumPoints %d), want %d", len(points), s.NumPoints(), want)
+	}
+	// Deterministic order: benchmarks outermost, constraints innermost.
+	want0 := Point{Index: 0, Benchmark: "ofdm", Preset: "", AFPGA: 1500, NumCGCs: 2, Constraint: 60000}
+	if points[0] != want0 {
+		t.Fatalf("first point %+v, want %+v", points[0], want0)
+	}
+	if points[1].NumCGCs != 3 || points[2].AFPGA != 5000 {
+		t.Fatalf("axis order broken: %+v %+v", points[1], points[2])
+	}
+	if points[4].Benchmark != "ofdm" || points[4].Preset != "dsp-rich" {
+		t.Fatalf("preset axis broken: %+v", points[4])
+	}
+	if points[8].Benchmark != "jpeg" || points[8].Preset != "" {
+		t.Fatalf("benchmark axis broken: %+v", points[8])
+	}
+	for i, p := range points {
+		if p.Index != i {
+			t.Fatalf("point %d has Index %d", i, p.Index)
+		}
+	}
+}
+
+func TestSpecExpandDefaults(t *testing.T) {
+	points := Spec{Benchmarks: []string{"ofdm"}}.Expand()
+	if len(points) != 1 {
+		t.Fatalf("empty axes expanded to %d points, want 1", len(points))
+	}
+	p := points[0]
+	if p.AFPGA != 0 || p.NumCGCs != 0 || p.Constraint != 0 || p.Preset != "" {
+		t.Fatalf("default point not zero-valued: %+v", p)
+	}
+}
+
+// fakeEval is a deterministic pure function of the point, suitable for
+// checking that results are independent of scheduling.
+func fakeEval(p Point) (Outcome, error) {
+	if p.Benchmark == "boom" {
+		return Outcome{}, fmt.Errorf("synthetic failure at %d", p.Index)
+	}
+	initial := int64(1000 * (p.AFPGA + 10*p.NumCGCs))
+	final := initial / int64(p.NumCGCs+1)
+	return Outcome{
+		InitialCycles:       initial,
+		FinalCycles:         final,
+		EffectiveConstraint: p.Constraint,
+		Met:                 true,
+		Moved:               []int{p.AFPGA % 7, p.NumCGCs},
+		Speedup:             float64(initial) / float64(final),
+	}, nil
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := Spec{
+		Benchmarks:  []string{"a", "b", "c"},
+		Areas:       []int{1000, 1500, 5000},
+		CGCs:        []int{1, 2, 3, 4},
+		Constraints: []int64{60000},
+	}
+	var ref []Outcome
+	for _, workers := range []int{1, 2, 7, 64} {
+		s := base
+		s.Workers = workers
+		var calls atomic.Int64
+		rs, err := Run(s, func(p Point) (Outcome, error) {
+			calls.Add(1)
+			return fakeEval(p)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(calls.Load()) != s.NumPoints() {
+			t.Fatalf("workers=%d: %d evaluations for %d points", workers, calls.Load(), s.NumPoints())
+		}
+		if ref == nil {
+			ref = rs.Outcomes
+			continue
+		}
+		if !reflect.DeepEqual(ref, rs.Outcomes) {
+			t.Fatalf("workers=%d: outcomes differ from workers=1", workers)
+		}
+	}
+}
+
+func TestRunSharesEvaluatorSafely(t *testing.T) {
+	// The evaluator contract is concurrency-safety; exercise a shared
+	// mutable resource behind a mutex the way the facade's profile cache is.
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	s := Spec{Benchmarks: []string{"a"}, Areas: []int{1, 2, 3, 4, 5, 6, 7, 8}, Workers: 4}
+	_, err := Run(s, func(p Point) (Outcome, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if seen[p.Index] {
+			return Outcome{}, fmt.Errorf("point %d evaluated twice", p.Index)
+		}
+		seen[p.Index] = true
+		return Outcome{InitialCycles: 1, FinalCycles: 1}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 8 {
+		t.Fatalf("evaluated %d points, want 8", len(seen))
+	}
+}
+
+func TestRunRecordsPerPointErrors(t *testing.T) {
+	s := Spec{Benchmarks: []string{"ok", "boom"}, Areas: []int{1500}, CGCs: []int{2}, Workers: 2}
+	rs, err := Run(s, func(p Point) (Outcome, error) {
+		if p.Benchmark == "ok" {
+			return Outcome{InitialCycles: 10, FinalCycles: 5}, nil
+		}
+		return fakeEval(p)
+	})
+	if err != nil {
+		t.Fatalf("per-point failure aborted the sweep: %v", err)
+	}
+	failed := rs.Failed()
+	if len(failed) != 1 || failed[0].Benchmark != "boom" || !strings.Contains(failed[0].Err, "synthetic failure") {
+		t.Fatalf("failure not recorded: %+v", failed)
+	}
+	if ok := rs.Find("ok", "", 1500, 2, 0); ok == nil || ok.Failed() || ok.InitialCycles != 10 {
+		t.Fatalf("successful cell corrupted: %+v", ok)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if _, err := Run(Spec{}, fakeEval); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if _, err := Run(Spec{Benchmarks: []string{"a"}}, nil); err == nil {
+		t.Fatal("nil evaluator accepted")
+	}
+}
+
+// goldenSpec is the fixture shared by the emitter golden tests.
+func goldenSpec() Spec {
+	return Spec{
+		Benchmarks:  []string{"ofdm"},
+		Areas:       []int{1500, 5000},
+		CGCs:        []int{2},
+		Constraints: []int64{60000},
+		Seed:        1,
+		Workers:     1,
+	}
+}
+
+func goldenResultSet(t *testing.T) *ResultSet {
+	t.Helper()
+	rs, err := Run(goldenSpec(), func(p Point) (Outcome, error) {
+		return Outcome{
+			InitialCycles:       int64(100 * p.AFPGA),
+			InitialPartitions:   4,
+			CyclesInCGC:         320,
+			FinalCycles:         int64(10 * p.AFPGA),
+			TFPGA:               int64(9 * p.AFPGA),
+			TCoarse:             320,
+			TComm:               int64(p.AFPGA) - 320,
+			EffectiveAFPGA:      p.AFPGA,
+			EffectiveCGCs:       p.NumCGCs,
+			EffectiveConstraint: p.Constraint,
+			Met:                 true,
+			Moved:               []int{26, 29},
+			ReductionPct:        90,
+			Speedup:             10,
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+const goldenCSV = `index,benchmark,preset,afpga,cgcs,constraint,initial_cycles,initial_partitions,cycles_in_cgc,final_cycles,t_fpga,t_coarse,t_comm,met,moved,reduction_pct,speedup,err
+0,ofdm,,1500,2,60000,150000,4,320,15000,13500,320,1180,true,26|29,90.0,10.000,
+1,ofdm,,5000,2,60000,500000,4,320,50000,45000,320,4680,true,26|29,90.0,10.000,
+`
+
+func TestWriteCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenResultSet(t).WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != goldenCSV {
+		t.Fatalf("CSV drifted from golden:\n got:\n%s\nwant:\n%s", buf.String(), goldenCSV)
+	}
+}
+
+const goldenJSON = `{
+  "spec": {
+    "benchmarks": [
+      "ofdm"
+    ],
+    "areas": [
+      1500,
+      5000
+    ],
+    "cgcs": [
+      2
+    ],
+    "constraints": [
+      60000
+    ],
+    "seed": 1,
+    "workers": 1
+  },
+  "outcomes": [
+    {
+      "index": 0,
+      "benchmark": "ofdm",
+      "afpga": 1500,
+      "cgcs": 2,
+      "constraint": 60000,
+      "initial_cycles": 150000,
+      "initial_partitions": 4,
+      "cycles_in_cgc": 320,
+      "final_cycles": 15000,
+      "t_fpga": 13500,
+      "t_coarse": 320,
+      "t_comm": 1180,
+      "effective_afpga": 1500,
+      "effective_cgcs": 2,
+      "effective_constraint": 60000,
+      "met": true,
+      "moved": [
+        26,
+        29
+      ],
+      "reduction_pct": 90,
+      "speedup": 10
+    },
+    {
+      "index": 1,
+      "benchmark": "ofdm",
+      "afpga": 5000,
+      "cgcs": 2,
+      "constraint": 60000,
+      "initial_cycles": 500000,
+      "initial_partitions": 4,
+      "cycles_in_cgc": 320,
+      "final_cycles": 50000,
+      "t_fpga": 45000,
+      "t_coarse": 320,
+      "t_comm": 4680,
+      "effective_afpga": 5000,
+      "effective_cgcs": 2,
+      "effective_constraint": 60000,
+      "met": true,
+      "moved": [
+        26,
+        29
+      ],
+      "reduction_pct": 90,
+      "speedup": 10
+    }
+  ]
+}
+`
+
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenResultSet(t).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != goldenJSON {
+		t.Fatalf("JSON drifted from golden:\n got:\n%s\nwant:\n%s", buf.String(), goldenJSON)
+	}
+}
+
+func TestPareto(t *testing.T) {
+	rs := &ResultSet{Outcomes: []Outcome{
+		{Point: Point{Index: 0, Benchmark: "a", AFPGA: 1500}, Speedup: 3.0},
+		{Point: Point{Index: 1, Benchmark: "a", AFPGA: 5000}, Speedup: 2.5}, // dominated by 0
+		{Point: Point{Index: 2, Benchmark: "a", AFPGA: 5000}, Speedup: 4.0}, // more area, more speedup
+		{Point: Point{Index: 3, Benchmark: "a", AFPGA: 800}, Err: "infeasible"},
+		{Point: Point{Index: 4, Benchmark: "b", AFPGA: 9000}, Speedup: 1.1}, // other benchmark: own front
+	}}
+	front := rs.Pareto()
+	var got []int
+	for _, o := range front {
+		got = append(got, o.Index)
+	}
+	if want := []int{0, 2, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("front %v, want %v", got, want)
+	}
+}
+
+func TestParetoUsesEffectiveArea(t *testing.T) {
+	// Preset-defaulted cells carry AFPGA == 0 in the raw point; dominance
+	// must compare the effective areas the evaluator reports, so the
+	// small-area preset stays on the front even at lower speedup.
+	rs := &ResultSet{Outcomes: []Outcome{
+		{Point: Point{Index: 0, Benchmark: "a", Preset: "small"}, EffectiveAFPGA: 1500, Speedup: 3.0},
+		{Point: Point{Index: 1, Benchmark: "a", Preset: "large"}, EffectiveAFPGA: 5000, Speedup: 3.5},
+	}}
+	front := rs.Pareto()
+	if len(front) != 2 || front[0].Index != 0 || front[1].Index != 1 {
+		t.Fatalf("effective-area front wrong: %+v", front)
+	}
+}
+
+func TestFormatSummary(t *testing.T) {
+	rs := goldenResultSet(t)
+	s := rs.FormatSummary()
+	for _, want := range []string{"Pareto front", "ofdm", "150000", "speedup"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Config is a named platform variant: a complete characterization plus the
+// registry metadata the exploration engine and CLIs surface to users.
+type Config struct {
+	// Name is the registry key (stable, flag-friendly).
+	Name string
+	// Summary is a one-line description for listings.
+	Summary string
+	// Platform is the full characterization of the variant.
+	Platform Platform
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Config{}
+)
+
+// Register adds a named variant to the registry. The name must be non-empty
+// and unused, and the platform must validate.
+func Register(c Config) error {
+	if c.Name == "" {
+		return fmt.Errorf("platform: config needs a name")
+	}
+	if err := c.Platform.Validate(); err != nil {
+		return fmt.Errorf("platform: config %q: %w", c.Name, err)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[c.Name]; dup {
+		return fmt.Errorf("platform: config %q already registered", c.Name)
+	}
+	registry[c.Name] = c
+	return nil
+}
+
+// Lookup returns the named variant and whether it exists.
+func Lookup(name string) (Config, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	c, ok := registry[name]
+	return c, ok
+}
+
+// Names returns the sorted registry keys.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DSPRichOpCosts returns a cost table for fabrics with hard multiplier
+// blocks (DSP slices): multiplies cost the same area as an ALU and finish
+// in one cycle, so multiply-rich kernels stop dominating the area budget.
+func DSPRichOpCosts() OpCosts {
+	return OpCosts{
+		AreaALU: 32, AreaMul: 32, AreaDiv: 256, AreaMem: 32,
+		LatALU: 1, LatMul: 1, LatDiv: 8, LatMem: 1,
+	}
+}
+
+// LUTOnlyOpCosts returns a conservative cost table for plain LUT fabrics
+// without multiplier macros: multipliers are 6× the ALU area and take three
+// cycles, dividers 16× — the regime where temporal partitioning is
+// stressed hardest.
+func LUTOnlyOpCosts() OpCosts {
+	return OpCosts{
+		AreaALU: 32, AreaMul: 192, AreaDiv: 512, AreaMem: 32,
+		LatALU: 1, LatMul: 3, LatDiv: 12, LatMem: 1,
+	}
+}
+
+// withCosts returns p with its fine-grain cost table replaced.
+func withCosts(p Platform, c OpCosts) Platform {
+	p.Fine.Costs = c
+	return p
+}
+
+func init() {
+	for _, c := range []Config{
+		{
+			Name:     "paper-small",
+			Summary:  "paper baseline: A_FPGA=1500, two 2x2 CGCs, default LUT costs",
+			Platform: Paper(1500, 2),
+		},
+		{
+			Name:     "paper-large",
+			Summary:  "paper large FPGA: A_FPGA=5000, two 2x2 CGCs",
+			Platform: Paper(5000, 2),
+		},
+		{
+			Name:     "dsp-rich",
+			Summary:  "hard-multiplier fabric: MUL costs ALU area, single-cycle",
+			Platform: withCosts(Paper(1500, 2), DSPRichOpCosts()),
+		},
+		{
+			Name:     "lut-only",
+			Summary:  "conservative LUT-only fabric: MUL 6x ALU area, 3-cycle",
+			Platform: withCosts(Paper(1500, 2), LUTOnlyOpCosts()),
+		},
+	} {
+		if err := Register(c); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package platform
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBuiltinPresets(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"paper-small", "paper-large", "dsp-rich", "lut-only"} {
+		cfg, ok := Lookup(want)
+		if !ok {
+			t.Fatalf("built-in preset %q missing (have %v)", want, names)
+		}
+		if cfg.Name != want || cfg.Summary == "" {
+			t.Fatalf("preset %q malformed: %+v", want, cfg)
+		}
+		if err := cfg.Platform.Validate(); err != nil {
+			t.Fatalf("preset %q invalid: %v", want, err)
+		}
+	}
+	if !reflect.DeepEqual(names, append([]string(nil), names...)) || !isSorted(names) {
+		t.Fatalf("Names not sorted: %v", names)
+	}
+}
+
+func isSorted(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRegisterRejectsBadConfigs(t *testing.T) {
+	if err := Register(Config{Name: "", Platform: Default()}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := Register(Config{Name: "paper-small", Platform: Default()}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	bad := Default()
+	bad.Fine.Area = -1
+	if err := Register(Config{Name: "bad", Platform: bad}); err == nil {
+		t.Fatal("invalid platform accepted")
+	}
+	if _, ok := Lookup("bad"); ok {
+		t.Fatal("rejected config leaked into registry")
+	}
+}
+
+func TestCostTablePresets(t *testing.T) {
+	def, dsp, lut := DefaultOpCosts(), DSPRichOpCosts(), LUTOnlyOpCosts()
+	if dsp.AreaMul >= def.AreaMul || dsp.LatMul >= def.LatMul {
+		t.Fatalf("dsp-rich multipliers not cheaper than default: %+v vs %+v", dsp, def)
+	}
+	if lut.AreaMul <= def.AreaMul || lut.LatMul <= def.LatMul {
+		t.Fatalf("lut-only multipliers not costlier than default: %+v vs %+v", lut, def)
+	}
+	for _, p := range []Platform{
+		withCosts(Default(), dsp),
+		withCosts(Default(), lut),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("cost preset invalid: %v", err)
+		}
+	}
+}
