@@ -4,6 +4,21 @@ import (
 	"hybridpart/internal/apps"
 )
 
+// Benchmarks returns the names of the built-in benchmarks accepted by
+// BenchmarkWorkload and ProfileBenchmark — the single source of truth CLIs
+// should validate against.
+func Benchmarks() []string { return []string{BenchOFDM, BenchJPEG} }
+
+// IsBenchmark reports whether name is a built-in benchmark.
+func IsBenchmark(name string) bool {
+	for _, b := range Benchmarks() {
+		if name == b {
+			return true
+		}
+	}
+	return false
+}
+
 // Benchmark identifiers for the paper's two evaluation applications.
 const (
 	// BenchOFDM is the IEEE 802.11a OFDM transmitter front-end (QAM +
@@ -53,36 +68,15 @@ func JPEGImage(seed uint32) []int32 { return apps.GenImage(seed) }
 // ProfileBenchmark compiles the named benchmark ("ofdm" or "jpeg"), runs it
 // on its standard input vectors (the paper's: 6 payload symbols, one
 // 256×256 frame) and returns the app plus its dynamic-analysis profile.
+//
+// This is the v1 shape of BenchmarkWorkload; new code should use the
+// workload directly.
 func ProfileBenchmark(name string, seed uint32) (*App, *RunProfile, error) {
-	switch name {
-	case BenchOFDM:
-		app, err := OFDMApp()
-		if err != nil {
-			return nil, nil, err
-		}
-		run := app.NewRunner()
-		if err := run.SetGlobal(OFDMBitsArray, OFDMBits(seed)); err != nil {
-			return nil, nil, err
-		}
-		if _, err := run.Run(); err != nil {
-			return nil, nil, err
-		}
-		return app, run.Profile(), nil
-	case BenchJPEG:
-		app, err := JPEGApp()
-		if err != nil {
-			return nil, nil, err
-		}
-		run := app.NewRunner()
-		if err := run.SetGlobal(JPEGImageArray, JPEGImage(seed)); err != nil {
-			return nil, nil, err
-		}
-		if _, err := run.Run(); err != nil {
-			return nil, nil, err
-		}
-		return app, run.Profile(), nil
+	w, err := BenchmarkWorkload(name, seed)
+	if err != nil {
+		return nil, nil, err
 	}
-	return nil, nil, errUnknownBenchmark(name)
+	return w.App(), w.Profile(), nil
 }
 
 type errUnknownBenchmark string

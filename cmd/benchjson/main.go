@@ -1,0 +1,131 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// machine-readable JSON report on stdout, so CI can track the performance
+// trajectory across commits. It parses every benchmark result line and, when
+// the BenchmarkSweepEngine serial/parallel pair is present, derives the
+// sweep engine's headline numbers: cells evaluated per second on each path
+// and the parallel-over-serial speedup.
+//
+// Usage:
+//
+//	go test -bench Sweep -run '^$' -benchtime 2x . | benchjson -cells 6 > BENCH_sweep.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed `go test -bench` line.
+type benchResult struct {
+	Name string  `json:"name"`
+	Iter int64   `json:"iterations"`
+	NsOp float64 `json:"ns_per_op"`
+}
+
+// sweepReport is the derived sweep-engine summary.
+type sweepReport struct {
+	GridCells           int     `json:"grid_cells"`
+	SerialNsPerOp       float64 `json:"serial_ns_per_op"`
+	ParallelNsPerOp     float64 `json:"parallel_ns_per_op"`
+	SerialCellsPerSec   float64 `json:"serial_cells_per_sec"`
+	ParallelCellsPerSec float64 `json:"parallel_cells_per_sec"`
+	Speedup             float64 `json:"speedup_over_serial"`
+}
+
+type report struct {
+	Benchmarks []benchResult `json:"benchmarks"`
+	Sweep      *sweepReport  `json:"sweep,omitempty"`
+}
+
+func main() {
+	cells := flag.Int("cells", 6, "grid cells per BenchmarkSweepEngine iteration (areas x cgc-counts)")
+	flag.Parse()
+
+	var rep report
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		r, ok := parseBenchLine(sc.Text())
+		if ok {
+			rep.Benchmarks = append(rep.Benchmarks, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	var serial, parallel float64
+	for _, b := range rep.Benchmarks {
+		switch {
+		case strings.Contains(b.Name, "SweepEngine/serial-recompile"):
+			serial = b.NsOp
+		case strings.Contains(b.Name, "SweepEngine/shared-parallel"):
+			parallel = b.NsOp
+		}
+	}
+	if serial > 0 && parallel > 0 {
+		rep.Sweep = &sweepReport{
+			GridCells:           *cells,
+			SerialNsPerOp:       serial,
+			ParallelNsPerOp:     parallel,
+			SerialCellsPerSec:   float64(*cells) * 1e9 / serial,
+			ParallelCellsPerSec: float64(*cells) * 1e9 / parallel,
+			Speedup:             serial / parallel,
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses lines of the shape
+//
+//	BenchmarkName-8   	      12	  98765432 ns/op	  extra metrics...
+//
+// returning ok=false for everything else (headers, PASS/ok lines, metrics).
+func parseBenchLine(line string) (benchResult, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return benchResult{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return benchResult{}, false
+	}
+	iter, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchResult{}, false
+	}
+	// Find the "<value> ns/op" pair; go test always emits it first but
+	// scanning keeps us robust to future extra columns.
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		// Strip the GOMAXPROCS suffix ("-8") from the name.
+		name := fields[0]
+		if j := strings.LastIndex(name, "-"); j > 0 {
+			if _, err := strconv.Atoi(name[j+1:]); err == nil {
+				name = name[:j]
+			}
+		}
+		return benchResult{Name: name, Iter: iter, NsOp: ns}, true
+	}
+	return benchResult{}, false
+}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -82,30 +83,49 @@ func figure1() error {
 func figure2(seed uint32) error {
 	fmt.Println("== Figure 2. Methodology flow (traced on the OFDM transmitter) ==")
 	fmt.Println("  [step 1] CDFG creation: compiling + flattening ofdm_tx")
-	app, prof, err := hybridpart.ProfileBenchmark(hybridpart.BenchOFDM, seed)
+	w, err := hybridpart.BenchmarkWorkload(hybridpart.BenchOFDM, seed)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("           %d basic blocks\n", app.NumBlocks())
-	opts := hybridpart.DefaultOptions()
-	opts.Constraint = 60000
+	fmt.Printf("           %d basic blocks\n", w.NumBlocks())
+	const constraint = 60000
+	ctx := context.Background()
 
 	fmt.Println("  [step 2] mapping to fine-grain hardware")
-	loose := opts
-	loose.Constraint = 1 << 60
-	allFPGA, err := app.Partition(prof, loose)
+	loose, err := hybridpart.NewEngine(hybridpart.WithConstraint(1 << 60))
+	if err != nil {
+		return err
+	}
+	allFPGA, err := loose.Partition(ctx, w)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("           all-FPGA execution: %d cycles\n", allFPGA.InitialCycles)
-	if allFPGA.InitialCycles <= opts.Constraint {
+	if allFPGA.InitialCycles <= constraint {
 		fmt.Println("           timing constraint met -> exit")
 		return nil
 	}
-	fmt.Printf("           timing constraint (%d) violated -> analysis\n", opts.Constraint)
+	fmt.Printf("           timing constraint (%d) violated -> analysis\n", constraint)
+
+	// The move-by-move trajectory of steps 4+5 streams through the
+	// engine's observer as it happens.
+	eng, err := hybridpart.NewEngine(
+		hybridpart.WithConstraint(constraint),
+		hybridpart.WithObserver(func(ev hybridpart.Event) {
+			if mv, ok := ev.(hybridpart.MoveEvent); ok {
+				fmt.Printf("           move %d: BB %d -> coarse grain\n", mv.Seq, mv.Block)
+			}
+		}),
+	)
+	if err != nil {
+		return err
+	}
 
 	fmt.Println("  [step 3] analysis: dynamic + static, kernel extraction and ordering")
-	an := app.Analyze(prof.Freq, opts)
+	an, err := eng.Analyze(w)
+	if err != nil {
+		return err
+	}
 	top := an.Kernels
 	if len(top) > 3 {
 		top = top[:3]
@@ -116,12 +136,9 @@ func figure2(seed uint32) error {
 	}
 
 	fmt.Println("  [steps 4+5] partitioning engine: move kernels until constraint met")
-	res, err := app.Partition(prof, opts)
+	res, err := eng.Partition(ctx, w)
 	if err != nil {
 		return err
-	}
-	for i, b := range res.Moved {
-		fmt.Printf("           move %d: BB %d -> coarse grain\n", i+1, b)
 	}
 	fmt.Printf("           final: %d cycles (constraint met: %v)\n\n", res.FinalCycles, res.Met)
 	return nil
@@ -129,17 +146,20 @@ func figure2(seed uint32) error {
 
 func figure3(seed uint32) error {
 	fmt.Println("== Figure 3. Fine-grain temporal partitioning (hottest OFDM kernel, area sweep) ==")
-	app, prof, err := hybridpart.ProfileBenchmark(hybridpart.BenchOFDM, seed)
+	w, err := hybridpart.BenchmarkWorkload(hybridpart.BenchOFDM, seed)
 	if err != nil {
 		return err
 	}
-	opts := hybridpart.DefaultOptions()
 	fmt.Printf("  %-8s %-12s %-14s\n", "A_FPGA", "partitions", "initial cycles")
 	for _, area := range []int{768, 1000, 1500, 2500, 5000, 10000} {
-		o := opts
-		o.AFPGA = area
-		o.Constraint = 1 << 60
-		res, err := app.Partition(prof, o)
+		eng, err := hybridpart.NewEngine(
+			hybridpart.WithArea(area),
+			hybridpart.WithConstraint(1<<60),
+		)
+		if err != nil {
+			return err
+		}
+		res, err := eng.Partition(context.Background(), w)
 		if err != nil {
 			return err
 		}
@@ -151,13 +171,20 @@ func figure3(seed uint32) error {
 
 func table1(seed uint32) error {
 	fmt.Println("== Table 1. Ordered total weights of basic blocks ==")
+	eng, err := hybridpart.NewEngine()
+	if err != nil {
+		return err
+	}
 	for _, bench := range []string{hybridpart.BenchOFDM, hybridpart.BenchJPEG} {
-		app, prof, err := hybridpart.ProfileBenchmark(bench, seed)
+		w, err := hybridpart.BenchmarkWorkload(bench, seed)
 		if err != nil {
 			return err
 		}
-		an := app.Analyze(prof.Freq, hybridpart.DefaultOptions())
-		fmt.Printf("--- %s (%d basic blocks) ---\n", bench, app.NumBlocks())
+		an, err := eng.Analyze(w)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("--- %s (%d basic blocks) ---\n", bench, w.NumBlocks())
 		fmt.Print(an.FormatTable(8))
 		fmt.Println()
 	}
@@ -171,7 +198,11 @@ func partitionTable(title, bench string, seed uint32, constraint int64) error {
 	fmt.Printf("== %s for timing constraint of %d clock cycles ==\n", title, constraint)
 	areas := []int{1500, 5000}
 	ncgcs := []int{2, 3}
-	rs, err := hybridpart.Sweep(hybridpart.SweepSpec{
+	eng, err := hybridpart.NewEngine()
+	if err != nil {
+		return err
+	}
+	rs, err := eng.Sweep(context.Background(), hybridpart.SweepSpec{
 		Benchmarks:  []string{bench},
 		Areas:       areas,
 		CGCs:        ncgcs,

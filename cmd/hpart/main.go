@@ -5,16 +5,21 @@
 // Usage:
 //
 //	hpart -bench ofdm -constraint 60000
+//	hpart -bench jpeg -preset dsp-rich -trace
 //	hpart -src app.c -entry main_fn -afpga 1500 -cgcs 2 -constraint 100000
 //
-// Custom sources are profiled by executing the entry function once; entry
-// functions with scalar parameters receive the values passed via -args
-// (comma-separated integers). Input arrays can be preset only for the
-// built-in benchmarks; custom applications should initialize their inputs
-// in source (or embed a generator loop).
+// -preset starts from a registered platform variant; -afpga/-cgcs override
+// individual fields of it when given explicitly. -trace streams the
+// move-by-move partitioning trajectory to stderr. Custom sources are
+// profiled by executing the entry function once; entry functions with
+// scalar parameters receive the values passed via -args (comma-separated
+// integers). Input arrays can be preset only for the built-in benchmarks;
+// custom applications should initialize their inputs in source (or embed a
+// generator loop).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,38 +35,74 @@ func main() {
 	entry := flag.String("entry", "main_fn", "entry function for -src")
 	args := flag.String("args", "", "comma-separated scalar arguments for the entry function")
 	seed := flag.Uint("seed", 1, "benchmark input seed")
+	preset := flag.String("preset", "", "platform preset to start from (see hsweep -list-presets)")
 	afpga := flag.Int("afpga", 1500, "usable fine-grain area A_FPGA")
 	cgcs := flag.Int("cgcs", 2, "number of 2x2 CGCs in the data-path")
 	constraint := flag.Int64("constraint", 60000, "timing constraint in FPGA cycles")
+	trace := flag.Bool("trace", false, "stream the move-by-move trajectory to stderr")
 	pipelineN := flag.Int("pipeline-frames", 0, "if >0, also report frame pipelining over N frames")
 	flag.Parse()
 
-	opts := hybridpart.DefaultOptions()
-	opts.AFPGA = *afpga
-	opts.NumCGCs = *cgcs
-	opts.Constraint = *constraint
-
-	var (
-		app  *hybridpart.App
-		prof *hybridpart.RunProfile
-		err  error
-	)
+	// Validate every flag up front so bad input dies with one clear line
+	// instead of an opaque failure deep in the flow.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	switch {
-	case *bench != "":
-		app, prof, err = hybridpart.ProfileBenchmark(*bench, uint32(*seed))
-	case *src != "":
-		app, prof, err = profileSource(*src, *entry, *args)
-	default:
-		fmt.Fprintln(os.Stderr, "hpart: need -bench or -src")
-		os.Exit(2)
+	case *bench == "" && *src == "":
+		fail("need -bench or -src")
+	case *bench != "" && *src != "":
+		fail("-bench and -src are mutually exclusive")
+	case *bench != "" && !hybridpart.IsBenchmark(*bench):
+		fail(fmt.Sprintf("unknown benchmark %q (have %v)", *bench, hybridpart.Benchmarks()))
+	case *afpga <= 0:
+		fail(fmt.Sprintf("-afpga must be positive, got %d", *afpga))
+	case *cgcs <= 0:
+		fail(fmt.Sprintf("-cgcs must be positive, got %d", *cgcs))
+	case *constraint <= 0:
+		fail(fmt.Sprintf("-constraint must be positive, got %d", *constraint))
+	case *pipelineN < 0:
+		fail(fmt.Sprintf("-pipeline-frames must be non-negative, got %d", *pipelineN))
+	}
+
+	// Engine configuration: the preset (if any) lays down the platform;
+	// explicitly-given flags override its individual fields.
+	var engineOpts []hybridpart.Option
+	if *preset != "" {
+		engineOpts = append(engineOpts, hybridpart.WithPlatform(*preset))
+	}
+	if *preset == "" || set["afpga"] {
+		engineOpts = append(engineOpts, hybridpart.WithArea(*afpga))
+	}
+	if *preset == "" || set["cgcs"] {
+		engineOpts = append(engineOpts, hybridpart.WithCGCs(*cgcs))
+	}
+	engineOpts = append(engineOpts, hybridpart.WithConstraint(*constraint))
+	if *trace {
+		engineOpts = append(engineOpts, hybridpart.WithObserver(func(ev hybridpart.Event) {
+			if mv, ok := ev.(hybridpart.MoveEvent); ok {
+				fmt.Fprintf(os.Stderr, "hpart: move %d: BB %d -> CGC (t_total %d, met %v)\n",
+					mv.Seq, mv.Block, mv.TotalAfter, mv.Met)
+			}
+		}))
+	}
+	eng, err := hybridpart.NewEngine(engineOpts...)
+	if err != nil {
+		fail(err.Error())
+	}
+
+	var w *hybridpart.Workload
+	if *bench != "" {
+		w, err = hybridpart.BenchmarkWorkload(*bench, uint32(*seed))
+	} else {
+		w, err = sourceWorkload(*src, *entry, *args)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hpart: %v\n", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("application: %s (%d basic blocks)\n", app.Entry(), app.NumBlocks())
-	res, err := app.Partition(prof, opts)
+	fmt.Printf("application: %s (%d basic blocks)\n", w.Entry(), w.NumBlocks())
+	res, err := eng.Partition(context.Background(), w)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hpart: %v\n", err)
 		os.Exit(1)
@@ -79,28 +120,32 @@ func main() {
 	}
 }
 
-func profileSource(path, entry, argList string) (*hybridpart.App, *hybridpart.RunProfile, error) {
+func fail(msg string) {
+	fmt.Fprintf(os.Stderr, "hpart: %s\n", msg)
+	os.Exit(2)
+}
+
+func sourceWorkload(path, entry, argList string) (*hybridpart.Workload, error) {
 	text, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	app, err := hybridpart.Compile(string(text), entry)
+	w, err := hybridpart.NewWorkload(string(text), entry)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	var args []int32
 	if argList != "" {
 		for _, part := range strings.Split(argList, ",") {
 			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 32)
 			if err != nil {
-				return nil, nil, fmt.Errorf("bad -args value %q: %v", part, err)
+				return nil, fmt.Errorf("bad -args value %q: %v", part, err)
 			}
 			args = append(args, int32(v))
 		}
 	}
-	run := app.NewRunner()
-	if _, err := run.Run(args...); err != nil {
-		return nil, nil, err
+	if _, err := w.Run(args...); err != nil {
+		return nil, err
 	}
-	return app, run.Profile(), nil
+	return w, nil
 }

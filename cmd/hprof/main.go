@@ -28,52 +28,73 @@ func main() {
 	top := flag.Int("top", 8, "number of kernels to print")
 	flag.Parse()
 
-	var (
-		app  *hybridpart.App
-		prof *hybridpart.RunProfile
-		err  error
-	)
+	// Validate flags up front: one clear line instead of a deep failure.
 	switch {
-	case *bench != "":
-		app, prof, err = hybridpart.ProfileBenchmark(*bench, uint32(*seed))
-	case *src != "":
-		app, prof, err = profileSource(*src, *entry, *args)
-	default:
-		fmt.Fprintln(os.Stderr, "hprof: need -bench or -src")
-		os.Exit(2)
+	case *bench == "" && *src == "":
+		fail("need -bench or -src")
+	case *bench != "" && *src != "":
+		fail("-bench and -src are mutually exclusive")
+	case *bench != "" && !hybridpart.IsBenchmark(*bench):
+		fail(fmt.Sprintf("unknown benchmark %q (have %v)", *bench, hybridpart.Benchmarks()))
+	case *top <= 0:
+		fail(fmt.Sprintf("-top must be positive, got %d", *top))
+	}
+
+	var (
+		w   *hybridpart.Workload
+		err error
+	)
+	if *bench != "" {
+		w, err = hybridpart.BenchmarkWorkload(*bench, uint32(*seed))
+	} else {
+		w, err = sourceWorkload(*src, *entry, *args)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hprof: %v\n", err)
 		os.Exit(1)
 	}
-	an := app.Analyze(prof.Freq, hybridpart.DefaultOptions())
+
+	eng, err := hybridpart.NewEngine()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hprof: %v\n", err)
+		os.Exit(1)
+	}
+	an, err := eng.Analyze(w)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hprof: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Printf("application: %s (%d basic blocks, %d candidate kernels)\n\n",
-		app.Entry(), app.NumBlocks(), len(an.Kernels))
+		w.Entry(), w.NumBlocks(), len(an.Kernels))
 	fmt.Print(an.FormatTable(*top))
 }
 
-func profileSource(path, entry, argList string) (*hybridpart.App, *hybridpart.RunProfile, error) {
+func fail(msg string) {
+	fmt.Fprintf(os.Stderr, "hprof: %s\n", msg)
+	os.Exit(2)
+}
+
+func sourceWorkload(path, entry, argList string) (*hybridpart.Workload, error) {
 	text, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	app, err := hybridpart.Compile(string(text), entry)
+	w, err := hybridpart.NewWorkload(string(text), entry)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	var args []int32
 	if argList != "" {
 		for _, part := range strings.Split(argList, ",") {
 			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 32)
 			if err != nil {
-				return nil, nil, fmt.Errorf("bad -args value %q: %v", part, err)
+				return nil, fmt.Errorf("bad -args value %q: %v", part, err)
 			}
 			args = append(args, int32(v))
 		}
 	}
-	run := app.NewRunner()
-	if _, err := run.Run(args...); err != nil {
-		return nil, nil, err
+	if _, err := w.Run(args...); err != nil {
+		return nil, err
 	}
-	return app, run.Profile(), nil
+	return w, nil
 }

@@ -14,14 +14,19 @@
 //
 // Constraints default to the paper's per-benchmark values (OFDM 60000,
 // JPEG 21000000 FPGA cycles). -format json/csv emits machine-readable
-// output (to -o when given); -list-presets prints the platform registry.
+// output (to -o when given); -list-presets prints the platform registry;
+// -progress streams per-cell completion lines to stderr as the grid
+// evaluates. Ctrl-C cancels the sweep cleanly between cells.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -39,6 +44,7 @@ func main() {
 	format := flag.String("format", "table", `output format: "table", "json" or "csv"`)
 	out := flag.String("o", "", "write json/csv output to this file instead of stdout")
 	listPresets := flag.Bool("list-presets", false, "list registered platform presets and exit")
+	progress := flag.Bool("progress", false, "stream per-cell completion lines to stderr")
 	flag.Parse()
 
 	if *listPresets {
@@ -74,7 +80,38 @@ func main() {
 		fatal("-format", fmt.Errorf(`unknown format %q (want "table", "json" or "csv")`, *format))
 	}
 
-	rs, err := hybridpart.Sweep(spec)
+	// Ctrl-C cancels the context; the engine abandons queued cells,
+	// interrupts in-flight move loops and returns context.Canceled.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var engineOpts []hybridpart.Option
+	if *progress {
+		engineOpts = append(engineOpts, hybridpart.WithObserver(func(ev hybridpart.Event) {
+			ce, ok := ev.(hybridpart.CellEvent)
+			if !ok {
+				return
+			}
+			o := ce.Outcome
+			if o.Failed() {
+				fmt.Fprintf(os.Stderr, "hsweep: [%d/%d] %s afpga=%d cgcs=%d: error: %s\n",
+					ce.Done, ce.Total, o.Benchmark, o.AreaUsed(), o.CGCsUsed(), o.Err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "hsweep: [%d/%d] %s afpga=%d cgcs=%d final=%d speedup=%.3f met=%v\n",
+				ce.Done, ce.Total, o.Benchmark, o.AreaUsed(), o.CGCsUsed(), o.FinalCycles, o.Speedup, o.Met)
+		}))
+	}
+	eng, err := hybridpart.NewEngine(engineOpts...)
+	if err != nil {
+		fatal("engine", err)
+	}
+
+	rs, err := eng.Sweep(ctx, spec)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "hsweep: interrupted")
+		os.Exit(130)
+	}
 	if err != nil {
 		fatal("sweep", err)
 	}

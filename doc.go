@@ -18,31 +18,46 @@
 //	platform     — platform characterization and the preset registry
 //	apps         — the OFDM transmitter and JPEG encoder benchmarks
 //
-// # Quickstart
+// # Quickstart (API v2)
 //
-// Compile a mini-C source, profile one execution, and partition against a
-// timing constraint:
+// The v2 API has two nouns. A Workload is a compiled application plus the
+// execution profile it accumulates; an Engine is a fixed configuration of
+// the platform and engine knobs, built from functional options. Compile a
+// mini-C source, profile one execution, and partition against a timing
+// constraint:
 //
-//	app, _ := hybridpart.Compile(src, "main_fn")
-//	run := app.NewRunner()
-//	run.Run()                                 // dynamic analysis
-//	res, _ := app.Partition(run.Profile(), hybridpart.DefaultOptions())
+//	w, _ := hybridpart.NewWorkload(src, "main_fn")
+//	w.Run()                                   // dynamic analysis
+//	eng, _ := hybridpart.NewEngine(hybridpart.WithConstraint(60000))
+//	res, _ := eng.Partition(ctx, w)
 //	fmt.Println(res.Format())
+//
+// Every Engine method takes a context.Context, honored between kernel moves
+// and between sweep cells; WithObserver streams structured progress events
+// (move-by-move trajectory, per-cell sweep completion) while a run is in
+// flight.
 //
 // # Design-space exploration
 //
 // The paper's evaluation (Tables 2–3) is a grid sweep over A_FPGA values
-// and CGC counts. Sweep evaluates such grids on a bounded worker pool,
-// compiling and profiling each benchmark exactly once (profiling is
+// and CGC counts. Engine.Sweep evaluates such grids on a bounded worker
+// pool, compiling and profiling each benchmark exactly once (profiling is
 // input-deterministic, so the block frequencies are shared by every cell):
 //
-//	rs, _ := hybridpart.Sweep(hybridpart.SweepSpec{
+//	rs, _ := eng.Sweep(ctx, hybridpart.SweepSpec{
 //		Benchmarks: []string{hybridpart.BenchOFDM},
 //		Areas:      []int{1500, 5000},
 //		CGCs:       []int{2, 3},
 //	})
 //	rs.WriteCSV(os.Stdout)
 //
-// An App is safe for concurrent use, so custom sweeps can also call
+// # Compatibility (API v1)
+//
+// The original App/Runner/RunProfile triad and the flat Options struct
+// remain available as thin shims over the Engine: Compile + NewRunner +
+// App.Partition(profile, opts) and the package-level Sweep(spec) behave
+// exactly as before (bit-identical output), without cancellation or
+// progress events. See the README's migration table. An App and an Engine
+// are both safe for concurrent use, so custom sweeps can also call
 // Partition from multiple goroutines directly.
 package hybridpart

@@ -1,0 +1,573 @@
+package hybridpart
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"hybridpart/internal/energy"
+	"hybridpart/internal/explore"
+	"hybridpart/internal/partition"
+	"hybridpart/internal/platform"
+)
+
+// Engine is the v2 entry point to the methodology: a fixed configuration of
+// the platform and engine knobs, built once from functional options and then
+// applied to any number of workloads. An Engine's configuration is immutable
+// after NewEngine returns, and observer delivery is serialized internally,
+// so an Engine is safe for concurrent use from multiple goroutines.
+//
+//	eng, _ := hybridpart.NewEngine(
+//		hybridpart.WithPlatform("paper-large"),
+//		hybridpart.WithConstraint(60000),
+//		hybridpart.WithObserver(func(ev hybridpart.Event) { ... }),
+//	)
+//	res, _ := eng.Partition(ctx, w)
+//
+// Every run method takes a context.Context that is honored between kernel
+// moves and between sweep cells, so long explorations can be cancelled or
+// given deadlines; progress streams through the configured Observer.
+type Engine struct {
+	opts Options
+	// costsSet records that WithCosts supplied the operator table
+	// explicitly: the engine then uses it verbatim (a bad table fails
+	// platform validation loudly) instead of zero-defaulting like the
+	// legacy Options path.
+	costsSet bool
+	// constraintSet records an explicit WithConstraint, which then serves
+	// as the sweep-wide fallback before per-benchmark paper defaults.
+	constraintSet bool
+	budget        float64
+	observer      Observer
+	workers       int
+	// obsMu serializes observer delivery across concurrent runs on the
+	// same engine, upholding the Observer contract ("never invoked
+	// concurrently") even when Partition/Sweep are called from multiple
+	// goroutines.
+	obsMu sync.Mutex
+}
+
+// emit delivers one event to the observer under the delivery lock.
+// Observers must not call back into the same engine's run methods.
+func (e *Engine) emit(ev Event) {
+	e.obsMu.Lock()
+	defer e.obsMu.Unlock()
+	e.observer(ev)
+}
+
+// Option configures an Engine under construction. Options are applied in
+// order, so later options layer over earlier ones — e.g. WithPlatform
+// followed by WithArea keeps the preset's characterization but overrides
+// A_FPGA.
+type Option func(*Engine) error
+
+// NewEngine builds an Engine from the paper's baseline configuration
+// (DefaultOptions) layered with the given options. It fails fast on the
+// first invalid option.
+func NewEngine(options ...Option) (*Engine, error) {
+	e := &Engine{opts: DefaultOptions()}
+	for _, opt := range options {
+		if opt == nil {
+			continue
+		}
+		if err := opt(e); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// applyPlatform overwrites o's platform characterization fields (area,
+// reconfiguration cost, operator costs, CGC shape, clocking, communication)
+// with p's, leaving the engine knobs (constraint, order, weights, move
+// policy) untouched.
+func applyPlatform(o *Options, p platform.Platform) {
+	o.AFPGA = p.Fine.Area
+	o.ReconfigCycles = p.Fine.ReconfigCycles
+	o.Costs = p.Fine.Costs
+	o.NumCGCs = p.Coarse.NumCGCs
+	o.CGCRows = p.Coarse.Rows
+	o.CGCCols = p.Coarse.Cols
+	o.MemPorts = p.Coarse.MemPorts
+	o.ClockRatio = p.Coarse.ClockRatio
+	o.RegBankWords = p.Coarse.RegBankWords
+	o.CommCyclesPerWord = p.Comm.CyclesPerWord
+	o.CommSyncCycles = p.Comm.SyncCycles
+}
+
+// WithPlatform layers the named preset's full platform characterization
+// (see PlatformPresets) over the engine. "" and "default" select the
+// paper's baseline platform.
+func WithPlatform(preset string) Option {
+	return func(e *Engine) error {
+		if preset == "" || preset == "default" {
+			applyPlatform(&e.opts, platform.Default())
+			return nil
+		}
+		cfg, ok := platform.Lookup(preset)
+		if !ok {
+			return fmt.Errorf("hybridpart: unknown platform preset %q (have %v)", preset, platform.Names())
+		}
+		applyPlatform(&e.opts, cfg.Platform)
+		e.costsSet = true
+		return nil
+	}
+}
+
+// WithArea sets the usable fine-grain area A_FPGA.
+func WithArea(afpga int) Option {
+	return func(e *Engine) error {
+		if afpga <= 0 {
+			return fmt.Errorf("hybridpart: A_FPGA must be positive, got %d", afpga)
+		}
+		e.opts.AFPGA = afpga
+		return nil
+	}
+}
+
+// WithReconfig sets the full-reconfiguration cost per temporal partition in
+// FPGA cycles.
+func WithReconfig(cycles int) Option {
+	return func(e *Engine) error {
+		if cycles < 0 {
+			return fmt.Errorf("hybridpart: reconfiguration cost must be non-negative, got %d", cycles)
+		}
+		e.opts.ReconfigCycles = cycles
+		return nil
+	}
+}
+
+// WithCosts installs an explicit fine-grain operator cost table. Unlike the
+// legacy Options.Costs field, a table passed here is always used verbatim —
+// an invalid (e.g. all-zero) table fails platform validation with a precise
+// error instead of being silently replaced by the default characterization.
+func WithCosts(t OpCosts) Option {
+	return func(e *Engine) error {
+		e.opts.Costs = t
+		e.costsSet = true
+		return nil
+	}
+}
+
+// WithCGCs sets the number of CGCs in the coarse-grain data-path.
+func WithCGCs(n int) Option {
+	return func(e *Engine) error {
+		if n <= 0 {
+			return fmt.Errorf("hybridpart: CGC count must be positive, got %d", n)
+		}
+		e.opts.NumCGCs = n
+		return nil
+	}
+}
+
+// WithCGCShape sets the rows × cols dimensions of each CGC.
+func WithCGCShape(rows, cols int) Option {
+	return func(e *Engine) error {
+		if rows <= 0 || cols <= 0 {
+			return fmt.Errorf("hybridpart: CGC shape must be positive, got %dx%d", rows, cols)
+		}
+		e.opts.CGCRows, e.opts.CGCCols = rows, cols
+		return nil
+	}
+}
+
+// WithMemPorts sets the shared-memory ports available per CGC cycle.
+func WithMemPorts(n int) Option {
+	return func(e *Engine) error {
+		if n <= 0 {
+			return fmt.Errorf("hybridpart: memory ports must be positive, got %d", n)
+		}
+		e.opts.MemPorts = n
+		return nil
+	}
+}
+
+// WithClockRatio sets T_FPGA/T_CGC (the paper uses 3).
+func WithClockRatio(r int) Option {
+	return func(e *Engine) error {
+		if r <= 0 {
+			return fmt.Errorf("hybridpart: clock ratio must be positive, got %d", r)
+		}
+		e.opts.ClockRatio = r
+		return nil
+	}
+}
+
+// WithRegBank sizes the data-path register bank in words (0 disables it).
+func WithRegBank(words int) Option {
+	return func(e *Engine) error {
+		if words < 0 {
+			return fmt.Errorf("hybridpart: register bank size must be non-negative, got %d", words)
+		}
+		e.opts.RegBankWords = words
+		return nil
+	}
+}
+
+// WithComm parameterizes t_comm: the FPGA-cycle cost per transferred word
+// and the fixed per-invocation synchronization cost.
+func WithComm(cyclesPerWord, syncCycles int) Option {
+	return func(e *Engine) error {
+		if cyclesPerWord < 0 || syncCycles < 0 {
+			return fmt.Errorf("hybridpart: communication costs must be non-negative, got %d/word + %d sync",
+				cyclesPerWord, syncCycles)
+		}
+		e.opts.CommCyclesPerWord, e.opts.CommSyncCycles = cyclesPerWord, syncCycles
+		return nil
+	}
+}
+
+// WithConstraint sets the timing constraint in FPGA cycles. In Sweep it
+// also becomes the fallback for cells whose spec gives no constraint axis,
+// taking precedence over the per-benchmark paper defaults.
+func WithConstraint(c int64) Option {
+	return func(e *Engine) error {
+		if c <= 0 {
+			return fmt.Errorf("hybridpart: timing constraint must be positive, got %d", c)
+		}
+		e.opts.Constraint = c
+		e.constraintSet = true
+		return nil
+	}
+}
+
+// WithOrder selects the kernel ordering strategy (OrderByTotalWeight is the
+// paper's eq. 1).
+func WithOrder(o KernelOrder) Option {
+	return func(e *Engine) error {
+		e.opts.Order = o
+		return nil
+	}
+}
+
+// WithMaxMoves bounds the number of kernels moved (0 = unlimited).
+func WithMaxMoves(n int) Option {
+	return func(e *Engine) error {
+		if n < 0 {
+			return fmt.Errorf("hybridpart: max moves must be non-negative, got %d", n)
+		}
+		e.opts.MaxMoves = n
+		return nil
+	}
+}
+
+// WithSkipNonImproving rejects moves whose communication overhead exceeds
+// their gain (the ablation switch; the paper's engine moves
+// unconditionally).
+func WithSkipNonImproving(skip bool) Option {
+	return func(e *Engine) error {
+		e.opts.SkipNonImproving = skip
+		return nil
+	}
+}
+
+// WithWeights sets the static analysis weights per operation class (the
+// paper uses ALU 1, MUL 2).
+func WithWeights(alu, mul, div, mem int64) Option {
+	return func(e *Engine) error {
+		if alu < 0 || mul < 0 || div < 0 || mem < 0 {
+			return fmt.Errorf("hybridpart: analysis weights must be non-negative")
+		}
+		e.opts.WeightALU, e.opts.WeightMul, e.opts.WeightDiv, e.opts.WeightMem = alu, mul, div, mem
+		return nil
+	}
+}
+
+// WithEnergyBudget sets the energy budget for PartitionEnergy (arbitrary
+// consistent units; see internal/energy for the characterization).
+func WithEnergyBudget(budget float64) Option {
+	return func(e *Engine) error {
+		if budget <= 0 {
+			return fmt.Errorf("hybridpart: energy budget must be positive, got %g", budget)
+		}
+		e.budget = budget
+		return nil
+	}
+}
+
+// WithObserver streams the engine's progress events (MoveEvent,
+// EnergyMoveEvent, CellEvent) to fn. See Observer for the delivery
+// guarantees.
+func WithObserver(fn Observer) Option {
+	return func(e *Engine) error {
+		e.observer = fn
+		return nil
+	}
+}
+
+// WithWorkers sets the default sweep worker-pool size used when a SweepSpec
+// leaves Workers at 0 (0 = GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(e *Engine) error {
+		if n < 0 {
+			return fmt.Errorf("hybridpart: negative worker count %d", n)
+		}
+		e.workers = n
+		return nil
+	}
+}
+
+// WithOptions replaces the engine's entire knob set with a legacy Options
+// value, preserving its v1 semantics exactly (in particular, a zero Costs
+// table selects the default characterization). This is the bridge the v1
+// compatibility shims are built on; new code should prefer the granular
+// options.
+func WithOptions(o Options) Option {
+	return func(e *Engine) error {
+		e.opts = o
+		e.costsSet = false
+		e.constraintSet = false
+		return nil
+	}
+}
+
+// Options returns the engine's resolved knob set as a legacy Options value
+// (useful for displaying the effective configuration).
+func (e *Engine) Options() Options { return e.opts }
+
+// platformOf materializes the platform characterization, honoring an
+// explicitly installed cost table.
+func (e *Engine) platformOf(opts Options, costsSet bool) platform.Platform {
+	if costsSet {
+		return opts.platformUsing(opts.Costs)
+	}
+	return opts.platform()
+}
+
+// moveHook adapts the configured observer to the internal engine's per-move
+// callback (nil when no observer is configured).
+func (e *Engine) moveHook(constraint int64) func(partition.Move) {
+	if e.observer == nil {
+		return nil
+	}
+	seq := 0
+	return func(m partition.Move) {
+		seq++
+		e.emit(MoveEvent{
+			Seq:        seq,
+			Block:      int(m.Block),
+			CGCCycles:  m.CGCCycles,
+			TotalAfter: m.TotalAfter,
+			Constraint: constraint,
+			Met:        m.TotalAfter <= constraint,
+		})
+	}
+}
+
+// Analyze runs the static+dynamic analysis step (Table 1 of the paper)
+// against the workload's accumulated profile.
+func (e *Engine) Analyze(w *Workload) (*Analysis, error) {
+	app, prof, err := w.profiled()
+	if err != nil {
+		return nil, err
+	}
+	return app.Analyze(prof.Freq, e.opts), nil
+}
+
+// Partition runs the full methodology (steps 2–5) on the workload's
+// accumulated profile. The context is checked between kernel moves;
+// cancellation returns ctx.Err(). Each accepted move is streamed to the
+// observer as a MoveEvent.
+func (e *Engine) Partition(ctx context.Context, w *Workload) (*Result, error) {
+	app, prof, err := w.profiled()
+	if err != nil {
+		return nil, err
+	}
+	return e.partitionApp(ctx, app, prof)
+}
+
+// partitionApp is Partition on the raw v1 pair; the legacy App.Partition
+// shim calls it directly.
+func (e *Engine) partitionApp(ctx context.Context, a *App, p *RunProfile) (*Result, error) {
+	return e.partitionCell(ctx, a, p, e.opts, e.costsSet, e.moveHook(e.opts.Constraint))
+}
+
+// partitionCell runs one partitioning evaluation with an explicit knob set
+// (Sweep resolves per-cell options and calls this per grid cell).
+func (e *Engine) partitionCell(ctx context.Context, a *App, p *RunProfile, opts Options,
+	costsSet bool, onMove func(partition.Move)) (*Result, error) {
+	an := a.Analyze(p.Freq, opts)
+	res, err := partition.Partition(ctx, a.fprog, a.flat, an.rep, partition.Config{
+		Platform:         e.platformOf(opts, costsSet),
+		Constraint:       opts.Constraint,
+		Order:            opts.Order,
+		Edges:            p.edges,
+		MaxMoves:         opts.MaxMoves,
+		SkipNonImproving: opts.SkipNonImproving,
+		OnMove:           onMove,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		InitialCycles:     res.InitialCycles,
+		InitialPartitions: res.InitialPartitions,
+		FinalCycles:       res.FinalCycles,
+		CyclesInCGC:       res.CyclesInCGC,
+		TFPGA:             res.TFPGA,
+		TCoarse:           res.TCoarse,
+		TComm:             res.TComm,
+		Constraint:        res.Constraint,
+		Met:               res.Met,
+	}
+	for _, b := range res.Moved {
+		out.Moved = append(out.Moved, int(b))
+	}
+	for _, b := range res.Unmappable {
+		out.Unmappable = append(out.Unmappable, int(b))
+	}
+	for _, b := range res.Skipped {
+		out.Skipped = append(out.Skipped, int(b))
+	}
+	return out, nil
+}
+
+// PartitionEnergy runs the energy-constrained engine against the budget set
+// with WithEnergyBudget. The context is checked between kernel moves; each
+// accepted move is streamed to the observer as an EnergyMoveEvent.
+func (e *Engine) PartitionEnergy(ctx context.Context, w *Workload) (*EnergyResult, error) {
+	app, prof, err := w.profiled()
+	if err != nil {
+		return nil, err
+	}
+	return e.partitionEnergyApp(ctx, app, prof)
+}
+
+// partitionEnergyApp is PartitionEnergy on the raw v1 pair; the legacy
+// App.PartitionEnergy shim calls it directly.
+func (e *Engine) partitionEnergyApp(ctx context.Context, a *App, p *RunProfile) (*EnergyResult, error) {
+	if e.budget <= 0 {
+		return nil, fmt.Errorf("hybridpart: PartitionEnergy needs a positive energy budget (use WithEnergyBudget)")
+	}
+	rep := a.analyze(p.Freq, e.opts.weights())
+	cfg := energy.Config{
+		Platform: e.platformOf(e.opts, e.costsSet),
+		Costs:    energy.DefaultCosts(),
+		Budget:   e.budget,
+		Order:    e.opts.Order,
+		Edges:    p.edges,
+	}
+	if e.observer != nil {
+		budget := e.budget
+		seq := 0
+		cfg.OnMove = func(m energy.Move) {
+			seq++
+			e.emit(EnergyMoveEvent{
+				Seq:         seq,
+				Block:       int(m.Block),
+				EnergyAfter: m.EnergyAfter,
+				Budget:      budget,
+				Met:         m.EnergyAfter <= budget,
+			})
+		}
+	}
+	res, err := energy.Partition(ctx, a.fprog, a.flat, rep, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &EnergyResult{
+		InitialEnergy: res.InitialEnergy,
+		FinalEnergy:   res.FinalEnergy,
+		Initial:       EnergyBreakdown(res.Initial),
+		Final:         EnergyBreakdown(res.Final),
+		Budget:        res.Budget,
+		Met:           res.Met,
+	}
+	out.Moved = blockIDsToInts(res.Moved)
+	out.Unmappable = blockIDsToInts(res.Unmappable)
+	return out, nil
+}
+
+// Sweep runs the design-space-exploration engine over the spec: each
+// benchmark is compiled and profiled once (via ProfileBenchmarkCached) and
+// every grid cell starts from the engine's configured knobs, layered with
+// the cell's preset and axis overrides, then partitioned on a bounded
+// worker pool. An empty cell preset inherits the engine's platform; the
+// literal preset "default" pins the cell to the paper's baseline platform
+// regardless of the engine configuration. Per-cell failures are recorded in the outcome's Err field
+// rather than aborting the sweep; outcomes land in expansion order
+// regardless of the worker count.
+//
+// The context is threaded through the worker pool and into every cell's
+// move loop: cancelling it abandons queued cells, interrupts in-flight
+// ones, and returns ctx.Err(). Completed cells are streamed to the
+// observer as CellEvents, always in expansion order. Per-move events are
+// not forwarded from inside sweep cells — parallel cells would interleave
+// them nondeterministically.
+func (e *Engine) Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
+	if spec.Workers == 0 {
+		spec.Workers = e.workers
+	}
+	eval := func(p SweepPoint) (SweepOutcome, error) {
+		app, prof, err := ProfileBenchmarkCached(p.Benchmark, spec.Seed)
+		if err != nil {
+			return SweepOutcome{}, err
+		}
+		// Preset resolution: "" inherits the engine's configured platform,
+		// "default" explicitly selects the paper baseline, anything else is
+		// a registry lookup.
+		opts, costsSet := e.opts, e.costsSet
+		switch p.Preset {
+		case "":
+		case "default":
+			applyPlatform(&opts, platform.Default())
+			costsSet = true
+		default:
+			cfg, ok := platform.Lookup(p.Preset)
+			if !ok {
+				return SweepOutcome{}, fmt.Errorf("hybridpart: unknown platform preset %q (have %v)",
+					p.Preset, platform.Names())
+			}
+			applyPlatform(&opts, cfg.Platform)
+			costsSet = true
+		}
+		if p.AFPGA > 0 {
+			opts.AFPGA = p.AFPGA
+		}
+		if p.NumCGCs > 0 {
+			opts.NumCGCs = p.NumCGCs
+		}
+		constraint := p.Constraint
+		if constraint == 0 && e.constraintSet {
+			constraint = e.opts.Constraint
+		}
+		if constraint == 0 {
+			constraint = DefaultConstraint(p.Benchmark)
+		}
+		if constraint == 0 {
+			return SweepOutcome{}, fmt.Errorf("hybridpart: no constraint given and no default for benchmark %q", p.Benchmark)
+		}
+		opts.Constraint = constraint
+
+		res, err := e.partitionCell(ctx, app, prof, opts, costsSet, nil)
+		if err != nil {
+			return SweepOutcome{}, err
+		}
+		out := SweepOutcome{
+			InitialCycles:       res.InitialCycles,
+			InitialPartitions:   res.InitialPartitions,
+			CyclesInCGC:         res.CyclesInCGC,
+			FinalCycles:         res.FinalCycles,
+			TFPGA:               res.TFPGA,
+			TCoarse:             res.TCoarse,
+			TComm:               res.TComm,
+			EffectiveAFPGA:      opts.AFPGA,
+			EffectiveCGCs:       opts.NumCGCs,
+			EffectiveConstraint: constraint,
+			Met:                 res.Met,
+			Moved:               res.Moved,
+			ReductionPct:        res.ReductionPct(),
+		}
+		if res.FinalCycles > 0 {
+			out.Speedup = float64(res.InitialCycles) / float64(res.FinalCycles)
+		}
+		return out, nil
+	}
+	var progress explore.Progress
+	if e.observer != nil {
+		progress = func(o explore.Outcome, done, total int) {
+			e.emit(CellEvent{Outcome: o, Done: done, Total: total})
+		}
+	}
+	return explore.RunObserved(ctx, spec, eval, progress)
+}

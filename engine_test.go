@@ -1,0 +1,604 @@
+package hybridpart
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"hybridpart/internal/platform"
+)
+
+// firWorkload compiles and profiles the FIR fixture through the v2
+// lifecycle.
+func firWorkload(t *testing.T) *Workload {
+	t.Helper()
+	w, err := NewWorkload(firSrc, "main_fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestEngineLegacyParity is the compatibility-shim acceptance test: every
+// legacy Options field must round-trip to an identical Result through the
+// equivalent functional-option chain. Formatted output is compared
+// byte-for-byte.
+func TestEngineLegacyParity(t *testing.T) {
+	app, prof := compileFIR(t)
+
+	// Tight enough to force moves, loose enough to eventually be met.
+	base := DefaultOptions()
+	base.Constraint = 30000
+
+	cases := []struct {
+		name   string
+		legacy func(o *Options)
+		v2     []Option
+	}{
+		{"baseline", func(o *Options) {}, nil},
+		{"afpga", func(o *Options) { o.AFPGA = 5000 }, []Option{WithArea(5000)}},
+		{"reconfig", func(o *Options) { o.ReconfigCycles = 128 }, []Option{WithReconfig(128)}},
+		{"numcgcs", func(o *Options) { o.NumCGCs = 3 }, []Option{WithCGCs(3)}},
+		{"cgcshape", func(o *Options) { o.CGCRows, o.CGCCols = 4, 3 }, []Option{WithCGCShape(4, 3)}},
+		{"memports", func(o *Options) { o.MemPorts = 1 }, []Option{WithMemPorts(1)}},
+		{"clockratio", func(o *Options) { o.ClockRatio = 5 }, []Option{WithClockRatio(5)}},
+		{"regbank", func(o *Options) { o.RegBankWords = 0 }, []Option{WithRegBank(0)}},
+		{"comm", func(o *Options) { o.CommCyclesPerWord, o.CommSyncCycles = 4, 9 }, []Option{WithComm(4, 9)}},
+		{"constraint", func(o *Options) { o.Constraint = 25000 }, []Option{WithConstraint(25000)}},
+		{"order-freq", func(o *Options) { o.Order = OrderByFreq }, []Option{WithOrder(OrderByFreq)}},
+		{"order-opweight", func(o *Options) { o.Order = OrderByOpWeight }, []Option{WithOrder(OrderByOpWeight)}},
+		{"maxmoves", func(o *Options) { o.MaxMoves = 1; o.Constraint = 1 },
+			[]Option{WithMaxMoves(1), WithConstraint(1)}},
+		{"skipnonimproving", func(o *Options) { o.SkipNonImproving = true; o.CommCyclesPerWord = 64 },
+			[]Option{WithSkipNonImproving(true), WithComm(64, 2)}},
+		{"weights", func(o *Options) { o.WeightALU, o.WeightMul, o.WeightDiv, o.WeightMem = 2, 7, 11, 3 },
+			[]Option{WithWeights(2, 7, 11, 3)}},
+		{"costs", func(o *Options) { o.Costs = platform.DSPRichOpCosts() },
+			[]Option{WithCosts(platform.DSPRichOpCosts())}},
+		{"preset", func(o *Options) {
+			v, err := OptionsFor("lut-only")
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := o.Constraint
+			*o = v
+			o.Constraint = c
+		}, []Option{WithPlatform("lut-only")}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			legacyOpts := base
+			tc.legacy(&legacyOpts)
+			want, err := app.Partition(prof, legacyOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			opts := append([]Option{WithConstraint(base.Constraint)}, tc.v2...)
+			eng, err := NewEngine(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := eng.partitionApp(context.Background(), app, prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Format() != want.Format() {
+				t.Fatalf("formatted output diverges:\n--- legacy ---\n%s--- v2 ---\n%s", want.Format(), got.Format())
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("result diverges:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestEngineWorkloadMatchesLegacyTriad proves the Workload lifecycle is the
+// same computation as the App/Runner/RunProfile triad.
+func TestEngineWorkloadMatchesLegacyTriad(t *testing.T) {
+	app, prof := compileFIR(t)
+	legacyOpts := DefaultOptions()
+	legacyOpts.Constraint = 30000
+	want, err := app.Partition(prof, legacyOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := firWorkload(t)
+	eng, err := NewEngine(WithConstraint(30000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Partition(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Format() != want.Format() {
+		t.Fatalf("workload path diverges from triad path:\n%s\nvs\n%s", got.Format(), want.Format())
+	}
+}
+
+// TestEnergyShimParity checks the energy shim against the engine path, and
+// that EnergyMoveEvents stream in trajectory order.
+func TestEnergyShimParity(t *testing.T) {
+	app, prof := compileFIR(t)
+	opts := DefaultOptions()
+	loose, err := app.PartitionEnergy(prof, opts, 1e18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := loose.InitialEnergy * 0.8
+	want, err := app.PartitionEnergy(prof, opts, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := firWorkload(t)
+	var events []EnergyMoveEvent
+	eng, err := NewEngine(
+		WithEnergyBudget(budget),
+		WithObserver(func(ev Event) {
+			if e, ok := ev.(EnergyMoveEvent); ok {
+				events = append(events, e)
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.PartitionEnergy(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("energy result diverges:\n got %+v\nwant %+v", got, want)
+	}
+	if len(events) != len(got.Moved) {
+		t.Fatalf("got %d energy move events, want %d", len(events), len(got.Moved))
+	}
+	for i, ev := range events {
+		if ev.Seq != i+1 || ev.Block != got.Moved[i] || ev.Budget != budget {
+			t.Fatalf("event %d malformed: %+v (moved %v)", i, ev, got.Moved)
+		}
+	}
+	if !events[len(events)-1].Met {
+		t.Fatal("final energy move event not marked Met")
+	}
+	if _, err := eng.PartitionEnergy(context.Background(), nil); err == nil {
+		t.Fatal("nil workload accepted")
+	}
+	noBudget, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := noBudget.PartitionEnergy(context.Background(), w); err == nil {
+		t.Fatal("missing energy budget accepted")
+	}
+}
+
+// TestShimSweepByteIdentical runs the paper's Tables 2–3 configurations
+// through both the legacy Sweep shim and Engine.Sweep and requires
+// byte-identical CSV output.
+func TestShimSweepByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark compilation in -short mode")
+	}
+	for _, bench := range []string{BenchOFDM, BenchJPEG} {
+		spec := SweepSpec{
+			Benchmarks: []string{bench},
+			Areas:      []int{1500, 5000},
+			CGCs:       []int{2, 3},
+			Seed:       1,
+			Workers:    2,
+		}
+		legacy, err := Sweep(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewEngine()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := eng.Sweep(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a, b bytes.Buffer
+		if err := legacy.WriteCSV(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := v2.WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("%s sweep CSV diverges:\n--- legacy ---\n%s--- v2 ---\n%s", bench, a.String(), b.String())
+		}
+	}
+}
+
+// TestEnginePartitionCancellation cancels mid-trajectory from inside the
+// observer and expects a prompt ctx.Err() return.
+func TestEnginePartitionCancellation(t *testing.T) {
+	w := firWorkload(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	moves := 0
+	eng, err := NewEngine(
+		// Unreachable constraint: the trajectory would run to exhaustion.
+		WithConstraint(1),
+		WithObserver(func(ev Event) {
+			if _, ok := ev.(MoveEvent); ok {
+				moves++
+				cancel()
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Partition(ctx, w)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got res=%v err=%v", res, err)
+	}
+	if moves != 1 {
+		t.Fatalf("engine kept moving after cancellation: %d moves observed", moves)
+	}
+
+	// An already-cancelled context never starts the run at all.
+	dead, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := eng.Partition(dead, w); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context not honored: %v", err)
+	}
+}
+
+// TestEngineSweepCancellation is the satellite acceptance test: a
+// cancellation mid-grid must surface ctx.Err() promptly instead of
+// finishing the sweep.
+func TestEngineSweepCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark compilation in -short mode")
+	}
+	// A wide constraint axis gives a long single-benchmark grid without
+	// recompilation cost per cell.
+	constraints := make([]int64, 64)
+	for i := range constraints {
+		constraints[i] = int64(40000 + 1000*i)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cells := 0
+	eng, err := NewEngine(WithObserver(func(ev Event) {
+		if _, ok := ev.(CellEvent); ok {
+			cells++
+			if cells == 2 {
+				cancel()
+			}
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := eng.Sweep(ctx, SweepSpec{
+		Benchmarks:  []string{BenchOFDM},
+		Constraints: constraints,
+		Seed:        1,
+		Workers:     2,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got rs=%v err=%v", rs, err)
+	}
+	if rs != nil {
+		t.Fatal("cancelled sweep returned a result set")
+	}
+	if cells >= len(constraints) {
+		t.Fatalf("sweep ran to completion (%d cells) despite cancellation", cells)
+	}
+}
+
+// TestEngineSweepObserverOrder requires CellEvents in expansion order with
+// contiguous Done counts, for any worker count, on repeated runs.
+func TestEngineSweepObserverOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark compilation in -short mode")
+	}
+	spec := SweepSpec{
+		Benchmarks: []string{BenchOFDM},
+		Areas:      []int{1000, 1500, 2500, 5000},
+		CGCs:       []int{1, 2, 3},
+		Seed:       1,
+	}
+	var first []CellEvent
+	for run, workers := range []int{1, 4, 8} {
+		var events []CellEvent
+		eng, err := NewEngine(
+			WithWorkers(workers),
+			WithObserver(func(ev Event) {
+				if ce, ok := ev.(CellEvent); ok {
+					events = append(events, ce)
+				}
+			}),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := eng.Sweep(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(events) != len(rs.Outcomes) {
+			t.Fatalf("workers=%d: %d events for %d cells", workers, len(events), len(rs.Outcomes))
+		}
+		for i, ce := range events {
+			if ce.Outcome.Index != i || ce.Done != i+1 || ce.Total != len(rs.Outcomes) {
+				t.Fatalf("workers=%d: event %d out of order: index=%d done=%d total=%d",
+					workers, i, ce.Outcome.Index, ce.Done, ce.Total)
+			}
+		}
+		if run == 0 {
+			first = events
+		} else if !reflect.DeepEqual(events, first) {
+			t.Fatalf("workers=%d: event stream differs from workers=1 run", workers)
+		}
+	}
+}
+
+// TestEngineMoveEvents checks the per-move trajectory stream of a normal
+// (uncancelled) partitioning run.
+func TestEngineMoveEvents(t *testing.T) {
+	w := firWorkload(t)
+	loose, err := NewEngine(WithConstraint(1 << 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := loose.Partition(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	constraint := all.InitialCycles / 2
+	var events []MoveEvent
+	eng, err := NewEngine(
+		WithConstraint(constraint),
+		WithObserver(func(ev Event) {
+			if mv, ok := ev.(MoveEvent); ok {
+				events = append(events, mv)
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Partition(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met || len(res.Moved) == 0 {
+		t.Fatalf("fixture run malformed: %+v", res)
+	}
+	if len(events) != len(res.Moved) {
+		t.Fatalf("got %d move events, want %d", len(events), len(res.Moved))
+	}
+	for i, ev := range events {
+		if ev.Seq != i+1 || ev.Block != res.Moved[i] || ev.Constraint != constraint {
+			t.Fatalf("event %d malformed: %+v (moved %v)", i, ev, res.Moved)
+		}
+		if i > 0 && events[i-1].TotalAfter < ev.TotalAfter {
+			t.Fatalf("trajectory not improving: %d then %d", events[i-1].TotalAfter, ev.TotalAfter)
+		}
+	}
+	last := events[len(events)-1]
+	if !last.Met || last.TotalAfter != res.FinalCycles {
+		t.Fatalf("final event inconsistent with result: %+v vs final %d", last, res.FinalCycles)
+	}
+}
+
+// TestEngineOptionValidation exercises fail-fast construction.
+func TestEngineOptionValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		opt  Option
+	}{
+		{"area", WithArea(0)},
+		{"reconfig", WithReconfig(-1)},
+		{"cgcs", WithCGCs(-2)},
+		{"cgcshape", WithCGCShape(0, 2)},
+		{"memports", WithMemPorts(0)},
+		{"clockratio", WithClockRatio(0)},
+		{"regbank", WithRegBank(-1)},
+		{"comm", WithComm(-1, 0)},
+		{"constraint", WithConstraint(0)},
+		{"maxmoves", WithMaxMoves(-1)},
+		{"weights", WithWeights(-1, 2, 3, 4)},
+		{"budget", WithEnergyBudget(0)},
+		{"workers", WithWorkers(-1)},
+		{"preset", WithPlatform("no-such-preset")},
+	}
+	for _, tc := range bad {
+		if _, err := NewEngine(tc.opt); err == nil {
+			t.Fatalf("%s: invalid option accepted", tc.name)
+		}
+	}
+	// nil options are tolerated; later options layer over earlier ones.
+	eng, err := NewEngine(nil, WithPlatform("paper-large"), WithArea(2222))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Options(); got.AFPGA != 2222 || got.NumCGCs != 2 {
+		t.Fatalf("option layering broken: %+v", got)
+	}
+}
+
+// TestWithCostsZeroTableFailsLoudly: the v2 path must never silently
+// replace an explicitly supplied table — an all-zero table is a loud
+// validation error — while the legacy Options zero value keeps selecting
+// the default characterization (OpCosts.IsZero defaulting).
+func TestWithCostsZeroTableFailsLoudly(t *testing.T) {
+	w := firWorkload(t)
+	eng, err := NewEngine(WithCosts(OpCosts{}), WithConstraint(30000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Partition(context.Background(), w); err == nil ||
+		!strings.Contains(err.Error(), "must be positive") {
+		t.Fatalf("zero cost table silently accepted or wrong error: %v", err)
+	}
+
+	// Legacy semantics preserved: zero Costs means "default table".
+	app, prof := compileFIR(t)
+	legacy := DefaultOptions()
+	legacy.Constraint = 30000
+	legacy.Costs = OpCosts{}
+	zeroed, err := app.Partition(prof, legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy.Costs = DefaultOpCosts()
+	explicit, err := app.Partition(prof, legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zeroed.Format() != explicit.Format() {
+		t.Fatal("legacy zero-value Costs no longer selects the default table")
+	}
+}
+
+// TestWorkloadLifecycle covers the non-engine surface of Workload.
+func TestWorkloadLifecycle(t *testing.T) {
+	w, err := NewWorkload(firSrc, "main_fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Entry() != "main_fn" || w.NumBlocks() == 0 {
+		t.Fatalf("workload malformed: entry=%q blocks=%d", w.Entry(), w.NumBlocks())
+	}
+	if err := w.SetInput("INPUT", []int32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetInput("NOPE", []int32{1}); err == nil {
+		t.Fatal("unknown input accepted")
+	}
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w.InstructionsExecuted() == 0 {
+		t.Fatal("no instructions counted")
+	}
+	if w.Data("OUTPUT") == nil {
+		t.Fatal("output array unreadable")
+	}
+	// Profiles accumulate across runs.
+	p1 := w.Profile()
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	p2 := w.Profile()
+	var s1, s2 uint64
+	for i := range p1.Freq {
+		s1 += p1.Freq[i]
+		s2 += p2.Freq[i]
+	}
+	if s2 <= s1 {
+		t.Fatalf("profile did not accumulate: %d then %d", s1, s2)
+	}
+	if w.App() == nil {
+		t.Fatal("App accessor broken")
+	}
+	if _, err := NewWorkload("not C", "f"); err == nil {
+		t.Fatal("parse error accepted")
+	}
+	if _, err := BenchmarkWorkload("nope", 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	var nilW *Workload
+	eng, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Partition(context.Background(), nilW); err == nil {
+		t.Fatal("nil workload accepted")
+	}
+	if _, err := eng.Analyze(nilW); err == nil {
+		t.Fatal("nil workload accepted by Analyze")
+	}
+}
+
+// TestEngineObserverSerializedDelivery: one engine, one observer, several
+// concurrent runs — delivery must be serialized so an unlocked observer is
+// safe (the race detector is the real assertion here).
+func TestEngineObserverSerializedDelivery(t *testing.T) {
+	w := firWorkload(t)
+	var events []Event // deliberately unsynchronized: the engine serializes
+	eng, err := NewEngine(
+		WithConstraint(1),
+		WithMaxMoves(3),
+		WithObserver(func(ev Event) { events = append(events, ev) }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := eng.Partition(context.Background(), w); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(events) != 4*3 {
+		t.Fatalf("lost events under concurrency: got %d, want 12", len(events))
+	}
+}
+
+// TestEngineSweepPresetSemantics: an empty cell preset inherits the
+// engine's platform; the literal "default" pins the paper baseline.
+func TestEngineSweepPresetSemantics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark compilation in -short mode")
+	}
+	eng, err := NewEngine(WithPlatform("dsp-rich"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := eng.Sweep(context.Background(), SweepSpec{
+		Benchmarks: []string{BenchOFDM},
+		Presets:    []string{"", "default", "dsp-rich"},
+		Seed:       1,
+		Workers:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inherit := rs.Find(BenchOFDM, "", 0, 0, 0)
+	paper := rs.Find(BenchOFDM, "default", 0, 0, 0)
+	dsp := rs.Find(BenchOFDM, "dsp-rich", 0, 0, 0)
+	if inherit == nil || paper == nil || dsp == nil {
+		t.Fatalf("missing cells: %+v", rs.Outcomes)
+	}
+	if inherit.InitialCycles != dsp.InitialCycles {
+		t.Fatalf("empty preset did not inherit the engine's dsp-rich platform: %d vs %d",
+			inherit.InitialCycles, dsp.InitialCycles)
+	}
+	if paper.InitialCycles == dsp.InitialCycles {
+		t.Fatal(`"default" preset did not pin the paper baseline on a configured engine`)
+	}
+}
+
+// TestBenchmarkRegistry keeps the CLI validation helper honest.
+func TestBenchmarkRegistry(t *testing.T) {
+	if !reflect.DeepEqual(Benchmarks(), []string{BenchOFDM, BenchJPEG}) {
+		t.Fatalf("registry wrong: %v", Benchmarks())
+	}
+	if !IsBenchmark(BenchOFDM) || !IsBenchmark(BenchJPEG) || IsBenchmark("nope") {
+		t.Fatal("IsBenchmark misclassifies")
+	}
+}

@@ -1,0 +1,67 @@
+package hybridpart
+
+// Event is a structured progress notification emitted by an Engine while a
+// run is in flight. Concrete types are MoveEvent, EnergyMoveEvent and
+// CellEvent; observers type-switch on the ones they care about.
+type Event interface{ isEvent() }
+
+// Observer receives an Engine's progress events. An Engine never invokes
+// its observer concurrently — events arrive one at a time (delivery is
+// serialized even across concurrent runs on the same engine), in a
+// deterministic order for a given run (per-move events follow the engine's
+// move trajectory; per-cell sweep events follow grid expansion order even
+// when cells are evaluated in parallel) — so observers need no locking of
+// their own. Observers run synchronously on the engine's goroutines: a slow
+// observer slows the run, and an observer must not call back into the same
+// engine's run methods.
+type Observer func(Event)
+
+// MoveEvent is emitted by Engine.Partition after each accepted kernel move:
+// one step of the move-by-move trajectory of the paper's Figure 2 loop.
+type MoveEvent struct {
+	// Seq is the 1-based move number within this run.
+	Seq int
+	// Block is the basic block just moved to the coarse-grain data-path.
+	Block int
+	// CGCCycles is the kernel's per-execution latency on the data-path in
+	// T_CGC cycles.
+	CGCCycles int64
+	// TotalAfter is t_total (FPGA cycles) after this move.
+	TotalAfter int64
+	// Constraint is the run's timing constraint; Met reports whether this
+	// move satisfied it (and therefore ended the run).
+	Constraint int64
+	Met        bool
+}
+
+// EnergyMoveEvent is emitted by Engine.PartitionEnergy after each accepted
+// kernel move of the energy-constrained engine.
+type EnergyMoveEvent struct {
+	// Seq is the 1-based move number within this run.
+	Seq int
+	// Block is the basic block just moved to the coarse-grain data-path.
+	Block int
+	// EnergyAfter is the total application energy after this move.
+	EnergyAfter float64
+	// Budget is the run's energy budget; Met reports whether this move
+	// satisfied it.
+	Budget float64
+	Met    bool
+}
+
+// CellEvent is emitted by Engine.Sweep as grid cells complete. Events
+// arrive strictly in expansion order (cell i is reported only after cells
+// 0..i-1), regardless of the worker count, so progress displays and logs
+// are deterministic.
+type CellEvent struct {
+	// Outcome is the completed cell, failures included (check
+	// Outcome.Failed()).
+	Outcome SweepOutcome
+	// Done counts reported cells so far (1-based); Total is the grid size.
+	Done  int
+	Total int
+}
+
+func (MoveEvent) isEvent()       {}
+func (EnergyMoveEvent) isEvent() {}
+func (CellEvent) isEvent()       {}

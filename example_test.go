@@ -1,6 +1,8 @@
 package hybridpart_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"hybridpart"
@@ -75,4 +77,90 @@ func ExampleApp_Partition() {
 	// constraint met: true
 	// kernels moved: true
 	// faster than all-FPGA: true
+}
+
+// ExampleEngine_Partition is the v2 flow: one Workload (compile + profile in
+// a single lifecycle), one Engine built from functional options, and the
+// move-by-move trajectory streaming through the observer.
+func ExampleEngine_Partition() {
+	w, err := hybridpart.NewWorkload(exampleSrc, "main_fn")
+	if err != nil {
+		fmt.Println("compile failed:", err)
+		return
+	}
+	if _, err := w.Run(); err != nil { // dynamic analysis
+		fmt.Println("run failed:", err)
+		return
+	}
+
+	ctx := context.Background()
+	loose, _ := hybridpart.NewEngine(hybridpart.WithConstraint(1 << 60))
+	allFPGA, err := loose.Partition(ctx, w)
+	if err != nil {
+		fmt.Println("partition failed:", err)
+		return
+	}
+
+	// Ask for half the all-FPGA execution time, forcing kernel moves, and
+	// watch the trajectory through the observer.
+	var moves []hybridpart.MoveEvent
+	eng, err := hybridpart.NewEngine(
+		hybridpart.WithConstraint(allFPGA.InitialCycles/2),
+		hybridpart.WithObserver(func(ev hybridpart.Event) {
+			if mv, ok := ev.(hybridpart.MoveEvent); ok {
+				moves = append(moves, mv)
+			}
+		}),
+	)
+	if err != nil {
+		fmt.Println("engine failed:", err)
+		return
+	}
+	res, err := eng.Partition(ctx, w)
+	if err != nil {
+		fmt.Println("partition failed:", err)
+		return
+	}
+	fmt.Println("constraint met:", res.Met)
+	fmt.Println("observed every move:", len(moves) == len(res.Moved) && len(moves) > 0)
+	fmt.Println("final move met constraint:", moves[len(moves)-1].Met)
+	// Output:
+	// constraint met: true
+	// observed every move: true
+	// final move met constraint: true
+}
+
+// ExampleEngine_Sweep shows context cancellation mid-grid: the observer
+// cancels after the first completed cell, and the sweep promptly returns
+// ctx.Err() instead of a result set.
+func ExampleEngine_Sweep() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	cells := 0
+	eng, err := hybridpart.NewEngine(
+		hybridpart.WithObserver(func(ev hybridpart.Event) {
+			if _, ok := ev.(hybridpart.CellEvent); ok {
+				cells++
+				cancel() // stop the exploration after one cell
+			}
+		}),
+	)
+	if err != nil {
+		fmt.Println("engine failed:", err)
+		return
+	}
+	rs, err := eng.Sweep(ctx, hybridpart.SweepSpec{
+		Benchmarks: []string{hybridpart.BenchOFDM},
+		Areas:      []int{1000, 1500, 2500, 5000},
+		CGCs:       []int{1, 2, 3},
+		Workers:    1,
+	})
+	fmt.Println("cancelled:", errors.Is(err, context.Canceled))
+	fmt.Println("partial results discarded:", rs == nil)
+	fmt.Println("cells before cancel:", cells)
+	// Output:
+	// cancelled: true
+	// partial results discarded: true
+	// cells before cancel: 1
 }

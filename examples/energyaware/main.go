@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,36 +12,39 @@ import (
 )
 
 func main() {
-	app, prof, err := hybridpart.ProfileBenchmark(hybridpart.BenchOFDM, 1)
+	ctx := context.Background()
+	w, err := hybridpart.BenchmarkWorkload(hybridpart.BenchOFDM, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := hybridpart.DefaultOptions()
+
+	partitionAt := func(budget float64) *hybridpart.EnergyResult {
+		eng, err := hybridpart.NewEngine(hybridpart.WithEnergyBudget(budget))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.PartitionEnergy(ctx, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
 
 	// Baseline: all-FPGA energy.
-	loose, err := app.PartitionEnergy(prof, opts, 1e18)
-	if err != nil {
-		log.Fatal(err)
-	}
+	loose := partitionAt(1e18)
 	fmt.Printf("all-FPGA energy: %.0f units\n", loose.InitialEnergy)
 	fmt.Printf("  fine=%.0f reconfig=%.0f\n\n", loose.Initial.Fine, loose.Initial.Reconfig)
 
 	fmt.Printf("%-10s %-12s %-8s %-8s %-12s\n", "budget", "final", "met", "moves", "%reduction")
 	for _, frac := range []float64{0.9, 0.7, 0.5, 0.3, 0.1} {
 		budget := loose.InitialEnergy * frac
-		res, err := app.PartitionEnergy(prof, opts, budget)
-		if err != nil {
-			log.Fatal(err)
-		}
+		res := partitionAt(budget)
 		fmt.Printf("%-10.0f %-12.0f %-8v %-8d %-12.1f\n",
 			budget, res.FinalEnergy, res.Met, len(res.Moved), res.ReductionPct())
 	}
 
 	// Breakdown at the 50% budget.
-	res, err := app.PartitionEnergy(prof, opts, loose.InitialEnergy*0.5)
-	if err != nil {
-		log.Fatal(err)
-	}
+	res := partitionAt(loose.InitialEnergy * 0.5)
 	fmt.Printf("\nbreakdown at 50%% budget: fine=%.0f coarse=%.0f reconfig=%.0f comm=%.0f\n",
 		res.Final.Fine, res.Final.Coarse, res.Final.Reconfig, res.Final.Comm)
 }

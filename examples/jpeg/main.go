@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,38 +12,43 @@ import (
 )
 
 func main() {
-	app, err := hybridpart.JPEGApp()
+	ctx := context.Background()
+
+	// BenchmarkWorkload compiles the encoder, loads the 256×256 test frame
+	// and executes it once with profiling; the encoded stream stays
+	// readable through the workload's data surface.
+	w, err := hybridpart.BenchmarkWorkload(hybridpart.BenchJPEG, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	img := hybridpart.JPEGImage(1)
-
-	// Execute the encoder once and inspect its output.
-	run := app.NewRunner()
-	if err := run.SetGlobal(hybridpart.JPEGImageArray, img); err != nil {
-		log.Fatal(err)
-	}
-	if _, err := run.Run(); err != nil {
-		log.Fatal(err)
-	}
-	bits := run.Global(hybridpart.JPEGBitsArray)[0]
-	fmt.Printf("JPEG encoder: %d basic blocks\n", app.NumBlocks())
+	bits := w.Data(hybridpart.JPEGBitsArray)[0]
+	fmt.Printf("JPEG encoder: %d basic blocks\n", w.NumBlocks())
 	fmt.Printf("encoded 256x256 frame: %d bits (%.2f bits/pixel, %.1fx compression)\n\n",
 		bits, float64(bits)/float64(hybridpart.JPEGPixels),
 		8*float64(hybridpart.JPEGPixels)/float64(bits))
 
-	prof := run.Profile()
-	an := app.Analyze(prof.Freq, hybridpart.DefaultOptions())
+	base, err := hybridpart.NewEngine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := base.Analyze(w)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("Table 1 (JPEG): ordered total weights of basic blocks")
 	fmt.Print(an.FormatTable(8))
 
 	const constraint = 21000000
 	fmt.Printf("\nTable 3: partitioning for a timing constraint of %d cycles\n", constraint)
 	for _, afpga := range []int{1500, 5000} {
-		opts := hybridpart.DefaultOptions()
-		opts.AFPGA = afpga
-		opts.Constraint = constraint
-		res, err := app.Partition(prof, opts)
+		eng, err := hybridpart.NewEngine(
+			hybridpart.WithArea(afpga),
+			hybridpart.WithConstraint(constraint),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.Partition(ctx, w)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,13 +12,21 @@ import (
 )
 
 func main() {
-	app, prof, err := hybridpart.ProfileBenchmark(hybridpart.BenchOFDM, 1)
+	ctx := context.Background()
+	w, err := hybridpart.BenchmarkWorkload(hybridpart.BenchOFDM, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("OFDM transmitter: %d basic blocks, 6 payload symbols profiled\n\n", app.NumBlocks())
+	fmt.Printf("OFDM transmitter: %d basic blocks, 6 payload symbols profiled\n\n", w.NumBlocks())
 
-	an := app.Analyze(prof.Freq, hybridpart.DefaultOptions())
+	base, err := hybridpart.NewEngine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := base.Analyze(w)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("Table 1 (OFDM): ordered total weights of basic blocks")
 	fmt.Print(an.FormatTable(8))
 
@@ -25,11 +34,15 @@ func main() {
 	fmt.Printf("\nTable 2: partitioning for a timing constraint of %d cycles\n", constraint)
 	for _, afpga := range []int{1500, 5000} {
 		for _, ncgc := range []int{2, 3} {
-			opts := hybridpart.DefaultOptions()
-			opts.AFPGA = afpga
-			opts.NumCGCs = ncgc
-			opts.Constraint = constraint
-			res, err := app.Partition(prof, opts)
+			eng, err := hybridpart.NewEngine(
+				hybridpart.WithArea(afpga),
+				hybridpart.WithCGCs(ncgc),
+				hybridpart.WithConstraint(constraint),
+			)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := eng.Partition(ctx, w)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,13 +13,15 @@ import (
 )
 
 func main() {
-	app, prof, err := hybridpart.ProfileBenchmark(hybridpart.BenchOFDM, 1)
+	w, err := hybridpart.BenchmarkWorkload(hybridpart.BenchOFDM, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := hybridpart.DefaultOptions()
-	opts.Constraint = 60000
-	res, err := app.Partition(prof, opts)
+	eng, err := hybridpart.NewEngine(hybridpart.WithConstraint(60000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eng.Partition(context.Background(), w)
 	if err != nil {
 		log.Fatal(err)
 	}

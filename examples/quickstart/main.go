@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -47,41 +48,49 @@ int main_fn() {
 `
 
 func main() {
-	// Step 1: CDFG creation — compile and flatten.
-	app, err := hybridpart.Compile(src, "main_fn")
+	ctx := context.Background()
+
+	// Step 1: CDFG creation — compile and flatten into a Workload.
+	w, err := hybridpart.NewWorkload(src, "main_fn")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("compiled: %d basic blocks\n", app.NumBlocks())
+	fmt.Printf("compiled: %d basic blocks\n", w.NumBlocks())
 
 	// Dynamic analysis: execute once with profiling.
-	run := app.NewRunner()
-	result, err := run.Run()
+	result, err := w.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("executed: result=%d, %d IR instructions\n", result, run.InstructionsExecuted())
-	prof := run.Profile()
+	fmt.Printf("executed: result=%d, %d IR instructions\n", result, w.InstructionsExecuted())
 
 	// Step 3: kernel extraction and ordering (Table 1 style).
-	opts := hybridpart.DefaultOptions()
-	an := app.Analyze(prof.Freq, opts)
+	loose, err := hybridpart.NewEngine(hybridpart.WithConstraint(1 << 60))
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := loose.Analyze(w)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nkernel report (top 5):")
 	fmt.Print(an.FormatTable(5))
 
 	// Steps 2+4+5: partition for a timing constraint at 40% of the
 	// all-FPGA time.
-	loose := opts
-	loose.Constraint = 1 << 60
-	allFPGA, err := app.Partition(prof, loose)
+	allFPGA, err := loose.Partition(ctx, w)
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts.Constraint = allFPGA.InitialCycles * 4 / 10
-	res, err := app.Partition(prof, opts)
+	constraint := allFPGA.InitialCycles * 4 / 10
+	eng, err := hybridpart.NewEngine(hybridpart.WithConstraint(constraint))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\npartitioning for constraint %d cycles:\n", opts.Constraint)
+	res, err := eng.Partition(ctx, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npartitioning for constraint %d cycles:\n", constraint)
 	fmt.Print(res.Format())
 }

@@ -1,7 +1,8 @@
 package hybridpart
 
 import (
-	"hybridpart/internal/energy"
+	"context"
+
 	"hybridpart/internal/ir"
 	"hybridpart/internal/pipeline"
 )
@@ -69,29 +70,16 @@ func (r *EnergyResult) ReductionPct() float64 {
 
 // PartitionEnergy runs the energy-constrained engine: kernels move in
 // analysis order until total energy fits the budget.
+//
+// This is the v1 compatibility shim: it delegates to a single-use Engine
+// configured via WithOptions and WithEnergyBudget, with no cancellation and
+// no observer. New code should call Engine.PartitionEnergy.
 func (a *App) PartitionEnergy(p *RunProfile, opts Options, budget float64) (*EnergyResult, error) {
-	rep := a.analyze(p.Freq, opts.weights())
-	res, err := energy.Partition(a.fprog, a.flat, rep, energy.Config{
-		Platform: opts.platform(),
-		Costs:    energy.DefaultCosts(),
-		Budget:   budget,
-		Order:    opts.Order,
-		Edges:    p.edges,
-	})
+	eng, err := NewEngine(WithOptions(opts), WithEnergyBudget(budget))
 	if err != nil {
 		return nil, err
 	}
-	out := &EnergyResult{
-		InitialEnergy: res.InitialEnergy,
-		FinalEnergy:   res.FinalEnergy,
-		Initial:       EnergyBreakdown(res.Initial),
-		Final:         EnergyBreakdown(res.Final),
-		Budget:        res.Budget,
-		Met:           res.Met,
-	}
-	out.Moved = blockIDsToInts(res.Moved)
-	out.Unmappable = blockIDsToInts(res.Unmappable)
-	return out, nil
+	return eng.partitionEnergyApp(context.Background(), a, p)
 }
 
 func blockIDsToInts(ids []ir.BlockID) []int {

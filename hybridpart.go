@@ -1,9 +1,12 @@
 package hybridpart
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"hybridpart/internal/analysis"
@@ -11,7 +14,6 @@ import (
 	"hybridpart/internal/interp"
 	"hybridpart/internal/ir"
 	"hybridpart/internal/lower"
-	"hybridpart/internal/partition"
 	"hybridpart/internal/platform"
 )
 
@@ -260,12 +262,22 @@ func DefaultOptions() Options {
 	}
 }
 
+// platform materializes the characterization with the legacy defaulting
+// rule: a zero-value Costs table (OpCosts.IsZero) selects the default
+// characterization, so Options built literally keep their v1 meaning. The
+// v2 Engine's WithCosts bypasses this rule and uses its table verbatim.
 func (o Options) platform() platform.Platform {
 	costs := o.Costs
-	if costs == (OpCosts{}) {
+	if costs.IsZero() {
 		costs = platform.DefaultOpCosts()
 	}
-	p := platform.Platform{
+	return o.platformUsing(costs)
+}
+
+// platformUsing materializes the characterization with an explicit operator
+// cost table, applying no defaulting at all.
+func (o Options) platformUsing(costs OpCosts) platform.Platform {
+	return platform.Platform{
 		Fine: platform.FineGrain{
 			Area:           o.AFPGA,
 			ReconfigCycles: o.ReconfigCycles,
@@ -281,7 +293,6 @@ func (o Options) platform() platform.Platform {
 		},
 		Comm: platform.Comm{CyclesPerWord: o.CommCyclesPerWord, SyncCycles: o.CommSyncCycles},
 	}
-	return p
 }
 
 func (o Options) weights() analysis.Weights {
@@ -343,7 +354,6 @@ type Result struct {
 	Moved             []int
 	Unmappable        []int
 	Skipped           []int
-	table             string
 }
 
 // ReductionPct is the % cycle reduction over the all-FPGA mapping.
@@ -354,44 +364,37 @@ func (r *Result) ReductionPct() float64 {
 	return 100 * float64(r.InitialCycles-r.FinalCycles) / float64(r.InitialCycles)
 }
 
-// Format renders the result in the layout of the paper's Tables 2–3.
-func (r *Result) Format() string { return r.table }
+// Format renders the result in the layout of the paper's Tables 2–3. The
+// table is built on demand — sweeps produce thousands of Results whose
+// formatting would otherwise be wasted — and must stay byte-identical to
+// the internal engine's FormatTable.
+func (r *Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Initial cycles (all-FPGA): %d\n", r.InitialCycles)
+	fmt.Fprintf(&sb, "Timing constraint:         %d\n", r.Constraint)
+	fmt.Fprintf(&sb, "Cycles in CGC:             %d\n", r.CyclesInCGC)
+	ids := make([]string, len(r.Moved))
+	for i, b := range r.Moved {
+		ids[i] = strconv.Itoa(b)
+	}
+	fmt.Fprintf(&sb, "BB no. moved:              %s\n", strings.Join(ids, ", "))
+	fmt.Fprintf(&sb, "Final cycles:              %d\n", r.FinalCycles)
+	fmt.Fprintf(&sb, "%% cycles reduction:        %.1f\n", r.ReductionPct())
+	fmt.Fprintf(&sb, "Constraint met:            %v\n", r.Met)
+	return sb.String()
+}
 
 // Partition runs the full methodology (steps 2–5) for the given profile and
 // options.
+//
+// This is the v1 compatibility shim: it delegates to a single-use Engine
+// configured via WithOptions, with no cancellation and no observer. New
+// code should build a Workload and call Engine.Partition, which adds
+// context cancellation and move-by-move progress events.
 func (a *App) Partition(p *RunProfile, opts Options) (*Result, error) {
-	an := a.Analyze(p.Freq, opts)
-	res, err := partition.Partition(a.fprog, a.flat, an.rep, partition.Config{
-		Platform:         opts.platform(),
-		Constraint:       opts.Constraint,
-		Order:            opts.Order,
-		Edges:            p.edges,
-		MaxMoves:         opts.MaxMoves,
-		SkipNonImproving: opts.SkipNonImproving,
-	})
+	eng, err := NewEngine(WithOptions(opts))
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{
-		InitialCycles:     res.InitialCycles,
-		InitialPartitions: res.InitialPartitions,
-		FinalCycles:       res.FinalCycles,
-		CyclesInCGC:       res.CyclesInCGC,
-		TFPGA:             res.TFPGA,
-		TCoarse:           res.TCoarse,
-		TComm:             res.TComm,
-		Constraint:        res.Constraint,
-		Met:               res.Met,
-		table:             res.FormatTable(),
-	}
-	for _, b := range res.Moved {
-		out.Moved = append(out.Moved, int(b))
-	}
-	for _, b := range res.Unmappable {
-		out.Unmappable = append(out.Unmappable, int(b))
-	}
-	for _, b := range res.Skipped {
-		out.Skipped = append(out.Skipped, int(b))
-	}
-	return out, nil
+	return eng.partitionApp(context.Background(), a, p)
 }

@@ -7,6 +7,7 @@
 package energy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -115,6 +116,16 @@ type Config struct {
 	// Edges carries the profiled transition counts for the reconfiguration
 	// model.
 	Edges []finegrain.EdgeFreq
+	// OnMove, when non-nil, is called synchronously after every accepted
+	// kernel move with the move just recorded, in trajectory order.
+	OnMove func(Move)
+}
+
+// Move records one accepted kernel move and the system energy after it.
+type Move struct {
+	Block ir.BlockID
+	// EnergyAfter is the total application energy after this move.
+	EnergyAfter float64
 }
 
 // Result reports an energy-constrained partitioning outcome.
@@ -176,8 +187,16 @@ func Evaluate(f *ir.Function, freq []uint64, moved map[ir.BlockID]bool,
 
 // Partition runs the energy-constrained engine: kernels move one by one (in
 // analysis order) to the coarse-grain data-path until the energy budget is
-// met. Kernels the data-path cannot execute are skipped.
-func Partition(prog *ir.Program, f *ir.Function, rep *analysis.Report, cfg Config) (*Result, error) {
+// met. Kernels the data-path cannot execute are skipped. The context is
+// checked between moves; cancelling it returns ctx.Err(). A nil ctx means
+// context.Background().
+func Partition(ctx context.Context, prog *ir.Program, f *ir.Function, rep *analysis.Report, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := cfg.Platform.Validate(); err != nil {
 		return nil, err
 	}
@@ -214,6 +233,9 @@ func Partition(prog *ir.Program, f *ir.Function, rep *analysis.Report, cfg Confi
 
 	arrLen := coarsegrain.ArrLenOf(prog, f)
 	for _, k := range analysis.OrderKernels(rep, cfg.Order) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		blk := f.Block(k)
 		if _, err := coarsegrain.MapDFG(ir.BuildDFG(f, blk), cfg.Platform.Coarse, arrLen); err != nil {
 			if errors.Is(err, coarsegrain.ErrUnmappable) {
@@ -230,6 +252,9 @@ func Partition(prog *ir.Program, f *ir.Function, rep *analysis.Report, cfg Confi
 		}
 		res.Final = bd
 		res.FinalEnergy = bd.Total()
+		if cfg.OnMove != nil {
+			cfg.OnMove(Move{Block: k, EnergyAfter: res.FinalEnergy})
+		}
 		if res.FinalEnergy <= cfg.Budget {
 			res.Met = true
 			return res, nil

@@ -1,6 +1,8 @@
 package energy
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"hybridpart/internal/analysis"
@@ -108,7 +110,7 @@ func TestPartitionMeetsBudget(t *testing.T) {
 	}
 	// First find the achievable range.
 	cfg.Budget = 1e18
-	loose, err := Partition(a.prog, a.fn, a.rep, cfg)
+	loose, err := Partition(context.Background(), a.prog, a.fn, a.rep, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +119,7 @@ func TestPartitionMeetsBudget(t *testing.T) {
 	}
 
 	cfg.Budget = loose.InitialEnergy * 0.7
-	res, err := Partition(a.prog, a.fn, a.rep, cfg)
+	res, err := Partition(context.Background(), a.prog, a.fn, a.rep, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +139,7 @@ func TestPartitionMeetsBudget(t *testing.T) {
 
 func TestPartitionImpossibleBudget(t *testing.T) {
 	a := prepare(t, hotSrc, "f", interp.Int(4))
-	res, err := Partition(a.prog, a.fn, a.rep, Config{
+	res, err := Partition(context.Background(), a.prog, a.fn, a.rep, Config{
 		Platform: platform.Paper(1500, 2),
 		Costs:    DefaultCosts(),
 		Budget:   1, // unreachable
@@ -156,14 +158,14 @@ func TestPartitionImpossibleBudget(t *testing.T) {
 
 func TestConfigValidation(t *testing.T) {
 	a := prepare(t, hotSrc, "f", interp.Int(1))
-	if _, err := Partition(a.prog, a.fn, a.rep, Config{
+	if _, err := Partition(context.Background(), a.prog, a.fn, a.rep, Config{
 		Platform: platform.Default(), Costs: DefaultCosts(), Budget: 0,
 	}); err == nil {
 		t.Fatal("zero budget accepted")
 	}
 	bad := DefaultCosts()
 	bad.FineMul = -1
-	if _, err := Partition(a.prog, a.fn, a.rep, Config{
+	if _, err := Partition(context.Background(), a.prog, a.fn, a.rep, Config{
 		Platform: platform.Default(), Costs: bad, Budget: 100,
 	}); err == nil {
 		t.Fatal("negative cost accepted")
@@ -188,7 +190,7 @@ int f(int n) {
     return s;
 }`
 	a := prepare(t, src, "f", interp.Int(50))
-	res, err := Partition(a.prog, a.fn, a.rep, Config{
+	res, err := Partition(context.Background(), a.prog, a.fn, a.rep, Config{
 		Platform: platform.Paper(1500, 2),
 		Costs:    DefaultCosts(),
 		Budget:   1,
@@ -199,5 +201,54 @@ int f(int n) {
 	}
 	if len(res.Unmappable) == 0 {
 		t.Fatal("division kernel not skipped")
+	}
+}
+
+func TestContextCancellationAndOnMove(t *testing.T) {
+	a := prepare(t, hotSrc, "f", interp.Int(4))
+	cfg := Config{
+		Platform: platform.Paper(1500, 2),
+		Costs:    DefaultCosts(),
+		Edges:    a.edges,
+	}
+
+	// Pre-cancelled: the engine must not start.
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg.Budget = 1
+	if _, err := Partition(dead, a.prog, a.fn, a.rep, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+
+	// The OnMove stream matches the recorded moves, and cancelling from
+	// the hook stops the trajectory.
+	var hooked []Move
+	cfg.Budget = 1 // unreachable: every candidate would move
+	cfg.OnMove = func(m Move) { hooked = append(hooked, m) }
+	res, err := Partition(context.Background(), a.prog, a.fn, a.rep, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hooked) != len(res.Moved) {
+		t.Fatalf("%d hook calls for %d moves", len(hooked), len(res.Moved))
+	}
+	for i, m := range hooked {
+		if m.Block != res.Moved[i] {
+			t.Fatalf("hook %d reported block %d, moved %d", i, m.Block, res.Moved[i])
+		}
+	}
+	if hooked[len(hooked)-1].EnergyAfter != res.FinalEnergy {
+		t.Fatal("last hook energy != final energy")
+	}
+
+	ctx, cancelMid := context.WithCancel(context.Background())
+	defer cancelMid()
+	calls := 0
+	cfg.OnMove = func(Move) { calls++; cancelMid() }
+	if _, err := Partition(ctx, a.prog, a.fn, a.rep, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("engine kept moving after cancellation: %d moves", calls)
 	}
 }

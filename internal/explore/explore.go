@@ -16,6 +16,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -209,18 +210,42 @@ func (o Outcome) CGCsUsed() int {
 // multiple goroutines, so implementations must be safe for concurrent use.
 type Evaluator func(Point) (Outcome, error)
 
+// Progress observes completed cells. Run invokes it strictly in expansion
+// order — outcome i is reported only after outcomes 0..i-1 — regardless of
+// the order the worker pool finishes them, and never concurrently, so the
+// callback needs no synchronization of its own. done counts reported cells
+// (1-based) and total is the grid size.
+type Progress func(o Outcome, done, total int)
+
 // Run expands the spec and evaluates every point on a pool of
 // min(spec.Workers, #points) goroutines (GOMAXPROCS workers when
 // spec.Workers is 0). Evaluation errors do not abort the sweep: they are
 // recorded per point in Outcome.Err so one infeasible cell cannot discard
 // the rest of the grid. Outcomes are stored in expansion order, making the
 // ResultSet bit-identical for any worker count.
-func Run(spec Spec, eval Evaluator) (*ResultSet, error) {
+//
+// Cancelling ctx aborts the sweep: in-flight evaluations finish (or bail at
+// their own cancellation points when the evaluator honors ctx), queued cells
+// are never started, and Run returns ctx.Err() with no ResultSet. A nil ctx
+// means context.Background().
+func Run(ctx context.Context, spec Spec, eval Evaluator) (*ResultSet, error) {
+	return RunObserved(ctx, spec, eval, nil)
+}
+
+// RunObserved is Run with a per-cell progress callback (nil is allowed and
+// equivalent to Run).
+func RunObserved(ctx context.Context, spec Spec, eval Evaluator, progress Progress) (*ResultSet, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	if eval == nil {
 		return nil, fmt.Errorf("explore: nil evaluator")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	points := spec.Expand()
 	outcomes := make([]Outcome, len(points))
@@ -233,6 +258,32 @@ func Run(spec Spec, eval Evaluator) (*ResultSet, error) {
 		workers = len(points)
 	}
 
+	// Completed cells are reported in expansion order through a reassembly
+	// cursor: a finished cell is parked until every earlier cell has been
+	// reported, which makes the Progress stream deterministic for any worker
+	// count. After cancellation nothing further is reported.
+	var emitMu sync.Mutex
+	finished := make([]bool, len(points))
+	cursor, reported := 0, 0
+	complete := func(i int) {
+		if progress == nil {
+			return
+		}
+		emitMu.Lock()
+		defer emitMu.Unlock()
+		if ctx.Err() != nil {
+			return
+		}
+		finished[i] = true
+		// Re-check cancellation per emission: the callback itself may cancel
+		// (the "stop after N cells" pattern) and must then hear nothing more.
+		for cursor < len(points) && finished[cursor] && ctx.Err() == nil {
+			reported++
+			progress(outcomes[cursor], reported, len(points))
+			cursor++
+		}
+	}
+
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -240,6 +291,9 @@ func Run(spec Spec, eval Evaluator) (*ResultSet, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if ctx.Err() != nil {
+					continue // drain: the sweep is being abandoned
+				}
 				o, err := eval(points[i])
 				if err != nil {
 					o = Outcome{Point: points[i], Err: err.Error()}
@@ -247,14 +301,23 @@ func Run(spec Spec, eval Evaluator) (*ResultSet, error) {
 					o.Point = points[i]
 				}
 				outcomes[i] = o
+				complete(i)
 			}
 		}()
 	}
 	for i := range points {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			close(jobs)
+			wg.Wait()
+			return nil, ctx.Err()
+		}
 	}
 	close(jobs)
 	wg.Wait()
-
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return &ResultSet{Spec: spec, Outcomes: outcomes}, nil
 }

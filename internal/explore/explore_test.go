@@ -2,6 +2,8 @@ package explore
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"reflect"
 	"strings"
@@ -103,7 +105,7 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 		s := base
 		s.Workers = workers
 		var calls atomic.Int64
-		rs, err := Run(s, func(p Point) (Outcome, error) {
+		rs, err := Run(context.Background(), s, func(p Point) (Outcome, error) {
 			calls.Add(1)
 			return fakeEval(p)
 		})
@@ -129,7 +131,7 @@ func TestRunSharesEvaluatorSafely(t *testing.T) {
 	var mu sync.Mutex
 	seen := map[int]bool{}
 	s := Spec{Benchmarks: []string{"a"}, Areas: []int{1, 2, 3, 4, 5, 6, 7, 8}, Workers: 4}
-	_, err := Run(s, func(p Point) (Outcome, error) {
+	_, err := Run(context.Background(), s, func(p Point) (Outcome, error) {
 		mu.Lock()
 		defer mu.Unlock()
 		if seen[p.Index] {
@@ -148,7 +150,7 @@ func TestRunSharesEvaluatorSafely(t *testing.T) {
 
 func TestRunRecordsPerPointErrors(t *testing.T) {
 	s := Spec{Benchmarks: []string{"ok", "boom"}, Areas: []int{1500}, CGCs: []int{2}, Workers: 2}
-	rs, err := Run(s, func(p Point) (Outcome, error) {
+	rs, err := Run(context.Background(), s, func(p Point) (Outcome, error) {
 		if p.Benchmark == "ok" {
 			return Outcome{InitialCycles: 10, FinalCycles: 5}, nil
 		}
@@ -167,10 +169,10 @@ func TestRunRecordsPerPointErrors(t *testing.T) {
 }
 
 func TestRunRejectsBadInput(t *testing.T) {
-	if _, err := Run(Spec{}, fakeEval); err == nil {
+	if _, err := Run(context.Background(), Spec{}, fakeEval); err == nil {
 		t.Fatal("invalid spec accepted")
 	}
-	if _, err := Run(Spec{Benchmarks: []string{"a"}}, nil); err == nil {
+	if _, err := Run(context.Background(), Spec{Benchmarks: []string{"a"}}, nil); err == nil {
 		t.Fatal("nil evaluator accepted")
 	}
 }
@@ -189,7 +191,7 @@ func goldenSpec() Spec {
 
 func goldenResultSet(t *testing.T) *ResultSet {
 	t.Helper()
-	rs, err := Run(goldenSpec(), func(p Point) (Outcome, error) {
+	rs, err := Run(context.Background(), goldenSpec(), func(p Point) (Outcome, error) {
 		return Outcome{
 			InitialCycles:       int64(100 * p.AFPGA),
 			InitialPartitions:   4,
@@ -348,5 +350,78 @@ func TestFormatSummary(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Fatalf("summary missing %q:\n%s", want, s)
 		}
+	}
+}
+
+func TestRunObservedOrderedProgress(t *testing.T) {
+	// A finished cell must be parked until every earlier cell is reported:
+	// the progress stream is expansion-ordered for any worker count.
+	s := Spec{
+		Benchmarks: []string{"a", "b"},
+		Areas:      []int{1000, 1500, 5000},
+		CGCs:       []int{1, 2, 3},
+	}
+	for _, workers := range []int{1, 3, 16} {
+		spec := s
+		spec.Workers = workers
+		var events []int
+		rs, err := RunObserved(context.Background(), spec, fakeEval, func(o Outcome, done, total int) {
+			if done != len(events)+1 || total != spec.NumPoints() {
+				t.Fatalf("workers=%d: done=%d total=%d after %d events", workers, done, total, len(events))
+			}
+			events = append(events, o.Index)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(events) != len(rs.Outcomes) {
+			t.Fatalf("workers=%d: %d events for %d outcomes", workers, len(events), len(rs.Outcomes))
+		}
+		for i, idx := range events {
+			if idx != i {
+				t.Fatalf("workers=%d: event %d reported cell %d (want expansion order)", workers, i, idx)
+			}
+		}
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	s := Spec{Benchmarks: []string{"a"}, Areas: []int{1, 2, 3, 4, 5, 6, 7, 8}, Workers: 1}
+
+	// Pre-cancelled contexts never start evaluating.
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	if _, err := Run(dead, s, func(p Point) (Outcome, error) {
+		calls.Add(1)
+		return Outcome{}, nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("pre-cancelled run evaluated %d cells", calls.Load())
+	}
+
+	// Cancelling from the progress callback stops emission immediately and
+	// surfaces ctx.Err() instead of a ResultSet.
+	ctx, cancelMid := context.WithCancel(context.Background())
+	defer cancelMid()
+	var reported []int
+	rs, err := RunObserved(ctx, s, fakeEval, func(o Outcome, done, total int) {
+		reported = append(reported, o.Index)
+		if done == 2 {
+			cancelMid()
+		}
+	})
+	if !errors.Is(err, context.Canceled) || rs != nil {
+		t.Fatalf("want (nil, context.Canceled), got (%v, %v)", rs, err)
+	}
+	if len(reported) != 2 {
+		t.Fatalf("progress kept streaming after cancellation: %v", reported)
+	}
+
+	// A nil context means context.Background().
+	if _, err := Run(nil, s, fakeEval); err != nil {
+		t.Fatalf("nil context rejected: %v", err)
 	}
 }

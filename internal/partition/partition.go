@@ -14,6 +14,7 @@
 package partition
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -45,6 +46,10 @@ type Config struct {
 	// engine moves unconditionally; this switch exists for the ablation
 	// benches.
 	SkipNonImproving bool
+	// OnMove, when non-nil, is called synchronously after every accepted
+	// kernel move with the move just recorded. It runs on the engine's own
+	// goroutine, so callbacks observe moves in trajectory order.
+	OnMove func(Move)
 }
 
 // Move records one accepted kernel move and the resulting system state.
@@ -110,8 +115,16 @@ func (r *Result) ReductionPct() float64 {
 var ErrInfeasible = errors.New("partition: mapping infeasible")
 
 // Partition runs the engine on the flat function f of prog using the
-// analysis report rep (which must describe f).
-func Partition(prog *ir.Program, f *ir.Function, rep *analysis.Report, cfg Config) (*Result, error) {
+// analysis report rep (which must describe f). The context is checked
+// between kernel moves: cancelling it makes the engine return ctx.Err()
+// without finishing the trajectory. A nil ctx means context.Background().
+func Partition(ctx context.Context, prog *ir.Program, f *ir.Function, rep *analysis.Report, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := cfg.Platform.Validate(); err != nil {
 		return nil, err
 	}
@@ -168,6 +181,9 @@ func Partition(prog *ir.Program, f *ir.Function, rep *analysis.Report, cfg Confi
 
 	// Step 4: move kernels one by one until the constraint is met.
 	for _, k := range kernels {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if cfg.MaxMoves > 0 && len(res.Moved) >= cfg.MaxMoves {
 			break
 		}
@@ -211,7 +227,11 @@ func Partition(prog *ir.Program, f *ir.Function, rep *analysis.Report, cfg Confi
 		res.TFPGA, res.TCoarse, res.TComm = tFPGA, tCoarse, tComm
 		res.FinalCycles = total
 		res.CyclesInCGC = tCoarse
-		res.Moves = append(res.Moves, Move{Block: k, CGCCycles: sched.Latency, TotalAfter: total})
+		mv := Move{Block: k, CGCCycles: sched.Latency, TotalAfter: total}
+		res.Moves = append(res.Moves, mv)
+		if cfg.OnMove != nil {
+			cfg.OnMove(mv)
+		}
 		if total <= cfg.Constraint {
 			res.Met = true
 			return res, nil

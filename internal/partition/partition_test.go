@@ -1,6 +1,9 @@
 package partition
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -53,7 +56,7 @@ func prepare(t *testing.T, src, entry string, args ...interp.Arg) prepared {
 func (p prepared) run(t *testing.T, cfg Config) *Result {
 	t.Helper()
 	cfg.Edges = p.edges
-	res, err := Partition(p.prog, p.fn, p.rep, cfg)
+	res, err := Partition(context.Background(), p.prog, p.fn, p.rep, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,15 +207,15 @@ int f(int n) {
 
 func TestConfigValidation(t *testing.T) {
 	p := prepare(t, hotLoopSrc, "f", interp.Int(2))
-	if _, err := Partition(p.prog, p.fn, p.rep, Config{Platform: platform.Default(), Constraint: 0}); err == nil {
+	if _, err := Partition(context.Background(), p.prog, p.fn, p.rep, Config{Platform: platform.Default(), Constraint: 0}); err == nil {
 		t.Fatal("zero constraint accepted")
 	}
 	bad := platform.Default()
 	bad.Fine.Area = -5
-	if _, err := Partition(p.prog, p.fn, p.rep, Config{Platform: bad, Constraint: 100}); err == nil {
+	if _, err := Partition(context.Background(), p.prog, p.fn, p.rep, Config{Platform: bad, Constraint: 100}); err == nil {
 		t.Fatal("invalid platform accepted")
 	}
-	if _, err := Partition(p.prog, p.fn, &analysis.Report{}, Config{Platform: platform.Default(), Constraint: 100}); err == nil {
+	if _, err := Partition(context.Background(), p.prog, p.fn, &analysis.Report{}, Config{Platform: platform.Default(), Constraint: 100}); err == nil {
 		t.Fatal("mismatched report accepted")
 	}
 }
@@ -304,5 +307,62 @@ func TestFormatTable(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("table lacks %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestContextCancellationBetweenMoves(t *testing.T) {
+	p := prepare(t, hotLoopSrc, "f", interp.Int(4))
+
+	// Pre-cancelled: the engine must not start.
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Partition(dead, p.prog, p.fn, p.rep,
+		Config{Platform: platform.Default(), Constraint: 100}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+
+	// Cancelling from the OnMove hook stops the trajectory after that move.
+	ctx, cancelMid := context.WithCancel(context.Background())
+	defer cancelMid()
+	moves := 0
+	_, err := Partition(ctx, p.prog, p.fn, p.rep, Config{
+		Platform:   platform.Default(),
+		Constraint: 1, // unreachable: would move every candidate
+		Edges:      p.edges,
+		OnMove: func(Move) {
+			moves++
+			cancelMid()
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if moves != 1 {
+		t.Fatalf("engine kept moving after cancellation: %d moves", moves)
+	}
+
+	// A nil context means context.Background().
+	if _, err := Partition(nil, p.prog, p.fn, p.rep,
+		Config{Platform: platform.Default(), Constraint: 1 << 60, Edges: p.edges}); err != nil {
+		t.Fatalf("nil context rejected: %v", err)
+	}
+}
+
+func TestOnMoveMatchesMoves(t *testing.T) {
+	p := prepare(t, hotLoopSrc, "f", interp.Int(4))
+	var hooked []Move
+	cfg := Config{
+		Platform:   platform.Default(),
+		Constraint: 1,
+		MaxMoves:   3,
+		Edges:      p.edges,
+		OnMove:     func(m Move) { hooked = append(hooked, m) },
+	}
+	res, err := Partition(context.Background(), p.prog, p.fn, p.rep, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hooked) == 0 || !reflect.DeepEqual(hooked, res.Moves) {
+		t.Fatalf("hook stream %v != recorded moves %v", hooked, res.Moves)
 	}
 }

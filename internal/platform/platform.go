@@ -41,6 +41,15 @@ func DefaultOpCosts() OpCosts {
 	}
 }
 
+// IsZero reports whether the table is the zero value, i.e. no
+// characterization was supplied at all. Callers that default a zero table
+// must use this helper rather than comparing against OpCosts{} inline, so
+// the "unset" test is a single, documented decision point: a table with any
+// field set — even a deliberately cheap one — is never mistaken for unset,
+// and a genuinely all-zero table fails Platform.Validate with a precise
+// diagnostic instead of being silently replaced downstream.
+func (oc OpCosts) IsZero() bool { return oc == OpCosts{} }
+
 // FineGrain characterizes the embedded FPGA block.
 type FineGrain struct {
 	// Area is A_FPGA: the usable area for mapped operators, already

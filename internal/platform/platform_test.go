@@ -75,3 +75,16 @@ func TestStringMentionsComponents(t *testing.T) {
 		}
 	}
 }
+
+func TestOpCostsIsZero(t *testing.T) {
+	if !(OpCosts{}).IsZero() {
+		t.Fatal("zero value not detected")
+	}
+	if DefaultOpCosts().IsZero() {
+		t.Fatal("default table reported as zero")
+	}
+	// Any single field set means "supplied", even a mostly-free table.
+	if (OpCosts{LatALU: 1}).IsZero() {
+		t.Fatal("partially-set table reported as zero")
+	}
+}

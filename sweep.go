@@ -1,6 +1,7 @@
 package hybridpart
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -43,18 +44,7 @@ func OptionsFor(preset string) (Options, error) {
 	if !ok {
 		return Options{}, fmt.Errorf("hybridpart: unknown platform preset %q (have %v)", preset, platform.Names())
 	}
-	p := cfg.Platform
-	opts.AFPGA = p.Fine.Area
-	opts.ReconfigCycles = p.Fine.ReconfigCycles
-	opts.Costs = p.Fine.Costs
-	opts.NumCGCs = p.Coarse.NumCGCs
-	opts.CGCRows = p.Coarse.Rows
-	opts.CGCCols = p.Coarse.Cols
-	opts.MemPorts = p.Coarse.MemPorts
-	opts.ClockRatio = p.Coarse.ClockRatio
-	opts.RegBankWords = p.Coarse.RegBankWords
-	opts.CommCyclesPerWord = p.Comm.CyclesPerWord
-	opts.CommSyncCycles = p.Comm.SyncCycles
+	applyPlatform(&opts, cfg.Platform)
 	return opts, nil
 }
 
@@ -124,53 +114,15 @@ func ProfileBenchmarkCached(name string, seed uint32) (*App, *RunProfile, error)
 // worker pool. Per-cell failures are recorded in the outcome's Err field
 // rather than aborting the sweep; the outcomes are in expansion order
 // regardless of the worker count.
+//
+// This is the v1 compatibility shim: it delegates to a default-configured
+// Engine with no cancellation and no observer. New code should call
+// Engine.Sweep, which adds context cancellation and per-cell progress
+// events.
 func Sweep(spec SweepSpec) (*SweepResult, error) {
-	return explore.Run(spec, func(p SweepPoint) (SweepOutcome, error) {
-		app, prof, err := ProfileBenchmarkCached(p.Benchmark, spec.Seed)
-		if err != nil {
-			return SweepOutcome{}, err
-		}
-		opts, err := OptionsFor(p.Preset)
-		if err != nil {
-			return SweepOutcome{}, err
-		}
-		if p.AFPGA > 0 {
-			opts.AFPGA = p.AFPGA
-		}
-		if p.NumCGCs > 0 {
-			opts.NumCGCs = p.NumCGCs
-		}
-		constraint := p.Constraint
-		if constraint == 0 {
-			constraint = DefaultConstraint(p.Benchmark)
-		}
-		if constraint == 0 {
-			return SweepOutcome{}, fmt.Errorf("hybridpart: no constraint given and no default for benchmark %q", p.Benchmark)
-		}
-		opts.Constraint = constraint
-
-		res, err := app.Partition(prof, opts)
-		if err != nil {
-			return SweepOutcome{}, err
-		}
-		out := SweepOutcome{
-			InitialCycles:       res.InitialCycles,
-			InitialPartitions:   res.InitialPartitions,
-			CyclesInCGC:         res.CyclesInCGC,
-			FinalCycles:         res.FinalCycles,
-			TFPGA:               res.TFPGA,
-			TCoarse:             res.TCoarse,
-			TComm:               res.TComm,
-			EffectiveAFPGA:      opts.AFPGA,
-			EffectiveCGCs:       opts.NumCGCs,
-			EffectiveConstraint: constraint,
-			Met:                 res.Met,
-			Moved:               res.Moved,
-			ReductionPct:        res.ReductionPct(),
-		}
-		if res.FinalCycles > 0 {
-			out.Speedup = float64(res.InitialCycles) / float64(res.FinalCycles)
-		}
-		return out, nil
-	})
+	eng, err := NewEngine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.Sweep(context.Background(), spec)
 }

@@ -1,0 +1,108 @@
+package hybridpart
+
+import "fmt"
+
+// Workload is the v2 unit of work: one compiled application together with
+// the execution profile it accumulates. It fuses the App/Runner/RunProfile
+// triad of the v1 API into a single lifecycle —
+//
+//	w, _ := hybridpart.NewWorkload(src, "main_fn")
+//	w.SetInput("IN", vals)
+//	w.Run()                      // dynamic analysis; counts accumulate
+//	res, _ := engine.Partition(ctx, w)
+//
+// — so callers no longer juggle three objects or forget the profiling step.
+// Run and SetInput mutate the workload's interpreter state and must not be
+// called concurrently with each other; Engine methods only snapshot the
+// accumulated profile and may run concurrently with one another.
+type Workload struct {
+	app *App
+	run *Runner
+}
+
+// NewWorkload compiles mini-C source text (the paper's step 1) and prepares
+// a fresh profiling runner over it. Globals start at their initial values.
+func NewWorkload(src, entry string) (*Workload, error) {
+	app, err := Compile(src, entry)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{app: app, run: app.NewRunner()}, nil
+}
+
+// BenchmarkWorkload compiles the named built-in benchmark ("ofdm" or
+// "jpeg"), loads its standard input vectors for the given seed, and executes
+// it once with profiling — the ready-to-partition equivalent of the paper's
+// evaluation setup.
+func BenchmarkWorkload(name string, seed uint32) (*Workload, error) {
+	var (
+		app   *App
+		err   error
+		input string
+		vals  []int32
+	)
+	switch name {
+	case BenchOFDM:
+		app, err = OFDMApp()
+		input, vals = OFDMBitsArray, OFDMBits(seed)
+	case BenchJPEG:
+		app, err = JPEGApp()
+		input, vals = JPEGImageArray, JPEGImage(seed)
+	default:
+		return nil, errUnknownBenchmark(name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	w := &Workload{app: app, run: app.NewRunner()}
+	if err := w.SetInput(input, vals); err != nil {
+		return nil, err
+	}
+	if _, err := w.Run(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// App returns the underlying compiled application (CDFG inspection, DOT
+// emitters, the v1 API surface).
+func (w *Workload) App() *App { return w.app }
+
+// Entry returns the entry function name.
+func (w *Workload) Entry() string { return w.app.Entry() }
+
+// NumBlocks returns the number of basic blocks in the flattened CDFG.
+func (w *Workload) NumBlocks() int { return w.app.NumBlocks() }
+
+// SetInput copies vals into the named global array — the application's
+// input surface.
+func (w *Workload) SetInput(name string, vals []int32) error {
+	return w.run.SetGlobal(name, vals)
+}
+
+// Data returns the live storage of a global array (nil if absent), for
+// reading outputs back after Run.
+func (w *Workload) Data(name string) []int32 { return w.run.Global(name) }
+
+// Run executes the entry function with the given scalar arguments and
+// returns its result. Profiling counts accumulate across calls: each Run is
+// one more profiled execution (one more "frame") folded into the workload's
+// dynamic analysis.
+func (w *Workload) Run(args ...int32) (int32, error) { return w.run.Run(args...) }
+
+// InstructionsExecuted returns the dynamic instruction count so far.
+func (w *Workload) InstructionsExecuted() uint64 { return w.run.InstructionsExecuted() }
+
+// Profile snapshots the accumulated dynamic analysis (per-block execution
+// counts plus control-flow transition counts). Engine methods call this
+// implicitly; it is exported for interoperability with the v1 API.
+func (w *Workload) Profile() *RunProfile { return w.run.Profile() }
+
+// profiled returns the app and a profile snapshot, erroring on nil
+// workloads so Engine methods fail loudly instead of panicking.
+func (w *Workload) profiled() (*App, *RunProfile, error) {
+	if w == nil || w.app == nil {
+		return nil, nil, fmt.Errorf("hybridpart: nil workload")
+	}
+	return w.app, w.Profile(), nil
+}
