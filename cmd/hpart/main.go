@@ -10,7 +10,9 @@
 //
 // -preset starts from a registered platform variant; -afpga/-cgcs override
 // individual fields of it when given explicitly. -trace streams the
-// move-by-move partitioning trajectory to stderr. Custom sources are
+// move-by-move partitioning trajectory to stderr. -json replaces the table
+// with the full result as machine-readable JSON — the same wire shape the
+// hservd service returns from POST /v1/partition. Custom sources are
 // profiled by executing the entry function once; entry functions with
 // scalar parameters receive the values passed via -args (comma-separated
 // integers). Input arrays can be preset only for the built-in benchmarks;
@@ -20,6 +22,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +30,7 @@ import (
 	"strings"
 
 	"hybridpart"
+	"hybridpart/internal/server"
 )
 
 func main() {
@@ -40,6 +44,7 @@ func main() {
 	cgcs := flag.Int("cgcs", 2, "number of 2x2 CGCs in the data-path")
 	constraint := flag.Int64("constraint", 60000, "timing constraint in FPGA cycles")
 	trace := flag.Bool("trace", false, "stream the move-by-move trajectory to stderr")
+	jsonOut := flag.Bool("json", false, "emit the full result as JSON (the service wire format) instead of the table")
 	pipelineN := flag.Int("pipeline-frames", 0, "if >0, also report frame pipelining over N frames")
 	flag.Parse()
 
@@ -62,6 +67,8 @@ func main() {
 		fail(fmt.Sprintf("-constraint must be positive, got %d", *constraint))
 	case *pipelineN < 0:
 		fail(fmt.Sprintf("-pipeline-frames must be non-negative, got %d", *pipelineN))
+	case *jsonOut && *pipelineN > 0:
+		fail("-json and -pipeline-frames are mutually exclusive (the pipeline report is table-only)")
 	}
 
 	// Engine configuration: the preset (if any) lays down the platform;
@@ -101,19 +108,32 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("application: %s (%d basic blocks)\n", w.Entry(), w.NumBlocks())
+	if !*jsonOut {
+		fmt.Printf("application: %s (%d basic blocks)\n", w.Entry(), w.NumBlocks())
+	}
 	res, err := eng.Partition(context.Background(), w)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hpart: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Print(res.Format())
-	if len(res.Unmappable) > 0 {
-		fmt.Printf("Unmappable kernels:        %v\n", res.Unmappable)
-	}
-	if *pipelineN > 0 {
-		fmt.Printf("\nFrame pipelining over %d frames:\n%s", *pipelineN,
-			res.Pipeline().Report([]int{1, *pipelineN / 10, *pipelineN}))
+	if *jsonOut {
+		// Machine-readable path: the same wire type the partitioning
+		// service returns from POST /v1/partition, indented for terminals.
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(server.NewResultJSON(res)); err != nil {
+			fmt.Fprintf(os.Stderr, "hpart: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Print(res.Format())
+		if len(res.Unmappable) > 0 {
+			fmt.Printf("Unmappable kernels:        %v\n", res.Unmappable)
+		}
+		if *pipelineN > 0 {
+			fmt.Printf("\nFrame pipelining over %d frames:\n%s", *pipelineN,
+				res.Pipeline().Report([]int{1, *pipelineN / 10, *pipelineN}))
+		}
 	}
 	if !res.Met {
 		os.Exit(3)

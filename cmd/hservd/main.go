@@ -1,0 +1,100 @@
+// Command hservd serves the partitioning methodology over HTTP — one warm
+// process that many clients share instead of recompiling per invocation.
+// It fronts the v2 Engine with a bounded content-addressed result cache and
+// request coalescing (see internal/server), so repeated or concurrent
+// identical requests cost one compile+profile+partition.
+//
+// Usage:
+//
+//	hservd -addr :8080 -workers 8 -cache 512 -timeout 2m
+//
+// Endpoints: POST /v1/partition, POST /v1/partition-energy, POST /v1/sweep
+// (SSE progress with Accept: text/event-stream), GET /healthz,
+// GET /v1/presets, GET /debug/stats. SIGINT or SIGTERM drains in-flight
+// requests and shuts the listener down gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hybridpart/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port)")
+	workers := flag.Int("workers", 0, "bound on each sweep's worker pool (0 = no bound, GOMAXPROCS default)")
+	cacheCap := flag.Int("cache", 256, "result-cache capacity in entries")
+	timeout := flag.Duration("timeout", time.Minute, "per-request run timeout (0 = unbounded)")
+	flag.Parse()
+
+	if *cacheCap <= 0 {
+		fail(fmt.Sprintf("-cache must be positive, got %d", *cacheCap))
+	}
+	if *workers < 0 {
+		fail(fmt.Sprintf("-workers must be non-negative, got %d", *workers))
+	}
+	if *timeout < 0 {
+		fail(fmt.Sprintf("-timeout must be non-negative, got %v", *timeout))
+	}
+
+	// SIGINT/SIGTERM cancel this context; the same plumbing the library uses
+	// for run cancellation drives the server's graceful shutdown.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	handler := server.New(server.Config{
+		CacheCapacity: *cacheCap,
+		Workers:       *workers,
+		Timeout:       *timeout,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		// Tie every request context to the signal context: on shutdown,
+		// in-flight engine runs see cancellation and finish promptly (as
+		// 499s) instead of outliving the drain window below.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+
+	// Listen before announcing, so ":0" logs the real port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err.Error())
+	}
+	log.Printf("hservd: listening on %s (cache %d entries, timeout %v)", ln.Addr(), *cacheCap, *timeout)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fail(err.Error())
+		}
+	case <-ctx.Done():
+		log.Printf("hservd: signal received, draining in-flight requests")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("hservd: forced shutdown: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("hservd: bye")
+	}
+}
+
+func fail(msg string) {
+	fmt.Fprintf(os.Stderr, "hservd: %s\n", msg)
+	os.Exit(2)
+}

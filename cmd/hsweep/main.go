@@ -16,7 +16,11 @@
 // JPEG 21000000 FPGA cycles). -format json/csv emits machine-readable
 // output (to -o when given); -list-presets prints the platform registry;
 // -progress streams per-cell completion lines to stderr as the grid
-// evaluates. Ctrl-C cancels the sweep cleanly between cells.
+// evaluates. Ctrl-C cancels the sweep cleanly between cells: the cells
+// already evaluated are still emitted — marked partial ("partial": true in
+// JSON, a trailing "# partial: ..." comment line in CSV, a PARTIAL footer
+// in the table) — and the exit status is 130, so a truncated grid is never
+// mistaken for full coverage.
 package main
 
 import (
@@ -107,13 +111,17 @@ func main() {
 		fatal("engine", err)
 	}
 
+	// A cancelled sweep still yields the cells that completed: emit them,
+	// marked partial, and exit non-zero so callers never mistake a truncated
+	// grid for full coverage.
 	rs, err := eng.Sweep(ctx, spec)
-	if errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "hsweep: interrupted")
-		os.Exit(130)
-	}
-	if err != nil {
+	cancelled := errors.Is(err, context.Canceled)
+	if err != nil && !cancelled {
 		fatal("sweep", err)
+	}
+	if cancelled && (rs == nil || len(rs.Outcomes) == 0) {
+		fmt.Fprintln(os.Stderr, "hsweep: interrupted before any cell completed")
+		os.Exit(130)
 	}
 
 	var w io.Writer = os.Stdout
@@ -124,13 +132,21 @@ func main() {
 		}
 		w = f
 	}
+	total := spec.NumPoints()
 	switch *format {
 	case "table":
 		_, err = fmt.Fprint(w, rs.FormatSummary())
+		if err == nil && rs.Partial {
+			_, err = fmt.Fprintf(w, "\nPARTIAL: sweep cancelled after %d of %d cells\n", len(rs.Outcomes), total)
+		}
 	case "json":
+		// ResultSet.Partial lands in the JSON body itself ("partial": true).
 		err = rs.WriteJSON(w)
 	case "csv":
 		err = rs.WriteCSV(w)
+		if err == nil && rs.Partial {
+			_, err = fmt.Fprintf(w, "# partial: sweep cancelled after %d of %d cells\n", len(rs.Outcomes), total)
+		}
 	}
 	if err != nil {
 		fatal("emit", err)
@@ -141,11 +157,17 @@ func main() {
 		}
 	}
 
-	if failed := rs.Failed(); len(failed) > 0 {
-		for _, o := range failed {
-			fmt.Fprintf(os.Stderr, "hsweep: point %d (%s afpga=%d cgcs=%d): %s\n",
-				o.Index, o.Benchmark, o.AFPGA, o.NumCGCs, o.Err)
-		}
+	failed := rs.Failed()
+	for _, o := range failed {
+		fmt.Fprintf(os.Stderr, "hsweep: point %d (%s afpga=%d cgcs=%d): %s\n",
+			o.Index, o.Benchmark, o.AFPGA, o.NumCGCs, o.Err)
+	}
+	if cancelled {
+		fmt.Fprintf(os.Stderr, "hsweep: interrupted — emitted partial results (%d of %d cells)\n",
+			len(rs.Outcomes), total)
+		os.Exit(130)
+	}
+	if len(failed) > 0 {
 		os.Exit(1)
 	}
 }

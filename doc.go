@@ -17,6 +17,8 @@
 //	explore      — design-space-exploration engine (grid sweeps)
 //	platform     — platform characterization and the preset registry
 //	apps         — the OFDM transmitter and JPEG encoder benchmarks
+//	cache        — bounded content-addressed result store + singleflight
+//	server       — partitioning-as-a-service HTTP front end (cmd/hservd)
 //
 // # Quickstart (API v2)
 //
@@ -60,4 +62,13 @@
 // progress events. See the README's migration table. An App and an Engine
 // are both safe for concurrent use, so custom sweeps can also call
 // Partition from multiple goroutines directly.
+//
+// # Service
+//
+// cmd/hservd exposes the Engine over HTTP/JSON (internal/server), fronted
+// by a bounded content-addressed result cache with request coalescing
+// (internal/cache). The cache keys combine a workload's SourceHash with
+// Options.Fingerprint — the canonical, field-order-independent hash of the
+// full knob set — and sweep progress streams to clients as server-sent
+// events via WriteSSE. See the README's "Running as a service" section.
 package hybridpart

@@ -376,6 +376,19 @@ func (e *Engine) Partition(ctx context.Context, w *Workload) (*Result, error) {
 	return e.partitionApp(ctx, app, prof)
 }
 
+// PartitionProfiled is Partition on the raw v1 pair: a pre-compiled App
+// and an explicit profile snapshot. It exists for callers that share one
+// compile+profile across many knob sets — the partitioning service pairs
+// it with ProfileBenchmarkCached so a cache miss on a new constraint does
+// not recompile or re-profile the benchmark. Output is identical to
+// Partition on a Workload holding the same app and profile.
+func (e *Engine) PartitionProfiled(ctx context.Context, a *App, p *RunProfile) (*Result, error) {
+	if a == nil || p == nil {
+		return nil, fmt.Errorf("hybridpart: PartitionProfiled needs a non-nil app and profile")
+	}
+	return e.partitionApp(ctx, a, p)
+}
+
 // partitionApp is Partition on the raw v1 pair; the legacy App.Partition
 // shim calls it directly.
 func (e *Engine) partitionApp(ctx context.Context, a *App, p *RunProfile) (*Result, error) {
@@ -431,6 +444,15 @@ func (e *Engine) PartitionEnergy(ctx context.Context, w *Workload) (*EnergyResul
 		return nil, err
 	}
 	return e.partitionEnergyApp(ctx, app, prof)
+}
+
+// PartitionEnergyProfiled is PartitionEnergy on the raw v1 pair — see
+// PartitionProfiled for when to prefer it over the Workload path.
+func (e *Engine) PartitionEnergyProfiled(ctx context.Context, a *App, p *RunProfile) (*EnergyResult, error) {
+	if a == nil || p == nil {
+		return nil, fmt.Errorf("hybridpart: PartitionEnergyProfiled needs a non-nil app and profile")
+	}
+	return e.partitionEnergyApp(ctx, a, p)
 }
 
 // partitionEnergyApp is PartitionEnergy on the raw v1 pair; the legacy
@@ -490,10 +512,11 @@ func (e *Engine) partitionEnergyApp(ctx context.Context, a *App, p *RunProfile) 
 //
 // The context is threaded through the worker pool and into every cell's
 // move loop: cancelling it abandons queued cells, interrupts in-flight
-// ones, and returns ctx.Err(). Completed cells are streamed to the
-// observer as CellEvents, always in expansion order. Per-move events are
-// not forwarded from inside sweep cells — parallel cells would interleave
-// them nondeterministically.
+// ones, and returns ctx.Err() together with a partial SweepResult (Partial
+// set, Outcomes holding only the cells that completed before the cut).
+// Completed cells are streamed to the observer as CellEvents, always in
+// expansion order. Per-move events are not forwarded from inside sweep
+// cells — parallel cells would interleave them nondeterministically.
 func (e *Engine) Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
 	if spec.Workers == 0 {
 		spec.Workers = e.workers

@@ -295,8 +295,12 @@ func TestEngineSweepCancellation(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got rs=%v err=%v", rs, err)
 	}
-	if rs != nil {
-		t.Fatal("cancelled sweep returned a result set")
+	if rs == nil || !rs.Partial {
+		t.Fatalf("cancelled sweep did not return a partial result set: %+v", rs)
+	}
+	if len(rs.Outcomes) == 0 || len(rs.Outcomes) >= len(constraints) {
+		t.Fatalf("partial set has %d of %d cells, want a strict mid-grid subset",
+			len(rs.Outcomes), len(constraints))
 	}
 	if cells >= len(constraints) {
 		t.Fatalf("sweep ran to completion (%d cells) despite cancellation", cells)

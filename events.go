@@ -1,5 +1,11 @@
 package hybridpart
 
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
 // Event is a structured progress notification emitted by an Engine while a
 // run is in flight. Concrete types are MoveEvent, EnergyMoveEvent and
 // CellEvent; observers type-switch on the ones they care about.
@@ -20,33 +26,33 @@ type Observer func(Event)
 // one step of the move-by-move trajectory of the paper's Figure 2 loop.
 type MoveEvent struct {
 	// Seq is the 1-based move number within this run.
-	Seq int
+	Seq int `json:"seq"`
 	// Block is the basic block just moved to the coarse-grain data-path.
-	Block int
+	Block int `json:"block"`
 	// CGCCycles is the kernel's per-execution latency on the data-path in
 	// T_CGC cycles.
-	CGCCycles int64
+	CGCCycles int64 `json:"cgc_cycles"`
 	// TotalAfter is t_total (FPGA cycles) after this move.
-	TotalAfter int64
+	TotalAfter int64 `json:"total_after"`
 	// Constraint is the run's timing constraint; Met reports whether this
 	// move satisfied it (and therefore ended the run).
-	Constraint int64
-	Met        bool
+	Constraint int64 `json:"constraint"`
+	Met        bool  `json:"met"`
 }
 
 // EnergyMoveEvent is emitted by Engine.PartitionEnergy after each accepted
 // kernel move of the energy-constrained engine.
 type EnergyMoveEvent struct {
 	// Seq is the 1-based move number within this run.
-	Seq int
+	Seq int `json:"seq"`
 	// Block is the basic block just moved to the coarse-grain data-path.
-	Block int
+	Block int `json:"block"`
 	// EnergyAfter is the total application energy after this move.
-	EnergyAfter float64
+	EnergyAfter float64 `json:"energy_after"`
 	// Budget is the run's energy budget; Met reports whether this move
 	// satisfied it.
-	Budget float64
-	Met    bool
+	Budget float64 `json:"budget"`
+	Met    bool    `json:"met"`
 }
 
 // CellEvent is emitted by Engine.Sweep as grid cells complete. Events
@@ -56,12 +62,44 @@ type EnergyMoveEvent struct {
 type CellEvent struct {
 	// Outcome is the completed cell, failures included (check
 	// Outcome.Failed()).
-	Outcome SweepOutcome
+	Outcome SweepOutcome `json:"outcome"`
 	// Done counts reported cells so far (1-based); Total is the grid size.
-	Done  int
-	Total int
+	Done  int `json:"done"`
+	Total int `json:"total"`
 }
 
 func (MoveEvent) isEvent()       {}
 func (EnergyMoveEvent) isEvent() {}
 func (CellEvent) isEvent()       {}
+
+// EventName returns the wire name of an event's concrete type — the SSE
+// "event:" field written by WriteSSE, on which clients dispatch.
+func EventName(ev Event) string {
+	switch ev.(type) {
+	case MoveEvent:
+		return "move"
+	case EnergyMoveEvent:
+		return "energy-move"
+	case CellEvent:
+		return "cell"
+	}
+	return "event"
+}
+
+// WriteSSE encodes one event as a server-sent-events frame —
+//
+//	event: <EventName>
+//	data: <single-line JSON>
+//
+// followed by the blank line that terminates the frame. The partitioning
+// service streams sweep progress this way; any SSE client (EventSource,
+// curl -N) can consume it. The JSON payload never contains a newline, so
+// one data: line always carries the whole event.
+func WriteSSE(w io.Writer, ev Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", EventName(ev), data)
+	return err
+}

@@ -1,0 +1,62 @@
+package hybridpart
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWriteSSE pins the server-sent-events frame format: one event: line
+// carrying the type name, one data: line carrying single-line JSON, one
+// blank terminator.
+func TestWriteSSE(t *testing.T) {
+	cases := []struct {
+		ev       Event
+		name     string
+		contains []string
+	}{
+		{
+			ev:       MoveEvent{Seq: 1, Block: 7, CGCCycles: 12, TotalAfter: 900, Constraint: 1000, Met: true},
+			name:     "move",
+			contains: []string{`"seq":1`, `"block":7`, `"total_after":900`, `"met":true`},
+		},
+		{
+			ev:       EnergyMoveEvent{Seq: 2, Block: 3, EnergyAfter: 4.5, Budget: 9},
+			name:     "energy-move",
+			contains: []string{`"energy_after":4.5`, `"budget":9`},
+		},
+		{
+			ev:       CellEvent{Outcome: SweepOutcome{InitialCycles: 100}, Done: 1, Total: 4},
+			name:     "cell",
+			contains: []string{`"done":1`, `"total":4`, `"initial_cycles":100`},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := WriteSSE(&sb, tc.ev); err != nil {
+				t.Fatal(err)
+			}
+			frame := sb.String()
+			if !strings.HasPrefix(frame, "event: "+tc.name+"\ndata: ") {
+				t.Fatalf("bad frame prefix: %q", frame)
+			}
+			if !strings.HasSuffix(frame, "\n\n") {
+				t.Fatalf("frame not terminated by blank line: %q", frame)
+			}
+			// The data payload must be a single line (SSE would otherwise
+			// need data: continuation lines).
+			body := strings.TrimPrefix(frame, "event: "+tc.name+"\n")
+			if strings.Count(body, "\n") != 2 {
+				t.Fatalf("payload spans multiple lines: %q", frame)
+			}
+			for _, want := range tc.contains {
+				if !strings.Contains(frame, want) {
+					t.Fatalf("frame missing %q: %q", want, frame)
+				}
+			}
+			if EventName(tc.ev) != tc.name {
+				t.Fatalf("EventName = %q, want %q", EventName(tc.ev), tc.name)
+			}
+		})
+	}
+}

@@ -132,7 +132,7 @@ func ExampleEngine_Partition() {
 
 // ExampleEngine_Sweep shows context cancellation mid-grid: the observer
 // cancels after the first completed cell, and the sweep promptly returns
-// ctx.Err() instead of a result set.
+// ctx.Err() together with a partial result set holding that one cell.
 func ExampleEngine_Sweep() {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -157,10 +157,10 @@ func ExampleEngine_Sweep() {
 		Workers:    1,
 	})
 	fmt.Println("cancelled:", errors.Is(err, context.Canceled))
-	fmt.Println("partial results discarded:", rs == nil)
-	fmt.Println("cells before cancel:", cells)
+	fmt.Println("marked partial:", rs != nil && rs.Partial)
+	fmt.Println("cells retained:", len(rs.Outcomes))
 	// Output:
 	// cancelled: true
-	// partial results discarded: true
-	// cells before cancel: 1
+	// marked partial: true
+	// cells retained: 1
 }

@@ -1,0 +1,57 @@
+package hybridpart
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// SourceHash returns the canonical content hash of a mini-C source text:
+// the hex-encoded SHA-256 of its bytes. It is the source component of the
+// cache keys used by the partitioning service — Compile records it on the
+// App so a Workload can be content-addressed without re-reading the source.
+func SourceHash(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:])
+}
+
+// Fingerprint returns a canonical content hash of the full knob set: the
+// hex-encoded SHA-256 of the options' "name=value" pairs in sorted name
+// order. Two Options values compare equal if and only if their fingerprints
+// are equal, and the hash is independent of the struct's field declaration
+// order (fields are visited by name, not position), so fingerprints stay
+// stable across refactors that merely reorder fields. Combined with a
+// workload's SourceHash this keys the content-addressed result cache of the
+// partitioning service.
+func (o Options) Fingerprint() string {
+	var pairs []string
+	collectFields("", reflect.ValueOf(o), &pairs)
+	sort.Strings(pairs)
+	h := sha256.New()
+	for _, p := range pairs {
+		h.Write([]byte(p))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// collectFields flattens a struct value into "path=value" leaf pairs,
+// recursing through nested structs (OpCosts) with a dotted path prefix.
+func collectFields(prefix string, v reflect.Value, out *[]string) {
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name := prefix + f.Name
+		fv := v.Field(i)
+		if fv.Kind() == reflect.Struct {
+			collectFields(name+".", fv, out)
+			continue
+		}
+		*out = append(*out, fmt.Sprintf("%s=%v", name, fv.Interface()))
+	}
+}

@@ -1,0 +1,105 @@
+package hybridpart
+
+import (
+	"strings"
+	"testing"
+
+	"hybridpart/internal/platform"
+)
+
+// TestFingerprintDistinct is the satellite acceptance test: every Options
+// field, mutated on its own, must change the fingerprint, and equal option
+// sets must hash equal however they were built.
+func TestFingerprintDistinct(t *testing.T) {
+	base := DefaultOptions()
+	cases := []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"afpga", func(o *Options) { o.AFPGA++ }},
+		{"reconfig", func(o *Options) { o.ReconfigCycles++ }},
+		{"numcgcs", func(o *Options) { o.NumCGCs++ }},
+		{"cgcrows", func(o *Options) { o.CGCRows++ }},
+		{"cgccols", func(o *Options) { o.CGCCols++ }},
+		{"memports", func(o *Options) { o.MemPorts++ }},
+		{"clockratio", func(o *Options) { o.ClockRatio++ }},
+		{"regbank", func(o *Options) { o.RegBankWords++ }},
+		{"commword", func(o *Options) { o.CommCyclesPerWord++ }},
+		{"commsync", func(o *Options) { o.CommSyncCycles++ }},
+		{"constraint", func(o *Options) { o.Constraint++ }},
+		{"order", func(o *Options) { o.Order = OrderByFreq }},
+		{"maxmoves", func(o *Options) { o.MaxMoves++ }},
+		{"skipnonimproving", func(o *Options) { o.SkipNonImproving = true }},
+		{"walu", func(o *Options) { o.WeightALU++ }},
+		{"wmul", func(o *Options) { o.WeightMul++ }},
+		{"wdiv", func(o *Options) { o.WeightDiv++ }},
+		{"wmem", func(o *Options) { o.WeightMem++ }},
+		{"costs", func(o *Options) { o.Costs = platform.DSPRichOpCosts() }},
+		{"costs-one-field", func(o *Options) { o.Costs.LatMul++ }},
+	}
+	baseFP := base.Fingerprint()
+	seen := map[string]string{"(base)": baseFP}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated := base
+			tc.mutate(&mutated)
+			fp := mutated.Fingerprint()
+			if fp == baseFP {
+				t.Fatalf("mutating %s did not change the fingerprint", tc.name)
+			}
+			if prev, dup := seen[fp]; dup {
+				t.Fatalf("fingerprint collision between %s and %s", tc.name, prev)
+			}
+			seen[fp] = tc.name
+
+			// Determinism: the same value hashes the same on every call,
+			// and an independently-built equal value matches.
+			if fp != mutated.Fingerprint() {
+				t.Fatal("fingerprint not deterministic")
+			}
+			again := base
+			tc.mutate(&again)
+			if again.Fingerprint() != fp {
+				t.Fatal("equal options fingerprint unequally")
+			}
+		})
+	}
+}
+
+func TestFingerprintEqualConstruction(t *testing.T) {
+	// Built via DefaultOptions vs. assembled field-by-field through the
+	// engine: same resolved knobs, same fingerprint.
+	eng, err := NewEngine(WithConstraint(12345), WithArea(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := DefaultOptions()
+	manual.Constraint = 12345
+	manual.AFPGA = 5000
+	if eng.Options().Fingerprint() != manual.Fingerprint() {
+		t.Fatal("identical knob sets produced different fingerprints")
+	}
+}
+
+func TestFingerprintShape(t *testing.T) {
+	fp := DefaultOptions().Fingerprint()
+	if len(fp) != 64 || strings.ToLower(fp) != fp {
+		t.Fatalf("fingerprint is not lowercase sha256 hex: %q", fp)
+	}
+}
+
+func TestSourceHash(t *testing.T) {
+	if SourceHash("a") == SourceHash("b") {
+		t.Fatal("distinct sources hash equal")
+	}
+	w, err := NewWorkload(firSrc, "main_fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := w.SourceHash(), SourceHash(firSrc); got != want {
+		t.Fatalf("workload source hash %q != SourceHash(src) %q", got, want)
+	}
+	if w.App().SourceHash() != w.SourceHash() {
+		t.Fatal("App and Workload disagree on the source hash")
+	}
+}

@@ -22,10 +22,11 @@ import (
 // safe for concurrent Analyze/Partition/PartitionEnergy use — the sweep
 // engine shares one App across its whole worker pool.
 type App struct {
-	entry string
-	prog  *ir.Program // original program (used for execution)
-	flat  *ir.Function
-	fprog *ir.Program // single-function program holding flat + globals
+	entry   string
+	srcHash string      // SHA-256 of the source text (see SourceHash)
+	prog    *ir.Program // original program (used for execution)
+	flat    *ir.Function
+	fprog   *ir.Program // single-function program holding flat + globals
 
 	// analysisMu serializes the analysis step: dominator and loop detection
 	// recompute flat's CFG edge lists in place, the one mutation of shared
@@ -61,11 +62,17 @@ func Compile(src, entry string) (*App, error) {
 	if err := fprog.Validate(); err != nil {
 		return nil, fmt.Errorf("hybridpart: flattened program invalid: %w", err)
 	}
-	return &App{entry: entry, prog: prog, flat: flat, fprog: fprog}, nil
+	return &App{entry: entry, srcHash: SourceHash(src), prog: prog, flat: flat, fprog: fprog}, nil
 }
 
 // Entry returns the entry function name.
 func (a *App) Entry() string { return a.entry }
+
+// SourceHash returns the canonical content hash of the source text this App
+// was compiled from (equal to SourceHash applied to that text). It
+// content-addresses the application in caches keyed on what was compiled
+// rather than on object identity.
+func (a *App) SourceHash() string { return a.srcHash }
 
 // NumBlocks returns the number of basic blocks in the flattened CDFG.
 func (a *App) NumBlocks() int { return len(a.flat.Blocks) }

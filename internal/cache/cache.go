@@ -1,0 +1,210 @@
+// Package cache provides the bounded, concurrency-safe, content-addressed
+// result store behind the partitioning service. The methodology is a pure
+// function from (source hash, entry, profiling inputs, Options) to a
+// partition, so results can be keyed by a canonical fingerprint of those
+// inputs and shared across clients: a Cache maps such fingerprints to
+// values, evicts least-recently-used entries once a capacity is exceeded,
+// and coalesces concurrent misses on the same key into a single computation
+// (singleflight), so N identical in-flight requests cost one
+// compile+profile+partition instead of N.
+//
+// The cache is value-generic. The service instantiates it with the encoded
+// response bytes, which makes cache hits byte-identical to the miss that
+// populated them by construction.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of a Cache's counters.
+type Stats struct {
+	// Hits counts lookups served from a stored entry; Misses counts
+	// lookups that triggered a computation.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Coalesced counts lookups that joined an in-flight computation
+	// instead of starting their own (the singleflight savings).
+	Coalesced uint64 `json:"coalesced"`
+	// Evictions counts entries dropped to enforce the capacity bound.
+	Evictions uint64 `json:"evictions"`
+	// Size is the current number of stored entries; Capacity the bound.
+	Size     int `json:"size"`
+	Capacity int `json:"capacity"`
+}
+
+// Cache is a bounded, concurrency-safe, content-addressed store with
+// request coalescing. The zero value is not usable; construct with New.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List               // front = most recently used
+	byKey    map[string]*list.Element // key -> element holding *entry[V]
+	inflight map[string]*call[V]
+	stats    Stats
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// call is one in-flight computation; waiters block on done.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// New returns a Cache bounded to capacity entries (minimum 1).
+func New[V any](capacity int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[V]{
+		capacity: capacity,
+		lru:      list.New(),
+		byKey:    make(map[string]*list.Element),
+		inflight: make(map[string]*call[V]),
+	}
+}
+
+// Get returns the stored value for key, marking it most recently used.
+// It counts as neither hit nor miss: use GetOrCompute for the instrumented
+// read path.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*entry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// GetOrCompute returns the value for key, computing and storing it on a
+// miss. Concurrent callers for the same key are coalesced: exactly one runs
+// compute, the rest block until it finishes and share its result. hit
+// reports whether the caller was served without running compute itself
+// (a stored entry or a joined in-flight call).
+//
+// A failed compute is not cached — waiters receive the error and the next
+// lookup recomputes. Context failures are special-cased so one client
+// cannot doom the others: a waiter whose own ctx is cancelled stops
+// waiting and returns ctx.Err() (the computation keeps running for the
+// rest), and a waiter whose leader died of the *leader's* context
+// (cancelled or timed out) retries the lookup instead of inheriting the
+// error, becoming — or joining — the next leader. The leader's compute
+// decides its own cancellation, so callers that must abort pass a compute
+// closed over the same ctx.
+func (c *Cache[V]) GetOrCompute(ctx context.Context, key string, compute func() (V, error)) (v V, hit bool, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var cl *call[V]
+	coalesced := false // count each caller at most once, however often it retries
+	for {
+		c.mu.Lock()
+		if el, ok := c.byKey[key]; ok {
+			c.lru.MoveToFront(el)
+			c.stats.Hits++
+			v := el.Value.(*entry[V]).val
+			c.mu.Unlock()
+			return v, true, nil
+		}
+		waiting, ok := c.inflight[key]
+		if !ok {
+			cl = &call[V]{done: make(chan struct{})}
+			c.inflight[key] = cl
+			c.stats.Misses++
+			c.mu.Unlock()
+			break
+		}
+		if !coalesced {
+			c.stats.Coalesced++
+			coalesced = true
+		}
+		c.mu.Unlock()
+		select {
+		case <-waiting.done:
+			if isContextErr(waiting.err) && ctx.Err() == nil {
+				continue // the leader's cancellation, not ours: retry
+			}
+			return waiting.val, true, waiting.err
+		case <-ctx.Done():
+			var zero V
+			return zero, false, ctx.Err()
+		}
+	}
+
+	// The call must always resolve, even if compute panics — a leaked
+	// in-flight entry would hang every future caller of this key.
+	completed := false
+	defer func() {
+		if !completed {
+			cl.err = fmt.Errorf("cache: compute for %q panicked", key)
+			c.finish(key, cl, false)
+		}
+	}()
+	cl.val, cl.err = compute()
+	completed = true
+	c.finish(key, cl, cl.err == nil)
+	return cl.val, false, cl.err
+}
+
+// isContextErr reports whether err is a context cancellation or deadline
+// failure — the error class that belongs to one caller rather than to the
+// computation itself.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// finish publishes a completed call: stores the value on success, removes
+// the in-flight marker and releases the waiters.
+func (c *Cache[V]) finish(key string, cl *call[V], store bool) {
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if store {
+		c.addLocked(key, cl.val)
+	}
+	c.mu.Unlock()
+	close(cl.done)
+}
+
+// addLocked inserts (or refreshes) key and enforces the capacity bound.
+func (c *Cache[V]) addLocked(key string, val V) {
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*entry[V]).val = val
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&entry[V]{key: key, val: val})
+	for c.lru.Len() > c.capacity {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*entry[V]).key)
+		c.stats.Evictions++
+	}
+}
+
+// Len returns the current number of stored entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Size = c.lru.Len()
+	s.Capacity = c.capacity
+	return s
+}

@@ -1,0 +1,255 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetOrComputeBasics(t *testing.T) {
+	c := New[int](4)
+	calls := 0
+	compute := func() (int, error) { calls++; return 42, nil }
+
+	v, hit, err := c.GetOrCompute(context.Background(), "k", compute)
+	if err != nil || hit || v != 42 {
+		t.Fatalf("miss: got (%d, %v, %v)", v, hit, err)
+	}
+	v, hit, err = c.GetOrCompute(context.Background(), "k", compute)
+	if err != nil || !hit || v != 42 {
+		t.Fatalf("hit: got (%d, %v, %v)", v, hit, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 || s.Size != 1 || s.Capacity != 4 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if v, ok := c.Get("k"); !ok || v != 42 {
+		t.Fatalf("Get: got (%d, %v)", v, ok)
+	}
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("Get invented an entry")
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New[int](4)
+	boom := errors.New("boom")
+	calls := 0
+	if _, _, err := c.GetOrCompute(nil, "k", func() (int, error) {
+		calls++
+		return 0, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("failed compute was cached")
+	}
+	// The next lookup recomputes, and success is then stored.
+	v, hit, err := c.GetOrCompute(nil, "k", func() (int, error) { calls++; return 7, nil })
+	if err != nil || hit || v != 7 || calls != 2 {
+		t.Fatalf("recompute: got (%d, %v, %v), %d calls", v, hit, err, calls)
+	}
+}
+
+// TestLRUEviction fills past capacity and checks the least-recently-used
+// entry is the one dropped.
+func TestLRUEviction(t *testing.T) {
+	c := New[string](2)
+	put := func(k string) {
+		t.Helper()
+		if _, _, err := c.GetOrCompute(nil, k, func() (string, error) { return "v" + k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("a")
+	put("b")
+	// Touch "a" so "b" becomes LRU, then insert "c": "b" must go.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	put("c")
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently-used entry evicted")
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Size != 2 {
+		t.Fatalf("stats after eviction: %+v", s)
+	}
+}
+
+// TestSingleflight is the coalescing acceptance test: 50 concurrent
+// lookups of one key run the computation exactly once and all observe the
+// same value.
+func TestSingleflight(t *testing.T) {
+	c := New[int](4)
+	var calls atomic.Int64
+	gate := make(chan struct{})
+
+	const n = 50
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.GetOrCompute(context.Background(), "key", func() (int, error) {
+				calls.Add(1)
+				<-gate // hold the computation open until all callers queued
+				return 99, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Wait until 49 callers have joined the in-flight call, then release.
+	for {
+		c.mu.Lock()
+		queued := c.stats.Coalesced
+		c.mu.Unlock()
+		if queued == n-1 {
+			break
+		}
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	for i, v := range results {
+		if v != 99 {
+			t.Fatalf("caller %d saw %d", i, v)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Coalesced != n-1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestWaiterCancellation: a waiter whose context dies stops waiting with
+// ctx.Err() while the leader's computation still completes and is cached.
+func TestWaiterCancellation(t *testing.T) {
+	c := New[int](4)
+	gate := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		if _, _, err := c.GetOrCompute(context.Background(), "k", func() (int, error) {
+			<-gate
+			return 5, nil
+		}); err != nil {
+			t.Error(err)
+		}
+	}()
+	// Wait for the leader's call to be in flight.
+	for {
+		c.mu.Lock()
+		inflight := len(c.inflight)
+		c.mu.Unlock()
+		if inflight == 1 {
+			break
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.GetOrCompute(ctx, "k", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: want context.Canceled, got %v", err)
+	}
+	close(gate)
+	<-leaderDone
+	if v, ok := c.Get("k"); !ok || v != 5 {
+		t.Fatalf("leader's result lost: (%d, %v)", v, ok)
+	}
+}
+
+// TestWaiterSurvivesLeaderCancellation: when the leader's computation dies
+// of the leader's own context, live waiters retry (and one becomes the new
+// leader) instead of inheriting a cancellation that was never theirs.
+func TestWaiterSurvivesLeaderCancellation(t *testing.T) {
+	c := New[int](4)
+	leaderIn := make(chan struct{})
+	leaderGo := make(chan struct{})
+	go func() {
+		c.GetOrCompute(context.Background(), "k", func() (int, error) {
+			close(leaderIn)
+			<-leaderGo
+			return 0, context.Canceled // the engine aborted on the leader's ctx
+		})
+	}()
+	<-leaderIn
+	waiterDone := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		v, hit, err := c.GetOrCompute(context.Background(), "k", func() (int, error) { return 7, nil })
+		if err != nil || v != 7 || hit {
+			t.Errorf("waiter after leader cancellation: got (%d, %v, %v), want fresh compute of 7", v, hit, err)
+		}
+	}()
+	// Wait for the waiter to join the leader's call, then kill the leader.
+	for {
+		c.mu.Lock()
+		queued := c.stats.Coalesced
+		c.mu.Unlock()
+		if queued >= 1 {
+			break
+		}
+	}
+	close(leaderGo)
+	<-waiterDone
+	if v, ok := c.Get("k"); !ok || v != 7 {
+		t.Fatalf("retried result not cached: (%d, %v)", v, ok)
+	}
+}
+
+func TestComputePanicReleasesWaiters(t *testing.T) {
+	c := New[int](4)
+	func() {
+		defer func() { recover() }()
+		c.GetOrCompute(nil, "k", func() (int, error) { panic("kaboom") })
+	}()
+	// The key must be retryable, not wedged.
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCompute(nil, "k", func() (int, error) { return 1, nil })
+		done <- err
+	}()
+	if err := <-done; err != nil {
+		t.Fatalf("key wedged after panic: %v", err)
+	}
+}
+
+// TestConcurrentMixedKeys hammers the cache from many goroutines across
+// more keys than the capacity, under -race.
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := New[int](8)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("key-%d", (g+i)%24)
+				want := (g + i) % 24
+				v, _, err := c.GetOrCompute(nil, k, func() (int, error) { return want, nil })
+				if err != nil || v != want {
+					t.Errorf("key %s: got (%d, %v)", k, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Len(); got > 8 {
+		t.Fatalf("capacity bound violated: %d entries", got)
+	}
+}

@@ -15,6 +15,11 @@ import (
 type ResultSet struct {
 	Spec     Spec      `json:"spec"`
 	Outcomes []Outcome `json:"outcomes"`
+	// Partial marks a sweep cut short by cancellation: Outcomes then holds
+	// only the cells that completed before the cut (in expansion order),
+	// not the full grid. Machine consumers must not treat a partial set as
+	// grid coverage.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // Failed returns the outcomes whose evaluation errored.

@@ -17,6 +17,7 @@ package explore
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -224,10 +225,15 @@ type Progress func(o Outcome, done, total int)
 // the rest of the grid. Outcomes are stored in expansion order, making the
 // ResultSet bit-identical for any worker count.
 //
-// Cancelling ctx aborts the sweep: in-flight evaluations finish (or bail at
-// their own cancellation points when the evaluator honors ctx), queued cells
-// are never started, and Run returns ctx.Err() with no ResultSet. A nil ctx
-// means context.Background().
+// Cancelling ctx aborts the sweep: queued cells are never started,
+// in-flight evaluations finish (or bail at their own cancellation points
+// when the evaluator honors ctx), and Run returns ctx.Err() together with a
+// partial ResultSet — Partial set, Outcomes holding only the cells whose
+// evaluation actually completed (successes and genuine per-cell failures),
+// in expansion order; cells interrupted mid-evaluation by the cancellation
+// itself are omitted rather than reported as failures. A context cancelled
+// before anything ran yields a nil ResultSet. A nil ctx means
+// context.Background().
 func Run(ctx context.Context, spec Spec, eval Evaluator) (*ResultSet, error) {
 	return RunObserved(ctx, spec, eval, nil)
 }
@@ -261,20 +267,18 @@ func RunObserved(ctx context.Context, spec Spec, eval Evaluator, progress Progre
 	// Completed cells are reported in expansion order through a reassembly
 	// cursor: a finished cell is parked until every earlier cell has been
 	// reported, which makes the Progress stream deterministic for any worker
-	// count. After cancellation nothing further is reported.
+	// count. After cancellation nothing further is reported, but completion
+	// is still recorded — the partial ResultSet is built from it.
 	var emitMu sync.Mutex
 	finished := make([]bool, len(points))
 	cursor, reported := 0, 0
 	complete := func(i int) {
-		if progress == nil {
-			return
-		}
 		emitMu.Lock()
 		defer emitMu.Unlock()
-		if ctx.Err() != nil {
+		finished[i] = true
+		if progress == nil || ctx.Err() != nil {
 			return
 		}
-		finished[i] = true
 		// Re-check cancellation per emission: the callback itself may cancel
 		// (the "stop after N cells" pattern) and must then hear nothing more.
 		for cursor < len(points) && finished[cursor] && ctx.Err() == nil {
@@ -282,6 +286,19 @@ func RunObserved(ctx context.Context, spec Spec, eval Evaluator, progress Progre
 			progress(outcomes[cursor], reported, len(points))
 			cursor++
 		}
+	}
+
+	// partial collects the completed cells of a cancelled sweep, in
+	// expansion order. Called only after wg.Wait(), when no worker can
+	// still be writing.
+	partial := func(err error) (*ResultSet, error) {
+		rs := &ResultSet{Spec: spec, Partial: true}
+		for i, done := range finished {
+			if done {
+				rs.Outcomes = append(rs.Outcomes, outcomes[i])
+			}
+		}
+		return rs, err
 	}
 
 	jobs := make(chan int)
@@ -296,6 +313,14 @@ func RunObserved(ctx context.Context, spec Spec, eval Evaluator, progress Progre
 				}
 				o, err := eval(points[i])
 				if err != nil {
+					// An in-flight cell interrupted by the sweep's own
+					// cancellation is unevaluated, not failed: leave it
+					// unfinished so the partial ResultSet and failure
+					// listings never report the user's Ctrl-C as a
+					// per-cell error.
+					if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+						continue
+					}
 					o = Outcome{Point: points[i], Err: err.Error()}
 				} else {
 					o.Point = points[i]
@@ -311,13 +336,13 @@ func RunObserved(ctx context.Context, spec Spec, eval Evaluator, progress Progre
 		case <-ctx.Done():
 			close(jobs)
 			wg.Wait()
-			return nil, ctx.Err()
+			return partial(ctx.Err())
 		}
 	}
 	close(jobs)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return partial(err)
 	}
 	return &ResultSet{Spec: spec, Outcomes: outcomes}, nil
 }

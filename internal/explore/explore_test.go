@@ -403,7 +403,8 @@ func TestRunCancellation(t *testing.T) {
 	}
 
 	// Cancelling from the progress callback stops emission immediately and
-	// surfaces ctx.Err() instead of a ResultSet.
+	// surfaces ctx.Err() together with a partial ResultSet holding only the
+	// completed cells.
 	ctx, cancelMid := context.WithCancel(context.Background())
 	defer cancelMid()
 	var reported []int
@@ -413,8 +414,14 @@ func TestRunCancellation(t *testing.T) {
 			cancelMid()
 		}
 	})
-	if !errors.Is(err, context.Canceled) || rs != nil {
-		t.Fatalf("want (nil, context.Canceled), got (%v, %v)", rs, err)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got (%v, %v)", rs, err)
+	}
+	if rs == nil || !rs.Partial {
+		t.Fatalf("cancelled sweep did not return a partial result set: %+v", rs)
+	}
+	if len(rs.Outcomes) != 2 || rs.Outcomes[0].Index != 0 || rs.Outcomes[1].Index != 1 {
+		t.Fatalf("partial outcomes wrong: %+v", rs.Outcomes)
 	}
 	if len(reported) != 2 {
 		t.Fatalf("progress kept streaming after cancellation: %v", reported)

@@ -1,0 +1,511 @@
+// Package server exposes the hybridpart v2 Engine over HTTP/JSON — the
+// partitioning-as-a-service subsystem. The methodology is a pure function
+// from (source, profile inputs, platform config) to a partition, so the
+// service fronts the Engine with a bounded content-addressed result cache
+// (internal/cache) keyed by a canonical request fingerprint: repeated
+// requests are served from stored response bytes without recompiling, and
+// identical in-flight requests are coalesced into a single
+// compile+profile+partition run.
+//
+// Endpoints:
+//
+//	POST /v1/partition         timing-constrained partitioning -> ResultJSON
+//	POST /v1/partition-energy  energy-constrained partitioning -> EnergyResultJSON
+//	POST /v1/sweep             design-space sweep -> ResultSet JSON, or SSE
+//	                           cell-by-cell progress when the client sends
+//	                           Accept: text/event-stream
+//	GET  /healthz              liveness probe
+//	GET  /v1/presets           registered platform variants
+//	GET  /debug/stats          per-endpoint counters + cache statistics
+//
+// Error contract: malformed bodies are 400, unknown presets/benchmarks 404,
+// workloads that fail to compile/profile/partition 422, client-cancelled
+// runs 499 (nginx convention), deadline-exceeded runs 504. Every non-2xx
+// body is ErrorJSON.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"hybridpart"
+	"hybridpart/internal/cache"
+	"hybridpart/internal/platform"
+)
+
+// StatusClientClosedRequest is the 499 status (nginx convention) returned
+// when a run is abandoned because the client's context was cancelled.
+const StatusClientClosedRequest = 499
+
+// maxSweepPoints bounds the expanded grid of one /v1/sweep request.
+const maxSweepPoints = 100000
+
+// Config parameterizes a Server.
+type Config struct {
+	// CacheCapacity bounds the result cache in entries (default 256).
+	CacheCapacity int
+	// Workers bounds each sweep's worker pool: client-requested pools are
+	// clamped to it, and it is the default when a request names none
+	// (0 = no bound, GOMAXPROCS default).
+	Workers int
+	// Timeout bounds each partition/sweep run (0 = unbounded).
+	Timeout time.Duration
+}
+
+// Server is the HTTP front end. Construct with New; it implements
+// http.Handler and is safe for concurrent use.
+type Server struct {
+	cfg     Config
+	results *cache.Cache[[]byte]
+	mux     *http.ServeMux
+	metrics map[string]*endpointMetrics
+}
+
+// New returns a ready-to-serve Server.
+func New(cfg Config) *Server {
+	if cfg.CacheCapacity <= 0 {
+		cfg.CacheCapacity = 256
+	}
+	s := &Server{
+		cfg:     cfg,
+		results: cache.New[[]byte](cfg.CacheCapacity),
+		mux:     http.NewServeMux(),
+		metrics: map[string]*endpointMetrics{},
+	}
+	s.route("GET /healthz", "/healthz", s.handleHealthz)
+	s.route("GET /v1/presets", "/v1/presets", s.handlePresets)
+	s.route("GET /debug/stats", "/debug/stats", s.handleStats)
+	s.route("POST /v1/partition", "/v1/partition", s.handlePartition)
+	s.route("POST /v1/partition-energy", "/v1/partition-energy", s.handlePartitionEnergy)
+	s.route("POST /v1/sweep", "/v1/sweep", s.handleSweep)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// CacheStats snapshots the result-cache counters (exposed for tests and
+// operational tooling; /debug/stats serves the same numbers).
+func (s *Server) CacheStats() cache.Stats { return s.results.Stats() }
+
+// endpointMetrics is the per-endpoint counter set behind /debug/stats.
+type endpointMetrics struct {
+	requests    atomic.Int64
+	errors      atomic.Int64
+	inFlight    atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	latencySum  atomic.Int64 // microseconds
+	latencyMax  atomic.Int64 // microseconds
+}
+
+// EndpointStatsJSON is one endpoint's row of GET /debug/stats.
+type EndpointStatsJSON struct {
+	Requests         int64 `json:"requests"`
+	Errors           int64 `json:"errors"`
+	InFlight         int64 `json:"in_flight"`
+	CacheHits        int64 `json:"cache_hits"`
+	CacheMisses      int64 `json:"cache_misses"`
+	AvgLatencyMicros int64 `json:"avg_latency_micros"`
+	MaxLatencyMicros int64 `json:"max_latency_micros"`
+}
+
+// StatsJSON is the body of GET /debug/stats.
+type StatsJSON struct {
+	Cache     cache.Stats                  `json:"cache"`
+	Endpoints map[string]EndpointStatsJSON `json:"endpoints"`
+}
+
+// route registers pattern on the mux wrapped in the counting middleware;
+// name keys the endpoint's metrics row.
+func (s *Server) route(pattern, name string, h http.HandlerFunc) {
+	m := &endpointMetrics{}
+	s.metrics[name] = m
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		m.requests.Add(1)
+		m.inFlight.Add(1)
+		defer m.inFlight.Add(-1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		us := time.Since(start).Microseconds()
+		m.latencySum.Add(us)
+		for {
+			prev := m.latencyMax.Load()
+			if us <= prev || m.latencyMax.CompareAndSwap(prev, us) {
+				break
+			}
+		}
+		if sw.code >= 400 {
+			m.errors.Add(1)
+		}
+	})
+}
+
+// statusWriter captures the response status for the metrics middleware
+// while passing Flush through so SSE streaming keeps working.
+type statusWriter struct {
+	http.ResponseWriter
+	code        int
+	wroteHeader bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wroteHeader {
+		w.code = code
+		w.wroteHeader = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wroteHeader = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// httpError pairs a status code with a client-facing message.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(msg string) *httpError { return &httpError{status: http.StatusBadRequest, msg: msg} }
+func notFound(msg string) *httpError   { return &httpError{status: http.StatusNotFound, msg: msg} }
+
+// runError maps an engine failure to its transport status: cancellation is
+// the client's doing (499), deadline expiry the server's bound (504),
+// everything else is a workload the engine cannot process (422).
+func runError(err error) *httpError {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return &httpError{status: StatusClientClosedRequest, msg: "request cancelled: " + err.Error()}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &httpError{status: http.StatusGatewayTimeout, msg: "request timed out: " + err.Error()}
+	default:
+		return &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, e *httpError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.status)
+	json.NewEncoder(w).Encode(ErrorJSON{Error: e.msg})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// runCtx applies the configured per-request timeout to the client context.
+func (s *Server) runCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.Timeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.Timeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, "{\"status\":\"ok\"}\n")
+}
+
+func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
+	names := platform.Names()
+	out := make([]PresetJSON, 0, len(names)+1)
+	out = append(out, PresetJSON{Name: "default", Summary: "the paper's baseline platform"})
+	for _, n := range names {
+		cfg, ok := platform.Lookup(n)
+		if !ok {
+			continue
+		}
+		out = append(out, PresetJSON{Name: cfg.Name, Summary: cfg.Summary})
+	}
+	s.writeJSON(w, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	out := StatsJSON{Cache: s.results.Stats(), Endpoints: map[string]EndpointStatsJSON{}}
+	for name, m := range s.metrics {
+		row := EndpointStatsJSON{
+			Requests:         m.requests.Load(),
+			Errors:           m.errors.Load(),
+			InFlight:         m.inFlight.Load(),
+			CacheHits:        m.cacheHits.Load(),
+			CacheMisses:      m.cacheMisses.Load(),
+			MaxLatencyMicros: m.latencyMax.Load(),
+		}
+		if row.Requests > 0 {
+			row.AvgLatencyMicros = m.latencySum.Load() / row.Requests
+		}
+		out.Endpoints[name] = row
+	}
+	s.writeJSON(w, out)
+}
+
+// decodePartitionRequest parses and shape-checks a partition body.
+func decodePartitionRequest(r *http.Request, energy bool) (*PartitionRequest, *httpError) {
+	var req PartitionRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, badRequest("malformed request body: " + err.Error())
+	}
+	if e := req.validate(energy); e != nil {
+		return nil, e
+	}
+	return &req, nil
+}
+
+// buildSourceWorkload compiles the request's inline source, feeds it its
+// inputs (in sorted name order, for determinism) and profiles it with one
+// run. Benchmark requests never come here: they go through the
+// process-wide ProfileBenchmarkCached, so a cache miss on a new knob set
+// reuses the benchmark's one compile+profile.
+func buildSourceWorkload(req *PartitionRequest) (*hybridpart.Workload, error) {
+	w, err := hybridpart.NewWorkload(req.Source, req.entryOrDefault())
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(req.Inputs))
+	for n := range req.Inputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := w.SetInput(n, req.Inputs[n]); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := w.Run(req.Args...); err != nil {
+		return nil, fmt.Errorf("profiling run failed: %w", err)
+	}
+	return w, nil
+}
+
+// servePartition is the shared cache-fronted run path of /v1/partition and
+// /v1/partition-energy: resolve the knob set, fingerprint the request, and
+// either serve the stored bytes or compute-and-store under singleflight.
+func (s *Server) servePartition(w http.ResponseWriter, r *http.Request, energy bool,
+	run func(ctx context.Context, req *PartitionRequest, opts hybridpart.Options) ([]byte, error)) {
+	endpoint := "/v1/partition"
+	kind := "partition"
+	if energy {
+		endpoint, kind = "/v1/partition-energy", "energy"
+	}
+	req, httpErr := decodePartitionRequest(r, energy)
+	if httpErr == nil {
+		var opts hybridpart.Options
+		if opts, httpErr = req.resolveOptions(); httpErr == nil {
+			ctx, cancel := s.runCtx(r)
+			defer cancel()
+			key := req.fingerprint(kind, opts)
+			body, hit, err := s.results.GetOrCompute(ctx, key, func() ([]byte, error) {
+				return run(ctx, req, opts)
+			})
+			// hit means "served without running the engine here" — a stored
+			// entry or a joined in-flight call — on the error path too.
+			m := s.metrics[endpoint]
+			if hit {
+				m.cacheHits.Add(1)
+			} else {
+				m.cacheMisses.Add(1)
+			}
+			if err != nil {
+				s.writeError(w, runError(err))
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if hit {
+				w.Header().Set("X-Cache", "hit")
+			} else {
+				w.Header().Set("X-Cache", "miss")
+			}
+			w.Write(body)
+			return
+		}
+	}
+	s.writeError(w, httpErr)
+}
+
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	s.servePartition(w, r, false, func(ctx context.Context, req *PartitionRequest, opts hybridpart.Options) ([]byte, error) {
+		eng, err := hybridpart.NewEngine(hybridpart.WithOptions(opts))
+		if err != nil {
+			return nil, err
+		}
+		var res *hybridpart.Result
+		if req.Benchmark != "" {
+			app, prof, err := hybridpart.ProfileBenchmarkCached(req.Benchmark, req.Seed)
+			if err != nil {
+				return nil, err
+			}
+			res, err = eng.PartitionProfiled(ctx, app, prof)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			wl, err := buildSourceWorkload(req)
+			if err != nil {
+				return nil, err
+			}
+			if res, err = eng.Partition(ctx, wl); err != nil {
+				return nil, err
+			}
+		}
+		return MarshalResult(res)
+	})
+}
+
+func (s *Server) handlePartitionEnergy(w http.ResponseWriter, r *http.Request) {
+	s.servePartition(w, r, true, func(ctx context.Context, req *PartitionRequest, opts hybridpart.Options) ([]byte, error) {
+		eng, err := hybridpart.NewEngine(
+			hybridpart.WithOptions(opts),
+			hybridpart.WithEnergyBudget(req.EnergyBudget),
+		)
+		if err != nil {
+			return nil, err
+		}
+		var res *hybridpart.EnergyResult
+		if req.Benchmark != "" {
+			app, prof, err := hybridpart.ProfileBenchmarkCached(req.Benchmark, req.Seed)
+			if err != nil {
+				return nil, err
+			}
+			res, err = eng.PartitionEnergyProfiled(ctx, app, prof)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			wl, err := buildSourceWorkload(req)
+			if err != nil {
+				return nil, err
+			}
+			if res, err = eng.PartitionEnergy(ctx, wl); err != nil {
+				return nil, err
+			}
+		}
+		return MarshalEnergyResult(res)
+	})
+}
+
+// handleSweep evaluates a design-space sweep. The plain path runs the grid
+// and returns the full ResultSet as JSON; when the client sends
+// Accept: text/event-stream the response is an SSE stream of "cell" frames
+// (hybridpart.CellEvent, in expansion order) terminated by one "result"
+// frame carrying the ResultSet — or an "error" frame, since the SSE status
+// line is already committed when a mid-grid failure surfaces. Sweeps are
+// not cached: grids are arbitrarily large and already amortize
+// compile+profile through the process-wide benchmark profile cache.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var spec hybridpart.SweepSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		s.writeError(w, badRequest("malformed request body: "+err.Error()))
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		s.writeError(w, badRequest(err.Error()))
+		return
+	}
+	// The grid is allocated up front by the exploration engine, so its size
+	// must be bounded before expansion — a kilobyte of axes can otherwise
+	// demand gigabytes of outcome storage.
+	if n := spec.NumPoints(); n > maxSweepPoints {
+		s.writeError(w, badRequest(fmt.Sprintf("sweep grid has %d cells, limit is %d", n, maxSweepPoints)))
+		return
+	}
+	for _, b := range spec.Benchmarks {
+		if !hybridpart.IsBenchmark(b) {
+			s.writeError(w, notFound(fmt.Sprintf("unknown benchmark %q (have %v)", b, hybridpart.Benchmarks())))
+			return
+		}
+	}
+	for _, p := range spec.Presets {
+		if _, err := hybridpart.OptionsFor(p); err != nil {
+			s.writeError(w, notFound(err.Error()))
+			return
+		}
+	}
+	// The operator's -workers flag is an upper bound on every sweep's pool:
+	// a client may ask for fewer workers, never more (and silence means
+	// "the server's bound").
+	if s.cfg.Workers > 0 && (spec.Workers <= 0 || spec.Workers > s.cfg.Workers) {
+		spec.Workers = s.cfg.Workers
+	}
+	ctx, cancel := s.runCtx(r)
+	defer cancel()
+
+	// Accept headers routinely carry lists and parameters
+	// ("text/event-stream, */*", ";charset=..."), so match the media type
+	// anywhere in the header rather than exactly.
+	stream := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	var engineOpts []hybridpart.Option
+	// The metrics middleware always wraps the writer in a statusWriter,
+	// whose Flush no-ops when the underlying writer cannot flush (frames
+	// then arrive buffered, which is still a valid SSE body).
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	if stream {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-store")
+		w.WriteHeader(http.StatusOK)
+		engineOpts = append(engineOpts, hybridpart.WithObserver(func(ev hybridpart.Event) {
+			// Observer delivery is serialized by the engine, so writes to
+			// the response cannot interleave.
+			if _, ok := ev.(hybridpart.CellEvent); !ok {
+				return
+			}
+			if err := hybridpart.WriteSSE(w, ev); err != nil {
+				cancel() // client went away: abandon the sweep
+				return
+			}
+			flush()
+		}))
+	}
+	eng, err := hybridpart.NewEngine(engineOpts...)
+	if err != nil {
+		s.writeError(w, runError(err))
+		return
+	}
+	rs, err := eng.Sweep(ctx, spec)
+	if stream {
+		if err != nil {
+			data, _ := json.Marshal(ErrorJSON{Error: err.Error()})
+			fmt.Fprintf(w, "event: error\ndata: %s\n\n", data)
+		} else {
+			data, _ := json.Marshal(rs)
+			fmt.Fprintf(w, "event: result\ndata: %s\n\n", data)
+		}
+		flush()
+		return
+	}
+	if err != nil {
+		s.writeError(w, runError(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	rs.WriteJSON(w)
+}

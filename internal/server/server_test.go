@@ -1,0 +1,501 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hybridpart"
+)
+
+// firSrc is a small FIR filter in the mini-C subset: cheap to compile and
+// profile, so handler tests stay fast.
+const firSrc = `
+const int N = 128;
+int TAPS[16] = {1, 2, 3, 4, 5, 6, 7, 8, 8, 7, 6, 5, 4, 3, 2, 1};
+int INPUT[N];
+int OUTPUT[N];
+void prep() {
+    int i;
+    for (i = 0; i < N; i++) { INPUT[i] = (i * 13 + 5) & 127; }
+}
+int main_fn() {
+    int n;
+    int k;
+    prep();
+    for (n = 16; n < N; n++) {
+        int acc = 0;
+        for (k = 0; k < 16; k++) { acc += TAPS[k] * INPUT[n - k]; }
+        OUTPUT[n] = acc >> 6;
+    }
+    return OUTPUT[N - 1];
+}
+`
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	return New(cfg)
+}
+
+// post serves one POST with the given JSON body directly through the
+// handler (no network), returning the recorder.
+func post(t *testing.T, s *Server, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	return postCtx(t, s, path, body, context.Background(), nil)
+}
+
+func postCtx(t *testing.T, s *Server, path, body string, ctx context.Context, hdr map[string]string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body)).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+// intList renders "1,2,...,n" for building large-axis request bodies.
+func intList(n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = fmt.Sprint(i + 1)
+	}
+	return strings.Join(parts, ",")
+}
+
+const firReq = `{"source": ` + "%q" + `, "entry": "main_fn", "constraint": 9000}`
+
+func firBody() string { return fmt.Sprintf(firReq, firSrc) }
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	// Golden body: the liveness probe contract.
+	if got := rec.Body.String(); got != "{\"status\":\"ok\"}\n" {
+		t.Fatalf("healthz body %q", got)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := get(t, s, "/v1/presets")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var presets []PresetJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &presets); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, p := range presets {
+		names[p.Name] = true
+		if p.Summary == "" {
+			t.Fatalf("preset %q has no summary", p.Name)
+		}
+	}
+	for _, want := range []string{"default", "paper-small", "paper-large", "dsp-rich", "lut-only"} {
+		if !names[want] {
+			t.Fatalf("preset %q missing from %v", want, names)
+		}
+	}
+}
+
+// TestPartitionParity is the tentpole acceptance test: a /v1/partition
+// response must be byte-identical to the library path for the same inputs.
+func TestPartitionParity(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := post(t, s, "/v1/partition", firBody())
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	// The library path: same workload, same knobs, canonical encoding.
+	w, err := hybridpart.NewWorkload(firSrc, "main_fn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	opts := hybridpart.DefaultOptions()
+	opts.Constraint = 9000
+	eng, err := hybridpart.NewEngine(hybridpart.WithOptions(opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Partition(context.Background(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MarshalResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Body.String(); got != string(want) {
+		t.Fatalf("service response diverges from library path:\n got: %s\nwant: %s", got, want)
+	}
+
+	// Decoded sanity: the run must have produced a real partition.
+	var rj ResultJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &rj); err != nil {
+		t.Fatal(err)
+	}
+	if rj.InitialCycles == 0 || len(rj.Moved) == 0 {
+		t.Fatalf("implausible result: %+v", rj)
+	}
+}
+
+func TestPartitionCacheHit(t *testing.T) {
+	s := newTestServer(t, Config{})
+	first := post(t, s, "/v1/partition", firBody())
+	if first.Code != http.StatusOK || first.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("first request: status %d, X-Cache %q", first.Code, first.Header().Get("X-Cache"))
+	}
+	second := post(t, s, "/v1/partition", firBody())
+	if second.Code != http.StatusOK || second.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("second request: status %d, X-Cache %q", second.Code, second.Header().Get("X-Cache"))
+	}
+	if first.Body.String() != second.Body.String() {
+		t.Fatal("cache hit served different bytes than the miss")
+	}
+	if st := s.CacheStats(); st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("cache stats: %+v", st)
+	}
+
+	// A different knob set is a different content address.
+	other := strings.Replace(firBody(), "9000", "8500", 1)
+	third := post(t, s, "/v1/partition", other)
+	if third.Code != http.StatusOK || third.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("changed options still hit: status %d, X-Cache %q", third.Code, third.Header().Get("X-Cache"))
+	}
+}
+
+func TestPartitionBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		path string
+		body string
+		want int
+	}{
+		{"malformed-json", "/v1/partition", "{nope", http.StatusBadRequest},
+		{"empty", "/v1/partition", "{}", http.StatusBadRequest},
+		{"both-workloads", "/v1/partition", `{"benchmark":"ofdm","source":"int f(){return 0;}"}`, http.StatusBadRequest},
+		{"unknown-field", "/v1/partition", `{"benchmark":"ofdm","bogus":1}`, http.StatusBadRequest},
+		{"args-with-benchmark", "/v1/partition", `{"benchmark":"ofdm","args":[1]}`, http.StatusBadRequest},
+		{"preset-and-options", "/v1/partition", `{"benchmark":"ofdm","preset":"dsp-rich","options":{}}`, http.StatusBadRequest},
+		{"negative-constraint", "/v1/partition", `{"benchmark":"ofdm","constraint":-5}`, http.StatusBadRequest},
+		{"budget-on-partition", "/v1/partition", `{"benchmark":"ofdm","energy_budget":5}`, http.StatusBadRequest},
+		{"no-budget-on-energy", "/v1/partition-energy", `{"benchmark":"ofdm"}`, http.StatusBadRequest},
+		{"unknown-benchmark", "/v1/partition", `{"benchmark":"mp3"}`, http.StatusNotFound},
+		{"unknown-preset", "/v1/partition", `{"benchmark":"ofdm","preset":"asic"}`, http.StatusNotFound},
+		{"sweep-malformed", "/v1/sweep", "[1,2", http.StatusBadRequest},
+		{"sweep-no-benchmarks", "/v1/sweep", `{}`, http.StatusBadRequest},
+		{"sweep-unknown-benchmark", "/v1/sweep", `{"benchmarks":["mp3"]}`, http.StatusNotFound},
+		{"sweep-unknown-preset", "/v1/sweep", `{"benchmarks":["ofdm"],"presets":["asic"]}`, http.StatusNotFound},
+		{"sweep-grid-too-large", "/v1/sweep",
+			fmt.Sprintf(`{"benchmarks":["ofdm"],"areas":[%s],"cgcs":[%s],"constraints":[%s]}`,
+				intList(100), intList(100), intList(100)), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := post(t, s, tc.path, tc.body)
+			if rec.Code != tc.want {
+				t.Fatalf("status %d, want %d (body %s)", rec.Code, tc.want, rec.Body)
+			}
+			var e ErrorJSON
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("error body not ErrorJSON: %s", rec.Body)
+			}
+		})
+	}
+	// Source that does not compile is the client's workload problem: 422.
+	rec := post(t, s, "/v1/partition", `{"source":"not C at all"}`)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("uncompilable source: status %d, want 422", rec.Code)
+	}
+}
+
+// TestPartitionCancellation covers the 499 path: a request whose context is
+// already dead reaches the engine, which aborts with context.Canceled; the
+// failed run must not poison the cache.
+func TestPartitionCancellation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rec := postCtx(t, s, "/v1/partition", firBody(), ctx, nil)
+	if rec.Code != StatusClientClosedRequest {
+		t.Fatalf("status %d, want 499 (body %s)", rec.Code, rec.Body)
+	}
+	if st := s.CacheStats(); st.Size != 0 {
+		t.Fatalf("cancelled run was cached: %+v", st)
+	}
+	// The same request on a live context recomputes and succeeds.
+	rec = post(t, s, "/v1/partition", firBody())
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("retry after cancellation: status %d, X-Cache %q", rec.Code, rec.Header().Get("X-Cache"))
+	}
+}
+
+func TestPartitionTimeout(t *testing.T) {
+	s := newTestServer(t, Config{Timeout: time.Nanosecond})
+	rec := post(t, s, "/v1/partition", firBody())
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (body %s)", rec.Code, rec.Body)
+	}
+}
+
+// TestSingleflight is the coalescing acceptance test: 50 concurrent
+// identical requests must trigger exactly one engine run, and every client
+// sees the same bytes. Run under -race this doubles as the
+// concurrent-clients test.
+func TestSingleflight(t *testing.T) {
+	s := newTestServer(t, Config{})
+	const n = 50
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	bodies := make([]string, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			rec := post(t, s, "/v1/partition", firBody())
+			bodies[i], codes[i] = rec.Body.String(), rec.Code
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("client %d: status %d", i, codes[i])
+		}
+		if bodies[i] != bodies[0] {
+			t.Fatalf("client %d saw different bytes", i)
+		}
+	}
+	st := s.CacheStats()
+	if st.Misses != 1 {
+		t.Fatalf("%d engine runs for 50 identical requests, want 1 (stats %+v)", st.Misses, st)
+	}
+	if st.Hits+st.Coalesced != n-1 {
+		t.Fatalf("hits(%d)+coalesced(%d) != %d", st.Hits, st.Coalesced, n-1)
+	}
+}
+
+func TestPartitionEnergy(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := fmt.Sprintf(`{"source": %q, "entry": "main_fn", "energy_budget": 1e12}`, firSrc)
+	rec := post(t, s, "/v1/partition-energy", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var rj EnergyResultJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &rj); err != nil {
+		t.Fatal(err)
+	}
+	if rj.InitialEnergy <= 0 || rj.Budget != 1e12 {
+		t.Fatalf("implausible energy result: %+v", rj)
+	}
+	// Identical energy request: served from cache.
+	if rec := post(t, s, "/v1/partition-energy", body); rec.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("energy result not cached: X-Cache %q", rec.Header().Get("X-Cache"))
+	}
+}
+
+func TestSweepJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark compilation in -short mode")
+	}
+	s := newTestServer(t, Config{})
+	rec := post(t, s, "/v1/sweep", `{"benchmarks":["ofdm"],"constraints":[60000,65000],"seed":1}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var rs hybridpart.SweepResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &rs); err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Outcomes) != 2 || rs.Partial {
+		t.Fatalf("sweep result: %d outcomes, partial=%v", len(rs.Outcomes), rs.Partial)
+	}
+	for _, o := range rs.Outcomes {
+		if o.Failed() {
+			t.Fatalf("cell %d failed: %s", o.Index, o.Err)
+		}
+	}
+}
+
+// TestSweepWorkersClamp: a client cannot request a pool larger than the
+// operator's -workers bound; the effective spec is echoed in the result.
+func TestSweepWorkersClamp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark compilation in -short mode")
+	}
+	s := newTestServer(t, Config{Workers: 2})
+	rec := post(t, s, "/v1/sweep", `{"benchmarks":["ofdm"],"constraints":[60000],"seed":1,"workers":64}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var rs hybridpart.SweepResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &rs); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Spec.Workers != 2 {
+		t.Fatalf("client worker request not clamped: pool=%d, want 2", rs.Spec.Workers)
+	}
+}
+
+func TestSweepSSE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark compilation in -short mode")
+	}
+	s := newTestServer(t, Config{})
+	// A realistic list-form Accept header must still select streaming.
+	rec := postCtx(t, s, "/v1/sweep", `{"benchmarks":["ofdm"],"constraints":[60000,65000],"seed":1}`,
+		context.Background(), map[string]string{"Accept": "text/event-stream, */*"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	body := rec.Body.String()
+	if got := strings.Count(body, "event: cell\n"); got != 2 {
+		t.Fatalf("want 2 cell frames, got %d:\n%s", got, body)
+	}
+	if !strings.Contains(body, "event: result\n") {
+		t.Fatalf("missing terminal result frame:\n%s", body)
+	}
+	// The terminal frame carries the same ResultSet the JSON path returns.
+	idx := strings.Index(body, "event: result\ndata: ")
+	payload := body[idx+len("event: result\ndata: "):]
+	payload = payload[:strings.Index(payload, "\n")]
+	var rs hybridpart.SweepResult
+	if err := json.Unmarshal([]byte(payload), &rs); err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Outcomes) != 2 {
+		t.Fatalf("terminal frame has %d outcomes", len(rs.Outcomes))
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	post(t, s, "/v1/partition", firBody())
+	post(t, s, "/v1/partition", firBody())
+	post(t, s, "/v1/partition", "{nope")
+	rec := get(t, s, "/debug/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var st StatsJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	ep, ok := st.Endpoints["/v1/partition"]
+	if !ok {
+		t.Fatalf("no /v1/partition row: %+v", st.Endpoints)
+	}
+	if ep.Requests != 3 || ep.Errors != 1 || ep.CacheHits != 1 || ep.CacheMisses != 1 {
+		t.Fatalf("partition endpoint stats: %+v", ep)
+	}
+	if ep.AvgLatencyMicros < 0 || ep.MaxLatencyMicros < ep.AvgLatencyMicros {
+		t.Fatalf("latency accounting broken: %+v", ep)
+	}
+	if st.Cache.Capacity != 256 {
+		t.Fatalf("cache stats: %+v", st.Cache)
+	}
+}
+
+// TestCacheHitSpeedup demonstrates the acceptance criterion: a repeated
+// identical request is served from cache at least 10x faster than the
+// compile+profile+partition miss path.
+func TestCacheHitSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	s := newTestServer(t, Config{})
+	body := `{"benchmark":"ofdm","seed":7,"constraint":60000}`
+
+	missStart := time.Now()
+	if rec := post(t, s, "/v1/partition", body); rec.Code != http.StatusOK {
+		t.Fatalf("miss: status %d: %s", rec.Code, rec.Body)
+	}
+	miss := time.Since(missStart)
+
+	const hits = 20
+	hitStart := time.Now()
+	for i := 0; i < hits; i++ {
+		if rec := post(t, s, "/v1/partition", body); rec.Header().Get("X-Cache") != "hit" {
+			t.Fatalf("request %d was not a cache hit", i)
+		}
+	}
+	hit := time.Since(hitStart) / hits
+
+	if hit*10 > miss {
+		t.Fatalf("hit path not >=10x faster: miss=%v hit=%v", miss, hit)
+	}
+	t.Logf("miss=%v hit=%v (%.0fx)", miss, hit, float64(miss)/float64(hit))
+}
+
+// BenchmarkPartitionCacheHit measures the steady-state hit path (serving
+// stored response bytes).
+func BenchmarkPartitionCacheHit(b *testing.B) {
+	s := New(Config{})
+	body := `{"benchmark":"ofdm","seed":7,"constraint":60000}`
+	warm := httptest.NewRequest(http.MethodPost, "/v1/partition", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, warm)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warmup failed: %d %s", rec.Code, rec.Body)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/partition", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatal(rec.Code)
+		}
+	}
+}
+
+// BenchmarkPartitionCacheMiss measures the full compile+profile+partition
+// path by making every request a distinct content address.
+func BenchmarkPartitionCacheMiss(b *testing.B) {
+	s := New(Config{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"source": %q, "entry": "main_fn", "constraint": %d}`, firSrc, 30000+i)
+		req := httptest.NewRequest(http.MethodPost, "/v1/partition", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatal(rec.Code)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"hybridpart"
+)
+
+// Wire types of the partitioning service. These are the one JSON shape of a
+// partitioning result: the service's /v1/partition responses and the hpart
+// -json CLI output both encode through them, so machine consumers see a
+// single schema regardless of transport.
+
+// ResultJSON is the wire form of hybridpart.Result.
+type ResultJSON struct {
+	InitialCycles     int64   `json:"initial_cycles"`
+	InitialPartitions int     `json:"initial_partitions"`
+	FinalCycles       int64   `json:"final_cycles"`
+	CyclesInCGC       int64   `json:"cycles_in_cgc"`
+	TFPGA             int64   `json:"t_fpga"`
+	TCoarse           int64   `json:"t_coarse"`
+	TComm             int64   `json:"t_comm"`
+	Constraint        int64   `json:"constraint"`
+	Met               bool    `json:"met"`
+	ReductionPct      float64 `json:"reduction_pct"`
+	Moved             []int   `json:"moved,omitempty"`
+	Unmappable        []int   `json:"unmappable,omitempty"`
+	Skipped           []int   `json:"skipped,omitempty"`
+}
+
+// NewResultJSON converts a library Result to its wire form.
+func NewResultJSON(r *hybridpart.Result) ResultJSON {
+	return ResultJSON{
+		InitialCycles:     r.InitialCycles,
+		InitialPartitions: r.InitialPartitions,
+		FinalCycles:       r.FinalCycles,
+		CyclesInCGC:       r.CyclesInCGC,
+		TFPGA:             r.TFPGA,
+		TCoarse:           r.TCoarse,
+		TComm:             r.TComm,
+		Constraint:        r.Constraint,
+		Met:               r.Met,
+		ReductionPct:      r.ReductionPct(),
+		Moved:             r.Moved,
+		Unmappable:        r.Unmappable,
+		Skipped:           r.Skipped,
+	}
+}
+
+// MarshalResult is the canonical encoding of a partitioning result: compact
+// JSON of the wire form plus a trailing newline. The service caches and
+// serves exactly these bytes, which is what makes a cache hit byte-identical
+// to the library path.
+func MarshalResult(r *hybridpart.Result) ([]byte, error) {
+	b, err := json.Marshal(NewResultJSON(r))
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// EnergyBreakdownJSON is the wire form of hybridpart.EnergyBreakdown.
+type EnergyBreakdownJSON struct {
+	Fine     float64 `json:"fine"`
+	Coarse   float64 `json:"coarse"`
+	Reconfig float64 `json:"reconfig"`
+	Comm     float64 `json:"comm"`
+}
+
+// EnergyResultJSON is the wire form of hybridpart.EnergyResult.
+type EnergyResultJSON struct {
+	InitialEnergy float64             `json:"initial_energy"`
+	FinalEnergy   float64             `json:"final_energy"`
+	Initial       EnergyBreakdownJSON `json:"initial"`
+	Final         EnergyBreakdownJSON `json:"final"`
+	Budget        float64             `json:"budget"`
+	Met           bool                `json:"met"`
+	ReductionPct  float64             `json:"reduction_pct"`
+	Moved         []int               `json:"moved,omitempty"`
+	Unmappable    []int               `json:"unmappable,omitempty"`
+}
+
+// NewEnergyResultJSON converts a library EnergyResult to its wire form.
+func NewEnergyResultJSON(r *hybridpart.EnergyResult) EnergyResultJSON {
+	conv := func(b hybridpart.EnergyBreakdown) EnergyBreakdownJSON {
+		return EnergyBreakdownJSON{Fine: b.Fine, Coarse: b.Coarse, Reconfig: b.Reconfig, Comm: b.Comm}
+	}
+	return EnergyResultJSON{
+		InitialEnergy: r.InitialEnergy,
+		FinalEnergy:   r.FinalEnergy,
+		Initial:       conv(r.Initial),
+		Final:         conv(r.Final),
+		Budget:        r.Budget,
+		Met:           r.Met,
+		ReductionPct:  r.ReductionPct(),
+		Moved:         r.Moved,
+		Unmappable:    r.Unmappable,
+	}
+}
+
+// MarshalEnergyResult is MarshalResult for the energy-constrained engine.
+func MarshalEnergyResult(r *hybridpart.EnergyResult) ([]byte, error) {
+	b, err := json.Marshal(NewEnergyResultJSON(r))
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// PartitionRequest is the body of POST /v1/partition and
+// /v1/partition-energy. The workload is either a built-in benchmark
+// (Benchmark + Seed) or inline mini-C source (Source + Entry, optionally
+// Args and Inputs for the profiling run); exactly one of the two must be
+// given. The platform comes from Preset or from a full Options override
+// (mutually exclusive), with Constraint as a common shortcut layered on
+// top. EnergyBudget is required by /v1/partition-energy and rejected by
+// /v1/partition.
+type PartitionRequest struct {
+	// Benchmark selects a built-in application ("ofdm", "jpeg"); Seed its
+	// deterministic input vectors.
+	Benchmark string `json:"benchmark,omitempty"`
+	Seed      uint32 `json:"seed,omitempty"`
+
+	// Source is inline mini-C text; Entry the function to flatten and
+	// profile (default "main_fn"). Args are scalar arguments for the
+	// profiling run; Inputs preloads named global arrays before it.
+	Source string             `json:"source,omitempty"`
+	Entry  string             `json:"entry,omitempty"`
+	Args   []int32            `json:"args,omitempty"`
+	Inputs map[string][]int32 `json:"inputs,omitempty"`
+
+	// Preset names a registered platform variant; Options replaces the
+	// whole knob set instead. Constraint, when positive, overrides the
+	// timing constraint of whichever base was chosen.
+	Preset     string              `json:"preset,omitempty"`
+	Options    *hybridpart.Options `json:"options,omitempty"`
+	Constraint int64               `json:"constraint,omitempty"`
+
+	// EnergyBudget is the energy bound for /v1/partition-energy.
+	EnergyBudget float64 `json:"energy_budget,omitempty"`
+}
+
+// validate checks the request shape (transport-independent: resolveOptions
+// covers the platform half).
+func (r *PartitionRequest) validate(energy bool) *httpError {
+	switch {
+	case r.Benchmark == "" && r.Source == "":
+		return badRequest("need \"benchmark\" or \"source\"")
+	case r.Benchmark != "" && r.Source != "":
+		return badRequest("\"benchmark\" and \"source\" are mutually exclusive")
+	case r.Benchmark != "" && !hybridpart.IsBenchmark(r.Benchmark):
+		return notFound(fmt.Sprintf("unknown benchmark %q (have %v)", r.Benchmark, hybridpart.Benchmarks()))
+	case r.Benchmark != "" && (len(r.Args) > 0 || len(r.Inputs) > 0):
+		return badRequest("\"args\"/\"inputs\" apply only to \"source\" workloads")
+	case r.Constraint < 0:
+		return badRequest(fmt.Sprintf("\"constraint\" must be positive, got %d", r.Constraint))
+	case energy && r.EnergyBudget <= 0:
+		return badRequest("\"energy_budget\" must be positive for /v1/partition-energy")
+	case !energy && r.EnergyBudget != 0:
+		return badRequest("\"energy_budget\" applies only to /v1/partition-energy")
+	}
+	return nil
+}
+
+// resolveOptions materializes the request's knob set: a full Options
+// override is used verbatim, otherwise the preset (or the paper default)
+// supplies the base; a positive Constraint then overrides either.
+func (r *PartitionRequest) resolveOptions() (hybridpart.Options, *httpError) {
+	if r.Options != nil && r.Preset != "" {
+		return hybridpart.Options{}, badRequest("\"preset\" and \"options\" are mutually exclusive")
+	}
+	opts := hybridpart.DefaultOptions()
+	if r.Options != nil {
+		opts = *r.Options
+	} else if r.Preset != "" {
+		var err error
+		if opts, err = hybridpart.OptionsFor(r.Preset); err != nil {
+			return hybridpart.Options{}, notFound(err.Error())
+		}
+	}
+	if r.Constraint > 0 {
+		opts.Constraint = r.Constraint
+	}
+	return opts, nil
+}
+
+// entryOrDefault returns the entry function for source workloads.
+func (r *PartitionRequest) entryOrDefault() string {
+	if r.Entry != "" {
+		return r.Entry
+	}
+	return "main_fn"
+}
+
+// fingerprint is the content address of the request: a SHA-256 over the
+// workload identity (benchmark+seed, or source hash + entry + profiling
+// inputs in sorted-name order), the resolved Options fingerprint, the
+// request kind and — for energy requests — the budget. Equal requests hash
+// equal by construction; the hash never includes the source text itself, so
+// a cache hit is decided without compiling anything.
+func (r *PartitionRequest) fingerprint(kind string, opts hybridpart.Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "kind=%s\n", kind)
+	if r.Benchmark != "" {
+		fmt.Fprintf(h, "bench=%s\nseed=%d\n", r.Benchmark, r.Seed)
+	} else {
+		fmt.Fprintf(h, "src=%s\nentry=%s\nargs=%v\n",
+			hybridpart.SourceHash(r.Source), r.entryOrDefault(), r.Args)
+		names := make([]string, 0, len(r.Inputs))
+		for n := range r.Inputs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(h, "input:%s=%v\n", n, r.Inputs[n])
+		}
+	}
+	fmt.Fprintf(h, "opts=%s\n", opts.Fingerprint())
+	if kind == "energy" {
+		fmt.Fprintf(h, "budget=%v\n", r.EnergyBudget)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// PresetJSON is one row of GET /v1/presets.
+type PresetJSON struct {
+	Name    string `json:"name"`
+	Summary string `json:"summary"`
+}
+
+// ErrorJSON is the body of every non-2xx JSON response.
+type ErrorJSON struct {
+	Error string `json:"error"`
+}

@@ -69,7 +69,15 @@ func DefaultConstraint(bench string) int64 {
 var profileCache struct {
 	mu      sync.Mutex
 	entries map[profileKey]*profileEntry
+	order   []profileKey // insertion order, for the capacity bound
 }
+
+// profileCacheCap bounds the memo. Each entry pins a full compiled App plus
+// its profile, and the partitioning service keys entries by an arbitrary
+// client-supplied seed, so the memo must not grow without bound; once full,
+// the oldest entry is dropped (callers already holding it are unaffected —
+// the next request for that key simply recompiles).
+const profileCacheCap = 64
 
 type profileKey struct {
 	bench string
@@ -83,12 +91,13 @@ type profileEntry struct {
 	err  error
 }
 
-// ProfileBenchmarkCached is ProfileBenchmark behind a concurrency-safe
-// process-level cache: the first caller for a (name, seed) pair compiles
-// and profiles, every other caller — concurrent or later — shares the
-// result. The returned App and RunProfile are safe for concurrent
-// Analyze/Partition use (both only read them); callers that need to mutate
-// runner state should use ProfileBenchmark instead.
+// ProfileBenchmarkCached is ProfileBenchmark behind a concurrency-safe,
+// bounded process-level cache: the first caller for a (name, seed) pair
+// compiles and profiles, every other caller — concurrent or later — shares
+// the result, and once profileCacheCap distinct pairs are resident the
+// oldest is evicted. The returned App and RunProfile are safe for
+// concurrent Analyze/Partition use (both only read them); callers that
+// need to mutate runner state should use ProfileBenchmark instead.
 func ProfileBenchmarkCached(name string, seed uint32) (*App, *RunProfile, error) {
 	key := profileKey{bench: name, seed: seed}
 	profileCache.mu.Lock()
@@ -99,6 +108,12 @@ func ProfileBenchmarkCached(name string, seed uint32) (*App, *RunProfile, error)
 	if e == nil {
 		e = &profileEntry{}
 		profileCache.entries[key] = e
+		profileCache.order = append(profileCache.order, key)
+		for len(profileCache.entries) > profileCacheCap {
+			oldest := profileCache.order[0]
+			profileCache.order = profileCache.order[1:]
+			delete(profileCache.entries, oldest)
+		}
 	}
 	profileCache.mu.Unlock()
 

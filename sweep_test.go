@@ -6,6 +6,36 @@ import (
 	"testing"
 )
 
+// TestProfileCacheBounded drives ProfileBenchmarkCached past its capacity
+// with distinct seeds (the service exposes the seed to clients, so the memo
+// must stay bounded) and checks eviction keeps the map at the cap while
+// still serving every caller.
+func TestProfileCacheBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark compilation in -short mode")
+	}
+	for seed := uint32(1000); seed < uint32(1000+profileCacheCap+8); seed++ {
+		app, prof, err := ProfileBenchmarkCached(BenchOFDM, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if app == nil || prof == nil {
+			t.Fatalf("seed %d: nil result", seed)
+		}
+	}
+	profileCache.mu.Lock()
+	size, order := len(profileCache.entries), len(profileCache.order)
+	profileCache.mu.Unlock()
+	if size > profileCacheCap || order != size {
+		t.Fatalf("profile cache unbounded: %d entries, %d order records (cap %d)",
+			size, order, profileCacheCap)
+	}
+	// Evicted pairs recompile transparently.
+	if _, _, err := ProfileBenchmarkCached(BenchOFDM, 1000); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestDefaultConstraint(t *testing.T) {
 	if DefaultConstraint(BenchOFDM) != 60000 || DefaultConstraint(BenchJPEG) != 21000000 {
 		t.Fatalf("paper constraints wrong: ofdm=%d jpeg=%d",

@@ -71,6 +71,12 @@ func (w *Workload) App() *App { return w.app }
 // Entry returns the entry function name.
 func (w *Workload) Entry() string { return w.app.Entry() }
 
+// SourceHash returns the canonical content hash of the workload's source
+// text (see SourceHash). Together with the entry name, the profiling inputs
+// and an Options.Fingerprint it forms the cache key under which the
+// partitioning service content-addresses this workload's results.
+func (w *Workload) SourceHash() string { return w.app.SourceHash() }
+
 // NumBlocks returns the number of basic blocks in the flattened CDFG.
 func (w *Workload) NumBlocks() int { return w.app.NumBlocks() }
 
