@@ -1,6 +1,7 @@
 package hybridpart
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -367,4 +368,53 @@ func BenchmarkEnergyPartitioning(b *testing.B) {
 		red = res.ReductionPct()
 	}
 	b.ReportMetric(red, "%energy-reduction")
+}
+
+// BenchmarkSimulate measures the co-simulator's full flow on the paper
+// benchmarks: partition, reconstruct the profiled trace, and replay it
+// event by event against both mappings. simcycles/s is the simulated
+// platform time covered per wall-clock second — the simulator's headline
+// throughput (CI publishes it via cmd/benchjson as BENCH_sim.json).
+func BenchmarkSimulate(b *testing.B) {
+	for _, bench := range Benchmarks() {
+		b.Run(bench, func(b *testing.B) {
+			app, prof, err := ProfileBenchmarkCached(bench, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := NewEngine(WithConstraint(DefaultConstraint(bench)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var total int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := eng.SimulateProfiled(context.Background(), app, prof)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += rep.TotalCycles + rep.BaselineCycles
+			}
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "simcycles/s")
+		})
+	}
+}
+
+// BenchmarkSimulateFrames measures the multi-frame pipeline replay, the
+// regime where per-frame event scheduling dominates.
+func BenchmarkSimulateFrames(b *testing.B) {
+	app, prof, err := ProfileBenchmarkCached(BenchOFDM, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := NewEngine(WithConstraint(60000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SimulateProfiled(context.Background(), app, prof,
+			SimFrames(32), SimPrefetch(true)); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -1,22 +1,69 @@
 package hybridpart
 
 import (
+	"fmt"
+	"strings"
+
 	"hybridpart/internal/apps"
 )
 
+// benchmarkDef is one registry row: everything a CLI or the service needs
+// to compile, feed and evaluate a built-in benchmark. New benchmarks appear
+// in every CLI and in the service automatically once listed here.
+type benchmarkDef struct {
+	name string
+	// constraint is the paper's evaluation timing constraint in FPGA cycles.
+	constraint int64
+	compile    func() (*App, error)
+	// inputArray is the global array holding the profiling input; input
+	// generates its deterministic vector for a seed.
+	inputArray string
+	input      func(seed uint32) []int32
+}
+
+// benchmarkDefs is the single source of truth for the built-in benchmarks,
+// in presentation order.
+var benchmarkDefs = []benchmarkDef{
+	{
+		name:       BenchOFDM,
+		constraint: 60000,
+		compile:    OFDMApp,
+		inputArray: OFDMBitsArray,
+		input:      OFDMBits,
+	},
+	{
+		name:       BenchJPEG,
+		constraint: 21000000,
+		compile:    JPEGApp,
+		inputArray: JPEGImageArray,
+		input:      JPEGImage,
+	},
+}
+
+func lookupBenchmark(name string) (benchmarkDef, bool) {
+	for _, d := range benchmarkDefs {
+		if d.name == name {
+			return d, true
+		}
+	}
+	return benchmarkDef{}, false
+}
+
 // Benchmarks returns the names of the built-in benchmarks accepted by
-// BenchmarkWorkload and ProfileBenchmark — the single source of truth CLIs
-// should validate against.
-func Benchmarks() []string { return []string{BenchOFDM, BenchJPEG} }
+// BenchmarkWorkload, BenchmarkApp and ProfileBenchmark — the single source
+// of truth CLIs should validate against.
+func Benchmarks() []string {
+	names := make([]string, len(benchmarkDefs))
+	for i, d := range benchmarkDefs {
+		names[i] = d.name
+	}
+	return names
+}
 
 // IsBenchmark reports whether name is a built-in benchmark.
 func IsBenchmark(name string) bool {
-	for _, b := range Benchmarks() {
-		if name == b {
-			return true
-		}
-	}
-	return false
+	_, ok := lookupBenchmark(name)
+	return ok
 }
 
 // Benchmark identifiers for the paper's two evaluation applications.
@@ -65,9 +112,20 @@ func OFDMBits(seed uint32) []int32 { return apps.GenBits(apps.OFDMTotalBits, see
 // JPEGImage generates a deterministic 256×256 test image.
 func JPEGImage(seed uint32) []int32 { return apps.GenImage(seed) }
 
-// ProfileBenchmark compiles the named benchmark ("ofdm" or "jpeg"), runs it
-// on its standard input vectors (the paper's: 6 payload symbols, one
-// 256×256 frame) and returns the app plus its dynamic-analysis profile.
+// BenchmarkApp compiles the named built-in benchmark without profiling it —
+// the registry-driven entry point for tools that only inspect the CDFG
+// (cdfgdump).
+func BenchmarkApp(name string) (*App, error) {
+	d, ok := lookupBenchmark(name)
+	if !ok {
+		return nil, errUnknownBenchmark(name)
+	}
+	return d.compile()
+}
+
+// ProfileBenchmark compiles the named benchmark, runs it on its standard
+// input vectors (the paper's: 6 payload symbols, one 256×256 frame) and
+// returns the app plus its dynamic-analysis profile.
 //
 // This is the v1 shape of BenchmarkWorkload; new code should use the
 // workload directly.
@@ -82,5 +140,9 @@ func ProfileBenchmark(name string, seed uint32) (*App, *RunProfile, error) {
 type errUnknownBenchmark string
 
 func (e errUnknownBenchmark) Error() string {
-	return "hybridpart: unknown benchmark " + string(e) + ` (want "ofdm" or "jpeg")`
+	quoted := make([]string, len(benchmarkDefs))
+	for i, d := range benchmarkDefs {
+		quoted[i] = fmt.Sprintf("%q", d.name)
+	}
+	return "hybridpart: unknown benchmark " + string(e) + " (want " + strings.Join(quoted, " or ") + ")"
 }

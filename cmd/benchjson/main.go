@@ -20,11 +20,20 @@ import (
 	"strings"
 )
 
-// benchResult is one parsed `go test -bench` line.
+// benchResult is one parsed `go test -bench` line. Metrics carries any
+// extra "<value> <unit>" pairs the benchmark reported (b.ReportMetric), in
+// input order.
 type benchResult struct {
-	Name string  `json:"name"`
-	Iter int64   `json:"iterations"`
-	NsOp float64 `json:"ns_per_op"`
+	Name    string   `json:"name"`
+	Iter    int64    `json:"iterations"`
+	NsOp    float64  `json:"ns_per_op"`
+	Metrics []metric `json:"metrics,omitempty"`
+}
+
+// metric is one extra benchmark metric column.
+type metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
 }
 
 // sweepReport is the derived sweep-engine summary.
@@ -37,9 +46,18 @@ type sweepReport struct {
 	Speedup             float64 `json:"speedup_over_serial"`
 }
 
+// simBench is one co-simulator benchmark's derived summary.
+type simBench struct {
+	NsPerOp         float64 `json:"ns_per_op"`
+	SimCyclesPerSec float64 `json:"simcycles_per_sec,omitempty"`
+}
+
 type report struct {
 	Benchmarks []benchResult `json:"benchmarks"`
 	Sweep      *sweepReport  `json:"sweep,omitempty"`
+	// Sim summarizes BenchmarkSimulate sub-benchmarks by benchmark name
+	// (JSON object keys are emitted sorted, so the report is deterministic).
+	Sim map[string]simBench `json:"sim,omitempty"`
 }
 
 func main() {
@@ -70,6 +88,18 @@ func main() {
 			serial = b.NsOp
 		case strings.Contains(b.Name, "SweepEngine/shared-parallel"):
 			parallel = b.NsOp
+		}
+		if i := strings.Index(b.Name, "Simulate/"); i >= 0 {
+			if rep.Sim == nil {
+				rep.Sim = map[string]simBench{}
+			}
+			row := simBench{NsPerOp: b.NsOp}
+			for _, m := range b.Metrics {
+				if m.Name == "simcycles/s" {
+					row.SimCyclesPerSec = m.Value
+				}
+			}
+			rep.Sim[b.Name[i+len("Simulate/"):]] = row
 		}
 	}
 	if serial > 0 && parallel > 0 {
@@ -109,7 +139,8 @@ func parseBenchLine(line string) (benchResult, bool) {
 		return benchResult{}, false
 	}
 	// Find the "<value> ns/op" pair; go test always emits it first but
-	// scanning keeps us robust to future extra columns.
+	// scanning keeps us robust to extra columns — which are themselves
+	// collected as metrics (b.ReportMetric output).
 	for i := 2; i+1 < len(fields); i++ {
 		if fields[i+1] != "ns/op" {
 			continue
@@ -125,7 +156,15 @@ func parseBenchLine(line string) (benchResult, bool) {
 				name = name[:j]
 			}
 		}
-		return benchResult{Name: name, Iter: iter, NsOp: ns}, true
+		res := benchResult{Name: name, Iter: iter, NsOp: ns}
+		for j := i + 2; j+1 < len(fields); j += 2 {
+			v, err := strconv.ParseFloat(fields[j], 64)
+			if err != nil {
+				break
+			}
+			res.Metrics = append(res.Metrics, metric{Name: fields[j+1], Value: v})
+		}
+		return res, true
 	}
 	return benchResult{}, false
 }

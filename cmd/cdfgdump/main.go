@@ -18,29 +18,35 @@ import (
 )
 
 func main() {
-	bench := flag.String("bench", "", `built-in benchmark ("ofdm" or "jpeg")`)
+	bench := flag.String("bench", "", fmt.Sprintf("built-in benchmark %v", hybridpart.Benchmarks()))
 	src := flag.String("src", "", "mini-C source file (alternative to -bench)")
 	entry := flag.String("entry", "main_fn", "entry function for -src")
 	block := flag.Int("block", -1, "dump the DFG of this basic block instead of the CFG")
 	flag.Parse()
 
+	// Validate flags up front: one clear line instead of a deep failure.
+	switch {
+	case *bench == "" && *src == "":
+		fail("need -bench or -src")
+	case *bench != "" && *src != "":
+		fail("-bench and -src are mutually exclusive")
+	case *bench != "" && !hybridpart.IsBenchmark(*bench):
+		fail(fmt.Sprintf("unknown benchmark %q (have %v)", *bench, hybridpart.Benchmarks()))
+	case *block < -1:
+		fail(fmt.Sprintf("-block must be a block number (or -1 for the CFG), got %d", *block))
+	}
+
 	var (
 		app *hybridpart.App
 		err error
 	)
-	switch {
-	case *bench == hybridpart.BenchOFDM:
-		app, err = hybridpart.OFDMApp()
-	case *bench == hybridpart.BenchJPEG:
-		app, err = hybridpart.JPEGApp()
-	case *src != "":
+	if *bench != "" {
+		app, err = hybridpart.BenchmarkApp(*bench)
+	} else {
 		var text []byte
 		if text, err = os.ReadFile(*src); err == nil {
 			app, err = hybridpart.Compile(string(text), *entry)
 		}
-	default:
-		fmt.Fprintln(os.Stderr, "cdfgdump: need -bench or -src")
-		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cdfgdump: %v\n", err)
@@ -55,4 +61,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cdfgdump: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+func fail(msg string) {
+	fmt.Fprintf(os.Stderr, "cdfgdump: %s\n", msg)
+	os.Exit(2)
 }

@@ -13,14 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"hybridpart"
+	"hybridpart/internal/cliutil"
 )
 
 func main() {
-	bench := flag.String("bench", "", `built-in benchmark ("ofdm" or "jpeg")`)
+	bench := flag.String("bench", "", fmt.Sprintf("built-in benchmark %v", hybridpart.Benchmarks()))
 	src := flag.String("src", "", "mini-C source file (alternative to -bench)")
 	entry := flag.String("entry", "main_fn", "entry function for -src")
 	args := flag.String("args", "", "comma-separated scalar arguments for the entry function")
@@ -47,7 +46,7 @@ func main() {
 	if *bench != "" {
 		w, err = hybridpart.BenchmarkWorkload(*bench, uint32(*seed))
 	} else {
-		w, err = sourceWorkload(*src, *entry, *args)
+		w, err = cliutil.SourceWorkload(*src, *entry, *args)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hprof: %v\n", err)
@@ -72,29 +71,4 @@ func main() {
 func fail(msg string) {
 	fmt.Fprintf(os.Stderr, "hprof: %s\n", msg)
 	os.Exit(2)
-}
-
-func sourceWorkload(path, entry, argList string) (*hybridpart.Workload, error) {
-	text, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	w, err := hybridpart.NewWorkload(string(text), entry)
-	if err != nil {
-		return nil, err
-	}
-	var args []int32
-	if argList != "" {
-		for _, part := range strings.Split(argList, ",") {
-			v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 32)
-			if err != nil {
-				return nil, fmt.Errorf("bad -args value %q: %v", part, err)
-			}
-			args = append(args, int32(v))
-		}
-	}
-	if _, err := w.Run(args...); err != nil {
-		return nil, err
-	}
-	return w, nil
 }

@@ -6,12 +6,15 @@
 //
 // Usage:
 //
-//	hservd -addr :8080 -workers 8 -cache 512 -timeout 2m
+//	hservd -addr :8080 -workers 8 -cache 512 -timeout 2m -profile-memo 128
 //
 // Endpoints: POST /v1/partition, POST /v1/partition-energy, POST /v1/sweep
-// (SSE progress with Accept: text/event-stream), GET /healthz,
-// GET /v1/presets, GET /debug/stats. SIGINT or SIGTERM drains in-flight
-// requests and shuts the listener down gracefully.
+// (SSE progress with Accept: text/event-stream), POST /v1/simulate,
+// GET /healthz, GET /v1/presets, GET /debug/stats. -profile-memo bounds the
+// process-wide benchmark profile memo ((bench, seed) entries; 0 lifts the
+// bound for trusted deployments) and /debug/stats reports its population.
+// SIGINT or SIGTERM drains in-flight requests and shuts the listener down
+// gracefully.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"hybridpart"
 	"hybridpart/internal/server"
 )
 
@@ -35,6 +39,8 @@ func main() {
 	workers := flag.Int("workers", 0, "bound on each sweep's worker pool (0 = no bound, GOMAXPROCS default)")
 	cacheCap := flag.Int("cache", 256, "result-cache capacity in entries")
 	timeout := flag.Duration("timeout", time.Minute, "per-request run timeout (0 = unbounded)")
+	profileMemo := flag.Int("profile-memo", hybridpart.DefaultProfileMemoBound,
+		"benchmark profile memo bound in (bench, seed) entries; 0 = unbounded, for trusted deployments")
 	flag.Parse()
 
 	if *cacheCap <= 0 {
@@ -45,6 +51,9 @@ func main() {
 	}
 	if *timeout < 0 {
 		fail(fmt.Sprintf("-timeout must be non-negative, got %v", *timeout))
+	}
+	if err := hybridpart.SetProfileMemoBound(*profileMemo); err != nil {
+		fail(fmt.Sprintf("-profile-memo: %v", err))
 	}
 
 	// SIGINT/SIGTERM cancel this context; the same plumbing the library uses

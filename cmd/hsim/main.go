@@ -1,23 +1,23 @@
-// Command hpart runs the complete partitioning methodology on a mini-C
-// source file or on one of the built-in benchmarks, printing the Table-2/3
-// style result.
+// Command hsim co-simulates a partitioned application on the hybrid
+// platform: it runs the partitioning methodology, then replays the profiled
+// CDFG trace through the discrete-event platform model (internal/sim) —
+// sequencer dispatch, temporal-partition swaps with optional configuration
+// prefetch, list-scheduled CGC execution, shared-memory transfer slots and
+// the two-stage frame pipeline — and prints the simulated makespan,
+// per-fabric utilization, per-kernel timeline and the validation of the
+// analytical model against the simulation.
 //
 // Usage:
 //
-//	hpart -bench ofdm -constraint 60000
-//	hpart -bench jpeg -preset dsp-rich -trace
-//	hpart -src app.c -entry main_fn -afpga 1500 -cgcs 2 -constraint 100000
+//	hsim -bench ofdm
+//	hsim -bench jpeg -frames 16 -prefetch -ports 2
+//	hsim -src app.c -entry main_fn -constraint 100000 -json
 //
 // -preset starts from a registered platform variant; -afpga/-cgcs override
-// individual fields of it when given explicitly. -trace streams the
-// move-by-move partitioning trajectory to stderr. -json replaces the table
-// with the full result as machine-readable JSON — the same wire shape the
-// hservd service returns from POST /v1/partition. Custom sources are
-// profiled by executing the entry function once; entry functions with
-// scalar parameters receive the values passed via -args (comma-separated
-// integers). Input arrays can be preset only for the built-in benchmarks;
-// custom applications should initialize their inputs in source (or embed a
-// generator loop).
+// individual fields of it when given explicitly. -constraint defaults to
+// the benchmark's paper evaluation constraint (and is required for -src).
+// -trace streams per-frame progress events to stderr. -json replaces the
+// table with the service wire format of POST /v1/simulate.
 package main
 
 import (
@@ -41,10 +41,12 @@ func main() {
 	preset := flag.String("preset", "", "platform preset to start from (see hsweep -list-presets)")
 	afpga := flag.Int("afpga", 1500, "usable fine-grain area A_FPGA")
 	cgcs := flag.Int("cgcs", 2, "number of 2x2 CGCs in the data-path")
-	constraint := flag.Int64("constraint", 60000, "timing constraint in FPGA cycles")
-	trace := flag.Bool("trace", false, "stream the move-by-move trajectory to stderr")
-	jsonOut := flag.Bool("json", false, "emit the full result as JSON (the service wire format) instead of the table")
-	pipelineN := flag.Int("pipeline-frames", 0, "if >0, also report frame pipelining over N frames")
+	constraint := flag.Int64("constraint", 0, "timing constraint in FPGA cycles (0 = the benchmark's paper default)")
+	frames := flag.Int("frames", 1, "application frames to replay (the frame pipeline overlaps the fabrics)")
+	ports := flag.Int("ports", 1, "fabric-to-fabric transfer ports (the model assumes 1)")
+	prefetch := flag.Bool("prefetch", false, "overlap configuration loads with data-path execution")
+	trace := flag.Bool("trace", false, "stream per-frame simulation events to stderr")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON (the service wire format) instead of the table")
 	flag.Parse()
 
 	// Validate every flag up front so bad input dies with one clear line
@@ -62,12 +64,17 @@ func main() {
 		fail(fmt.Sprintf("-afpga must be positive, got %d", *afpga))
 	case *cgcs <= 0:
 		fail(fmt.Sprintf("-cgcs must be positive, got %d", *cgcs))
-	case *constraint <= 0:
+	case *constraint < 0:
 		fail(fmt.Sprintf("-constraint must be positive, got %d", *constraint))
-	case *pipelineN < 0:
-		fail(fmt.Sprintf("-pipeline-frames must be non-negative, got %d", *pipelineN))
-	case *jsonOut && *pipelineN > 0:
-		fail("-json and -pipeline-frames are mutually exclusive (the pipeline report is table-only)")
+	case *constraint == 0 && *src != "":
+		fail("need -constraint with -src (no paper default for custom sources)")
+	case *frames <= 0:
+		fail(fmt.Sprintf("-frames must be positive, got %d", *frames))
+	case *ports <= 0:
+		fail(fmt.Sprintf("-ports must be positive, got %d", *ports))
+	}
+	if *constraint == 0 {
+		*constraint = hybridpart.DefaultConstraint(*bench)
 	}
 
 	// Engine configuration: the preset (if any) lays down the platform;
@@ -85,9 +92,9 @@ func main() {
 	engineOpts = append(engineOpts, hybridpart.WithConstraint(*constraint))
 	if *trace {
 		engineOpts = append(engineOpts, hybridpart.WithObserver(func(ev hybridpart.Event) {
-			if mv, ok := ev.(hybridpart.MoveEvent); ok {
-				fmt.Fprintf(os.Stderr, "hpart: move %d: BB %d -> CGC (t_total %d, met %v)\n",
-					mv.Seq, mv.Block, mv.TotalAfter, mv.Met)
+			if se, ok := ev.(hybridpart.SimEvent); ok {
+				fmt.Fprintf(os.Stderr, "hsim: %s frame %d/%d done at cycle %d\n",
+					se.Stage, se.Frame, se.Frames, se.Cycles)
 			}
 		}))
 	}
@@ -103,43 +110,32 @@ func main() {
 		w, err = cliutil.SourceWorkload(*src, *entry, *args)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hpart: %v\n", err)
+		fmt.Fprintf(os.Stderr, "hsim: %v\n", err)
 		os.Exit(1)
 	}
 
-	if !*jsonOut {
-		fmt.Printf("application: %s (%d basic blocks)\n", w.Entry(), w.NumBlocks())
-	}
-	res, err := eng.Partition(context.Background(), w)
+	rep, err := eng.Simulate(context.Background(), w,
+		hybridpart.SimFrames(*frames),
+		hybridpart.SimPorts(*ports),
+		hybridpart.SimPrefetch(*prefetch))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hpart: %v\n", err)
+		fmt.Fprintf(os.Stderr, "hsim: %v\n", err)
 		os.Exit(1)
 	}
 	if *jsonOut {
-		// Machine-readable path: the same wire type the partitioning
-		// service returns from POST /v1/partition, indented for terminals.
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(server.NewResultJSON(res)); err != nil {
-			fmt.Fprintf(os.Stderr, "hpart: %v\n", err)
+		if err := enc.Encode(server.NewSimReportJSON(rep)); err != nil {
+			fmt.Fprintf(os.Stderr, "hsim: %v\n", err)
 			os.Exit(1)
 		}
-	} else {
-		fmt.Print(res.Format())
-		if len(res.Unmappable) > 0 {
-			fmt.Printf("Unmappable kernels:        %v\n", res.Unmappable)
-		}
-		if *pipelineN > 0 {
-			fmt.Printf("\nFrame pipelining over %d frames:\n%s", *pipelineN,
-				res.Pipeline().Report([]int{1, *pipelineN / 10, *pipelineN}))
-		}
+		return
 	}
-	if !res.Met {
-		os.Exit(3)
-	}
+	fmt.Printf("application: %s (%d basic blocks, constraint %d)\n\n", w.Entry(), w.NumBlocks(), *constraint)
+	fmt.Print(rep.Format())
 }
 
 func fail(msg string) {
-	fmt.Fprintf(os.Stderr, "hpart: %s\n", msg)
+	fmt.Fprintf(os.Stderr, "hsim: %s\n", msg)
 	os.Exit(2)
 }

@@ -19,6 +19,7 @@
 //	apps         — the OFDM transmitter and JPEG encoder benchmarks
 //	cache        — bounded content-addressed result store + singleflight
 //	server       — partitioning-as-a-service HTTP front end (cmd/hservd)
+//	sim          — discrete-event co-simulator of the hybrid platform
 //
 // # Quickstart (API v2)
 //
@@ -63,6 +64,22 @@
 // are both safe for concurrent use, so custom sweeps can also call
 // Partition from multiple goroutines directly.
 //
+// # Co-simulation
+//
+// The analytical model predicts; Engine.Simulate checks. It replays the
+// workload's profiled CDFG trace on a discrete-event model of the platform
+// — the sequencer dispatching each kernel invocation to its fabric,
+// temporal-partition swaps (optionally prefetched during data-path
+// windows), list-scheduled CGC execution, shared-memory transfer slots and
+// the two-stage frame pipeline — and reports simulated cycles, per-fabric
+// utilization, a per-kernel timeline and a validation of the model's
+// prediction. On contention-free single-frame configurations the simulator
+// reproduces the model cycle for cycle; SimFrames, SimPorts and
+// SimPrefetch explore what the closed forms only idealize:
+//
+//	rep, _ := eng.Simulate(ctx, w, hybridpart.SimFrames(16), hybridpart.SimPrefetch(true))
+//	fmt.Println(rep.Validation.Exact, rep.Format())
+//
 // # Service
 //
 // cmd/hservd exposes the Engine over HTTP/JSON (internal/server), fronted
@@ -70,5 +87,6 @@
 // (internal/cache). The cache keys combine a workload's SourceHash with
 // Options.Fingerprint — the canonical, field-order-independent hash of the
 // full knob set — and sweep progress streams to clients as server-sent
-// events via WriteSSE. See the README's "Running as a service" section.
+// events via WriteSSE. POST /v1/simulate serves the co-simulator through
+// the same cache. See the README's "Running as a service" section.
 package hybridpart

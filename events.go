@@ -68,9 +68,25 @@ type CellEvent struct {
 	Total int `json:"total"`
 }
 
+// SimEvent is emitted by Engine.Simulate as simulated frames complete —
+// first for the all-FPGA baseline replay, then for the partitioned one.
+// Events arrive in frame order within each stage.
+type SimEvent struct {
+	// Stage is "baseline" while the all-FPGA mapping replays and
+	// "partitioned" for the partitioned mapping.
+	Stage string `json:"stage"`
+	// Frame is the 1-based frame just completed; Frames is the spec's total.
+	Frame  int `json:"frame"`
+	Frames int `json:"frames"`
+	// Cycles is the frame's simulated completion time in FPGA cycles
+	// (cumulative makespan, not per-frame duration).
+	Cycles int64 `json:"cycles"`
+}
+
 func (MoveEvent) isEvent()       {}
 func (EnergyMoveEvent) isEvent() {}
 func (CellEvent) isEvent()       {}
+func (SimEvent) isEvent()        {}
 
 // EventName returns the wire name of an event's concrete type — the SSE
 // "event:" field written by WriteSSE, on which clients dispatch.
@@ -82,6 +98,8 @@ func EventName(ev Event) string {
 		return "energy-move"
 	case CellEvent:
 		return "cell"
+	case SimEvent:
+		return "sim"
 	}
 	return "event"
 }

@@ -29,6 +29,11 @@ func TestWriteSSE(t *testing.T) {
 			name:     "cell",
 			contains: []string{`"done":1`, `"total":4`, `"initial_cycles":100`},
 		},
+		{
+			ev:       SimEvent{Stage: "partitioned", Frame: 2, Frames: 8, Cycles: 12345},
+			name:     "sim",
+			contains: []string{`"stage":"partitioned"`, `"frame":2`, `"frames":8`, `"cycles":12345`},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

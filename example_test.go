@@ -164,3 +164,34 @@ func ExampleEngine_Sweep() {
 	// marked partial: true
 	// cells retained: 1
 }
+
+// ExampleEngine_Simulate replays the OFDM transmitter's profiled trace on
+// the simulated platform and checks the analytical model against it: at the
+// model's own operating point (one frame, one port, no prefetch) the two
+// agree cycle for cycle.
+func ExampleEngine_Simulate() {
+	w, err := hybridpart.BenchmarkWorkload(hybridpart.BenchOFDM, 1)
+	if err != nil {
+		fmt.Println("workload failed:", err)
+		return
+	}
+	eng, err := hybridpart.NewEngine(hybridpart.WithConstraint(60000))
+	if err != nil {
+		fmt.Println("engine failed:", err)
+		return
+	}
+	rep, err := eng.Simulate(context.Background(), w)
+	if err != nil {
+		fmt.Println("simulate failed:", err)
+		return
+	}
+	fmt.Println("simulated cycles:", rep.TotalCycles)
+	fmt.Println("model cycles:", rep.Validation.ModelFinalCycles)
+	fmt.Println("exact:", rep.Validation.Exact)
+	fmt.Printf("speedup: %.3f\n", rep.Speedup())
+	// Output:
+	// simulated cycles: 47609
+	// model cycles: 47609
+	// exact: true
+	// speedup: 3.878
+}

@@ -1,0 +1,52 @@
+// Package cliutil holds the small helpers the hybridpart CLIs share, so
+// flag conventions (comma-separated -args, -src loading) stay identical
+// across hpart, hprof and hsim instead of drifting as per-command copies.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hybridpart"
+)
+
+// ParseArgs parses a comma-separated -args list into scalar arguments for
+// the entry function. The empty string is no arguments.
+func ParseArgs(argList string) ([]int32, error) {
+	if argList == "" {
+		return nil, nil
+	}
+	var args []int32
+	for _, part := range strings.Split(argList, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad -args value %q: %v", part, err)
+		}
+		args = append(args, int32(v))
+	}
+	return args, nil
+}
+
+// SourceWorkload loads a mini-C source file, compiles it and profiles one
+// run of entry with the given comma-separated scalar arguments — the -src
+// path every CLI offers next to -bench.
+func SourceWorkload(path, entry, argList string) (*hybridpart.Workload, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := hybridpart.NewWorkload(string(text), entry)
+	if err != nil {
+		return nil, err
+	}
+	args, err := ParseArgs(argList)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Run(args...); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

@@ -14,6 +14,8 @@
 //	POST /v1/sweep             design-space sweep -> ResultSet JSON, or SSE
 //	                           cell-by-cell progress when the client sends
 //	                           Accept: text/event-stream
+//	POST /v1/simulate          discrete-event co-simulation of the computed
+//	                           partitioning -> SimReportJSON
 //	GET  /healthz              liveness probe
 //	GET  /v1/presets           registered platform variants
 //	GET  /debug/stats          per-endpoint counters + cache statistics
@@ -86,6 +88,7 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/partition", "/v1/partition", s.handlePartition)
 	s.route("POST /v1/partition-energy", "/v1/partition-energy", s.handlePartitionEnergy)
 	s.route("POST /v1/sweep", "/v1/sweep", s.handleSweep)
+	s.route("POST /v1/simulate", "/v1/simulate", s.handleSimulate)
 	return s
 }
 
@@ -118,10 +121,18 @@ type EndpointStatsJSON struct {
 	MaxLatencyMicros int64 `json:"max_latency_micros"`
 }
 
+// ProfileMemoJSON reports the process-wide benchmark profile memo behind
+// ProfileBenchmarkCached (bound 0 = unbounded; hservd -profile-memo).
+type ProfileMemoJSON struct {
+	Size  int `json:"size"`
+	Bound int `json:"bound"`
+}
+
 // StatsJSON is the body of GET /debug/stats.
 type StatsJSON struct {
-	Cache     cache.Stats                  `json:"cache"`
-	Endpoints map[string]EndpointStatsJSON `json:"endpoints"`
+	Cache         cache.Stats                  `json:"cache"`
+	BenchProfiles ProfileMemoJSON              `json:"bench_profiles"`
+	Endpoints     map[string]EndpointStatsJSON `json:"endpoints"`
 }
 
 // route registers pattern on the mux wrapped in the counting middleware;
@@ -244,6 +255,7 @@ func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out := StatsJSON{Cache: s.results.Stats(), Endpoints: map[string]EndpointStatsJSON{}}
+	out.BenchProfiles.Size, out.BenchProfiles.Bound = hybridpart.ProfileMemoStats()
 	for name, m := range s.metrics {
 		row := EndpointStatsJSON{
 			Requests:         m.requests.Load(),
@@ -301,9 +313,41 @@ func buildSourceWorkload(req *PartitionRequest) (*hybridpart.Workload, error) {
 	return w, nil
 }
 
-// servePartition is the shared cache-fronted run path of /v1/partition and
-// /v1/partition-energy: resolve the knob set, fingerprint the request, and
-// either serve the stored bytes or compute-and-store under singleflight.
+// serveCached is the cache-fronted tail shared by every fingerprint-keyed
+// endpoint: serve the stored bytes for key, or compute-and-store them under
+// singleflight, with hit/miss counters, X-Cache headers and the
+// cancellation/timeout error contract applied uniformly.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, key string,
+	compute func(ctx context.Context) ([]byte, error)) {
+	ctx, cancel := s.runCtx(r)
+	defer cancel()
+	body, hit, err := s.results.GetOrCompute(ctx, key, func() ([]byte, error) {
+		return compute(ctx)
+	})
+	// hit means "served without running the engine here" — a stored entry
+	// or a joined in-flight call — on the error path too.
+	m := s.metrics[endpoint]
+	if hit {
+		m.cacheHits.Add(1)
+	} else {
+		m.cacheMisses.Add(1)
+	}
+	if err != nil {
+		s.writeError(w, runError(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Write(body)
+}
+
+// servePartition is the shared run path of /v1/partition and
+// /v1/partition-energy: decode, resolve the knob set, fingerprint the
+// request and hand the run to serveCached.
 func (s *Server) servePartition(w http.ResponseWriter, r *http.Request, energy bool,
 	run func(ctx context.Context, req *PartitionRequest, opts hybridpart.Options) ([]byte, error)) {
 	endpoint := "/v1/partition"
@@ -315,31 +359,9 @@ func (s *Server) servePartition(w http.ResponseWriter, r *http.Request, energy b
 	if httpErr == nil {
 		var opts hybridpart.Options
 		if opts, httpErr = req.resolveOptions(); httpErr == nil {
-			ctx, cancel := s.runCtx(r)
-			defer cancel()
-			key := req.fingerprint(kind, opts)
-			body, hit, err := s.results.GetOrCompute(ctx, key, func() ([]byte, error) {
+			s.serveCached(w, r, endpoint, req.fingerprint(kind, opts), func(ctx context.Context) ([]byte, error) {
 				return run(ctx, req, opts)
 			})
-			// hit means "served without running the engine here" — a stored
-			// entry or a joined in-flight call — on the error path too.
-			m := s.metrics[endpoint]
-			if hit {
-				m.cacheHits.Add(1)
-			} else {
-				m.cacheMisses.Add(1)
-			}
-			if err != nil {
-				s.writeError(w, runError(err))
-				return
-			}
-			w.Header().Set("Content-Type", "application/json")
-			if hit {
-				w.Header().Set("X-Cache", "hit")
-			} else {
-				w.Header().Set("X-Cache", "miss")
-			}
-			w.Write(body)
 			return
 		}
 	}
@@ -404,6 +426,64 @@ func (s *Server) handlePartitionEnergy(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		return MarshalEnergyResult(res)
+	})
+}
+
+// handleSimulate runs the discrete-event co-simulator: the request's
+// workload is partitioned with the resolved knob set (the analytical
+// model), then its profiled trace replays against both the all-FPGA
+// baseline and the partitioned mapping under the requested frames/ports/
+// prefetch. Responses are fingerprint-cached and coalesced exactly like
+// /v1/partition, and a cache hit is byte-identical to Engine.Simulate's
+// wire encoding of the same run.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, badRequest("malformed request body: "+err.Error()))
+		return
+	}
+	if httpErr := req.validate(); httpErr != nil {
+		s.writeError(w, httpErr)
+		return
+	}
+	req.normalize()
+	opts, httpErr := req.resolveOptions()
+	if httpErr != nil {
+		s.writeError(w, httpErr)
+		return
+	}
+	simOpts := []hybridpart.SimOption{
+		hybridpart.SimFrames(req.Frames),
+		hybridpart.SimPorts(req.Ports),
+		hybridpart.SimPrefetch(req.Prefetch),
+	}
+	s.serveCached(w, r, "/v1/simulate", req.fingerprint(opts), func(ctx context.Context) ([]byte, error) {
+		eng, err := hybridpart.NewEngine(hybridpart.WithOptions(opts))
+		if err != nil {
+			return nil, err
+		}
+		var rep *hybridpart.SimReport
+		if req.Benchmark != "" {
+			app, prof, err := hybridpart.ProfileBenchmarkCached(req.Benchmark, req.Seed)
+			if err != nil {
+				return nil, err
+			}
+			rep, err = eng.SimulateProfiled(ctx, app, prof, simOpts...)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			wl, err := buildSourceWorkload(&req.PartitionRequest)
+			if err != nil {
+				return nil, err
+			}
+			if rep, err = eng.Simulate(ctx, wl, simOpts...); err != nil {
+				return nil, err
+			}
+		}
+		return MarshalSimReport(rep)
 	})
 }
 

@@ -462,6 +462,198 @@ func TestCacheHitSpeedup(t *testing.T) {
 	t.Logf("miss=%v hit=%v (%.0fx)", miss, hit, float64(miss)/float64(hit))
 }
 
+// TestSimulateParity pins POST /v1/simulate to the library: the response
+// bytes are exactly MarshalSimReport of Engine.Simulate's report for the
+// same workload and knobs — miss and hit alike.
+func TestSimulateParity(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := `{"benchmark":"ofdm","seed":1,"constraint":60000,"frames":4,"ports":2,"prefetch":true}`
+	miss := post(t, s, "/v1/simulate", body)
+	if miss.Code != http.StatusOK {
+		t.Fatalf("miss: status %d: %s", miss.Code, miss.Body)
+	}
+	if got := miss.Header().Get("X-Cache"); got != "miss" {
+		t.Fatalf("first request X-Cache %q, want miss", got)
+	}
+	hit := post(t, s, "/v1/simulate", body)
+	if hit.Code != http.StatusOK || hit.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("repeat: status %d, X-Cache %q", hit.Code, hit.Header().Get("X-Cache"))
+	}
+	if hit.Body.String() != miss.Body.String() {
+		t.Fatal("cache hit bytes differ from the miss")
+	}
+
+	app, prof, err := hybridpart.ProfileBenchmarkCached("ofdm", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := hybridpart.NewEngine(hybridpart.WithConstraint(60000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.SimulateProfiled(context.Background(), app, prof,
+		hybridpart.SimFrames(4), hybridpart.SimPorts(2), hybridpart.SimPrefetch(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MarshalSimReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.Body.String() != string(want) {
+		t.Fatalf("service bytes != library bytes:\n%s\n%s", miss.Body, want)
+	}
+
+	var wire SimReportJSON
+	if err := json.Unmarshal(miss.Body.Bytes(), &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Frames != 4 || wire.Ports != 2 || !wire.Prefetch {
+		t.Fatalf("knobs not echoed: %+v", wire)
+	}
+	if wire.TotalCycles <= 0 || wire.BaselineCycles <= wire.TotalCycles {
+		t.Fatalf("implausible cycles: %+v", wire)
+	}
+}
+
+// TestSimulateExactDefaultKnobs checks the wire-level validation verdict on
+// the model's own operating point (single frame, one port, no prefetch).
+func TestSimulateExactDefaultKnobs(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := post(t, s, "/v1/simulate", `{"benchmark":"ofdm","seed":1,"constraint":60000}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var wire SimReportJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &wire); err != nil {
+		t.Fatal(err)
+	}
+	if !wire.Validation.Exact {
+		t.Fatalf("default-knob simulation not exact: %+v", wire.Validation)
+	}
+	if wire.Validation.SimFinalCycles != wire.Validation.ModelFinalCycles {
+		t.Fatalf("final cycles diverge: %+v", wire.Validation)
+	}
+}
+
+// TestSimulateKeySeparation: a simulate result must never be served for a
+// partition request on the same workload, and knob changes miss the cache.
+func TestSimulateKeySeparation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if rec := post(t, s, "/v1/simulate", `{"benchmark":"ofdm","constraint":60000}`); rec.Code != http.StatusOK {
+		t.Fatalf("simulate: %d %s", rec.Code, rec.Body)
+	}
+	rec := post(t, s, "/v1/partition", `{"benchmark":"ofdm","constraint":60000}`)
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("partition after simulate: status %d, X-Cache %q (keys collided?)",
+			rec.Code, rec.Header().Get("X-Cache"))
+	}
+	rec = post(t, s, "/v1/simulate", `{"benchmark":"ofdm","constraint":60000,"frames":2}`)
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("knob change served from cache: status %d, X-Cache %q",
+			rec.Code, rec.Header().Get("X-Cache"))
+	}
+	// Zero knobs are documented as equivalent to 1/1: the explicit form
+	// must hit the entry the implicit form stored.
+	rec = post(t, s, "/v1/simulate", `{"benchmark":"ofdm","constraint":60000,"frames":1,"ports":1}`)
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("equivalent knobs missed the cache: status %d, X-Cache %q",
+			rec.Code, rec.Header().Get("X-Cache"))
+	}
+}
+
+func TestSimulateBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed-json", "{nope", http.StatusBadRequest},
+		{"empty", "{}", http.StatusBadRequest},
+		{"both-workloads", `{"benchmark":"ofdm","source":"int f(){return 0;}"}`, http.StatusBadRequest},
+		{"unknown-field", `{"benchmark":"ofdm","bogus":1}`, http.StatusBadRequest},
+		{"negative-frames", `{"benchmark":"ofdm","frames":-1}`, http.StatusBadRequest},
+		{"frames-over-limit", `{"benchmark":"ofdm","frames":2000000000}`, http.StatusBadRequest},
+		{"negative-ports", `{"benchmark":"ofdm","ports":-1}`, http.StatusBadRequest},
+		{"budget-on-simulate", `{"benchmark":"ofdm","energy_budget":5}`, http.StatusBadRequest},
+		{"unknown-benchmark", `{"benchmark":"mp3"}`, http.StatusNotFound},
+		{"unknown-preset", `{"benchmark":"ofdm","preset":"asic"}`, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := post(t, s, "/v1/simulate", tc.body)
+			if rec.Code != tc.want {
+				t.Fatalf("status %d, want %d (body %s)", rec.Code, tc.want, rec.Body)
+			}
+			var e ErrorJSON
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("error body not ErrorJSON: %s", rec.Body)
+			}
+		})
+	}
+	// Source that does not compile is the client's workload problem: 422.
+	if rec := post(t, s, "/v1/simulate", `{"source":"not C at all"}`); rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("uncompilable source: status %d, want 422", rec.Code)
+	}
+}
+
+// TestSimulateCancellation covers the 499 path and cache hygiene for the
+// simulate endpoint.
+func TestSimulateCancellation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	body := fmt.Sprintf(firReq, firSrc)
+	rec := postCtx(t, s, "/v1/simulate", body, ctx, nil)
+	if rec.Code != StatusClientClosedRequest {
+		t.Fatalf("status %d, want 499 (body %s)", rec.Code, rec.Body)
+	}
+	if st := s.CacheStats(); st.Size != 0 {
+		t.Fatalf("cancelled run was cached: %+v", st)
+	}
+	rec = post(t, s, "/v1/simulate", body)
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("retry after cancellation: status %d, X-Cache %q", rec.Code, rec.Header().Get("X-Cache"))
+	}
+}
+
+// TestSimulateTimeout covers the 504 path for the simulate endpoint.
+func TestSimulateTimeout(t *testing.T) {
+	s := newTestServer(t, Config{Timeout: time.Nanosecond})
+	rec := post(t, s, "/v1/simulate", fmt.Sprintf(firReq, firSrc))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (body %s)", rec.Code, rec.Body)
+	}
+}
+
+// TestStatsProfileMemo checks that /debug/stats surfaces the benchmark
+// profile memo's population and bound.
+func TestStatsProfileMemo(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if rec := post(t, s, "/v1/simulate", `{"benchmark":"ofdm","constraint":60000}`); rec.Code != http.StatusOK {
+		t.Fatalf("simulate: %d %s", rec.Code, rec.Body)
+	}
+	rec := get(t, s, "/debug/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	var st StatsJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.BenchProfiles.Size < 1 {
+		t.Fatalf("bench profile memo empty after a benchmark simulate: %+v", st.BenchProfiles)
+	}
+	if st.BenchProfiles.Bound <= 0 {
+		t.Fatalf("bench profile memo bound missing: %+v", st.BenchProfiles)
+	}
+	row, ok := st.Endpoints["/v1/simulate"]
+	if !ok || row.Requests < 1 {
+		t.Fatalf("no /v1/simulate metrics row: %+v", st.Endpoints)
+	}
+}
+
 // BenchmarkPartitionCacheHit measures the steady-state hit path (serving
 // stored response bytes).
 func BenchmarkPartitionCacheHit(b *testing.B) {

@@ -226,6 +226,178 @@ func (r *PartitionRequest) fingerprint(kind string, opts hybridpart.Options) str
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// SimulateRequest is the body of POST /v1/simulate: a PartitionRequest
+// workload+platform (energy_budget excluded) plus the co-simulation knobs.
+// Zero frames/ports select the analytical model's operating point (one
+// frame, one port).
+type SimulateRequest struct {
+	PartitionRequest
+	// Frames replays the profiled trace this many times (pipelined).
+	Frames int `json:"frames,omitempty"`
+	// Ports widens the fabric-to-fabric transfer channel.
+	Ports int `json:"ports,omitempty"`
+	// Prefetch overlaps configuration loads with data-path execution.
+	Prefetch bool `json:"prefetch,omitempty"`
+}
+
+// maxSimFrames bounds one request's trace replays. Each frame re-walks the
+// whole profiled trace (millions of events for JPEG), so frames is a
+// client-controlled work multiplier and must be capped like /v1/sweep's
+// grid size.
+const maxSimFrames = 1024
+
+// validate checks the simulate request's shape on top of the base
+// partition-shape rules.
+func (r *SimulateRequest) validate() *httpError {
+	if e := r.PartitionRequest.validate(false); e != nil {
+		return e
+	}
+	if r.Frames < 0 {
+		return badRequest(fmt.Sprintf("\"frames\" must be non-negative, got %d", r.Frames))
+	}
+	if r.Frames > maxSimFrames {
+		return badRequest(fmt.Sprintf("\"frames\" is %d, limit is %d", r.Frames, maxSimFrames))
+	}
+	if r.Ports < 0 {
+		return badRequest(fmt.Sprintf("\"ports\" must be non-negative, got %d", r.Ports))
+	}
+	return nil
+}
+
+// normalize folds the documented-equivalent zero knobs onto their defaults
+// (0 frames/ports = 1, the model's operating point) so equivalent requests
+// fingerprint — and therefore cache and coalesce — identically.
+func (r *SimulateRequest) normalize() {
+	if r.Frames == 0 {
+		r.Frames = 1
+	}
+	if r.Ports == 0 {
+		r.Ports = 1
+	}
+}
+
+// fingerprint extends the base request fingerprint with the simulation
+// knobs, under its own kind so simulate results never collide with
+// partition results for the same workload.
+func (r *SimulateRequest) fingerprint(opts hybridpart.Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "base=%s\nframes=%d\nports=%d\nprefetch=%v\n",
+		r.PartitionRequest.fingerprint("simulate", opts), r.Frames, r.Ports, r.Prefetch)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// FabricUtilJSON is the wire form of hybridpart.FabricUtil.
+type FabricUtilJSON struct {
+	BusyCycles     int64   `json:"busy_cycles"`
+	ReconfigCycles int64   `json:"reconfig_cycles"`
+	IdleCycles     int64   `json:"idle_cycles"`
+	Utilization    float64 `json:"utilization"`
+}
+
+// SimKernelJSON is the wire form of hybridpart.SimKernel.
+type SimKernelJSON struct {
+	Block       int    `json:"block"`
+	Name        string `json:"name"`
+	Fabric      string `json:"fabric"`
+	Invocations uint64 `json:"invocations"`
+	BusyCycles  int64  `json:"busy_cycles"`
+	FirstStart  int64  `json:"first_start"`
+	LastEnd     int64  `json:"last_end"`
+}
+
+// SimValidationJSON is the wire form of hybridpart.SimValidation.
+type SimValidationJSON struct {
+	ModelInitialCycles int64    `json:"model_initial_cycles"`
+	ModelFinalCycles   int64    `json:"model_final_cycles"`
+	SimInitialCycles   int64    `json:"sim_initial_cycles"`
+	SimFinalCycles     int64    `json:"sim_final_cycles"`
+	ModelSpeedup       float64  `json:"model_speedup"`
+	SimSpeedup         float64  `json:"sim_speedup"`
+	SpeedupErrorPct    float64  `json:"speedup_error_pct"`
+	Exact              bool     `json:"exact"`
+	Notes              []string `json:"notes,omitempty"`
+}
+
+// SimReportJSON is the wire form of hybridpart.SimReport — the body of
+// POST /v1/simulate and of hsim -json.
+type SimReportJSON struct {
+	Frames               int               `json:"frames"`
+	Ports                int               `json:"ports"`
+	Prefetch             bool              `json:"prefetch"`
+	Runs                 int               `json:"runs"`
+	TotalCycles          int64             `json:"total_cycles"`
+	BaselineCycles       int64             `json:"baseline_cycles"`
+	Speedup              float64           `json:"speedup"`
+	Fine                 FabricUtilJSON    `json:"fine"`
+	Coarse               FabricUtilJSON    `json:"coarse"`
+	Mem                  FabricUtilJSON    `json:"mem"`
+	Reconfigs            int64             `json:"reconfigs"`
+	ModelCrossings       int64             `json:"model_crossings"`
+	HiddenReconfigCycles int64             `json:"hidden_reconfig_cycles"`
+	Kernels              []SimKernelJSON   `json:"kernels,omitempty"`
+	Validation           SimValidationJSON `json:"validation"`
+}
+
+// NewSimReportJSON converts a library SimReport to its wire form.
+func NewSimReportJSON(r *hybridpart.SimReport) SimReportJSON {
+	conv := func(u hybridpart.FabricUtil) FabricUtilJSON {
+		return FabricUtilJSON{
+			BusyCycles:     u.BusyCycles,
+			ReconfigCycles: u.ReconfigCycles,
+			IdleCycles:     u.IdleCycles,
+			Utilization:    u.Utilization,
+		}
+	}
+	out := SimReportJSON{
+		Frames:               r.Frames,
+		Ports:                r.Ports,
+		Prefetch:             r.Prefetch,
+		Runs:                 r.Runs,
+		TotalCycles:          r.TotalCycles,
+		BaselineCycles:       r.BaselineCycles,
+		Speedup:              r.Speedup(),
+		Fine:                 conv(r.Fine),
+		Coarse:               conv(r.Coarse),
+		Mem:                  conv(r.Mem),
+		Reconfigs:            r.Reconfigs,
+		ModelCrossings:       r.ModelCrossings,
+		HiddenReconfigCycles: r.HiddenReconfigCycles,
+		Validation: SimValidationJSON{
+			ModelInitialCycles: r.Validation.ModelInitialCycles,
+			ModelFinalCycles:   r.Validation.ModelFinalCycles,
+			SimInitialCycles:   r.Validation.SimInitialCycles,
+			SimFinalCycles:     r.Validation.SimFinalCycles,
+			ModelSpeedup:       r.Validation.ModelSpeedup,
+			SimSpeedup:         r.Validation.SimSpeedup,
+			SpeedupErrorPct:    r.Validation.SpeedupErrorPct,
+			Exact:              r.Validation.Exact,
+			Notes:              r.Validation.Notes,
+		},
+	}
+	for _, k := range r.Kernels {
+		out.Kernels = append(out.Kernels, SimKernelJSON{
+			Block:       k.Block,
+			Name:        k.Name,
+			Fabric:      k.Fabric,
+			Invocations: k.Invocations,
+			BusyCycles:  k.BusyCycles,
+			FirstStart:  k.FirstStart,
+			LastEnd:     k.LastEnd,
+		})
+	}
+	return out
+}
+
+// MarshalSimReport is MarshalResult for the co-simulator: the canonical
+// cached-and-served encoding of a simulation report.
+func MarshalSimReport(r *hybridpart.SimReport) ([]byte, error) {
+	b, err := json.Marshal(NewSimReportJSON(r))
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
 // PresetJSON is one row of GET /v1/presets.
 type PresetJSON struct {
 	Name    string `json:"name"`

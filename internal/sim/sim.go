@@ -1,0 +1,345 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"hybridpart/internal/coarsegrain"
+	"hybridpart/internal/finegrain"
+	"hybridpart/internal/ir"
+	"hybridpart/internal/partition"
+	"hybridpart/internal/platform"
+)
+
+// Config holds the simulation knobs.
+type Config struct {
+	// Frames is the number of times the profiled trace is replayed (one
+	// replay per application frame); 0 means 1. With more than one frame the
+	// fabrics pipeline: frame i+1's fine-grain work proceeds while frame i's
+	// kernels still occupy the data-path.
+	Frames int
+	// Ports is the width of the fabric-to-fabric transfer channel in
+	// shared-memory ports; 0 means 1, the analytical model's serialization
+	// assumption. A P-port transfer moves ceil(words/P) words per
+	// CyclesPerWord slot; overlapping transfers from pipelined frames queue
+	// on the channel instead of summing like the model's t_comm.
+	Ports int
+	// Prefetch overlaps the next temporal partition's bitstream load with
+	// data-path execution: while a kernel runs on the CGCs, the sequencer
+	// already loads the configuration of the next fine-grain block. Without
+	// it the load starts only when the fine-grain block is dispatched.
+	Prefetch bool
+	// OnFrame, when non-nil, is called after each simulated frame of the
+	// partitioned run with the 1-based frame number and the frame's
+	// completion time in FPGA cycles. It runs on the simulator's goroutine.
+	OnFrame func(frame int, cycles int64)
+}
+
+// Input is the simulated system: the flattened CDFG, its platform
+// characterization, the dynamic-analysis profile, and the set of kernels
+// the partitioning engine moved to the coarse-grain data-path (empty
+// simulates the all-FPGA mapping).
+type Input struct {
+	Prog  *ir.Program
+	F     *ir.Function
+	Plat  platform.Platform
+	Freq  []uint64
+	Edges []finegrain.EdgeFreq
+	Moved []ir.BlockID
+}
+
+// KernelStat is one row of the per-kernel timeline: aggregate fabric
+// occupancy of one basic block across every invocation, in FPGA cycles.
+type KernelStat struct {
+	Block       ir.BlockID
+	Name        string
+	Fabric      string // "fine" or "coarse"
+	Invocations uint64
+	// BusyCycles is the block's fabric occupancy: level cycles on the FPGA,
+	// data-path latency on the CGCs (transfers are accounted to the memory
+	// channel, reconfigurations to the fine fabric).
+	BusyCycles int64
+	FirstStart int64
+	LastEnd    int64
+}
+
+// Report is the outcome of one simulation.
+type Report struct {
+	// TotalCycles is the simulated makespan in FPGA cycles.
+	TotalCycles int64
+	Frames      int
+	Ports       int
+	Prefetch    bool
+	// Runs is the number of profiled runs folded into the replayed trace.
+	Runs int
+
+	// Fine-grain fabric occupancy, FPGA cycles: executing blocks, loading
+	// configurations, and idle (makespan minus the other two).
+	FineBusy     int64
+	FineReconfig int64
+	FineIdle     int64
+	// Coarse-grain data-path occupancy.
+	CoarseBusy int64
+	CoarseIdle int64
+	// MemBusy is the transfer channel's occupancy.
+	MemBusy int64
+
+	// Reconfigs counts performed configuration loads across every frame;
+	// ModelCrossings is the count the analytical model charges for the same
+	// mapping and frame count (eq. 4's crossing term, once per frame) —
+	// they differ when a partition switch hides behind a data-path window
+	// (never charged by the model) or survives a frame boundary (always
+	// recharged by it).
+	Reconfigs      int64
+	ModelCrossings int64
+	// HiddenReconfigCycles is the portion of the reconfiguration time that
+	// prefetching overlapped with data-path execution.
+	HiddenReconfigCycles int64
+
+	Kernels []KernelStat
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Simulate replays the profiled trace of in against the given mapping under
+// cfg. It is deterministic: equal inputs produce equal reports. The context
+// is checked between frames and periodically inside each frame's replay.
+func Simulate(ctx context.Context, in Input, cfg Config) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Frames < 0 || cfg.Ports < 0 {
+		return nil, fmt.Errorf("sim: frames and ports must be non-negative, got %d/%d", cfg.Frames, cfg.Ports)
+	}
+	if cfg.Frames == 0 {
+		cfg.Frames = 1
+	}
+	if cfg.Ports == 0 {
+		cfg.Ports = 1
+	}
+	if err := in.Plat.Validate(); err != nil {
+		return nil, err
+	}
+	f := in.F
+	n := len(f.Blocks)
+	moved := make([]bool, n)
+	for _, b := range in.Moved {
+		if int(b) < 0 || int(b) >= n {
+			return nil, fmt.Errorf("sim: moved block %d outside the function", b)
+		}
+		moved[b] = true
+	}
+
+	// The fine-grain side: pack the FPGA-resident blocks exactly as the
+	// partitioning engine's t_FPGA evaluation does.
+	pm, err := finegrain.PackFunction(f, in.Plat.Fine, func(id ir.BlockID) bool { return !moved[id] })
+	if err != nil {
+		return nil, err
+	}
+
+	// The coarse-grain side: per-kernel data-path latency (T_CGC cycles)
+	// from the same list schedule the engine used, and per-invocation
+	// transfer words from the live-in/out footprints.
+	ratio := int64(in.Plat.Coarse.ClockRatio)
+	reconT := int64(in.Plat.Fine.ReconfigCycles) * ratio
+	liveIO := partition.ComputeLiveIO(f)
+	arrLen := coarsegrain.ArrLenOf(in.Prog, f)
+	latT := make([]int64, n)  // kernel latency, in ticks (T_CGC cycles)
+	txT := make([]int64, n)   // transfer-channel occupancy per invocation, ticks
+	execT := make([]int64, n) // fine-grain level cycles per execution, ticks
+	intT := make([]int64, n)  // in-block partition crossings per execution, ticks
+	for id := 0; id < n; id++ {
+		b := ir.BlockID(id)
+		if moved[id] {
+			sched, err := coarsegrain.MapDFG(ir.BuildDFG(f, f.Block(b)), in.Plat.Coarse, arrLen)
+			if err != nil {
+				return nil, fmt.Errorf("sim: moved kernel b%d has no data-path schedule: %w", id, err)
+			}
+			latT[id] = sched.Latency
+			words := int64(liveIO[b].In + liveIO[b].Out)
+			perSlot := ceilDiv(words, int64(cfg.Ports))
+			txT[id] = (perSlot*int64(in.Plat.Comm.CyclesPerWord) + int64(in.Plat.Comm.SyncCycles)) * ratio
+			continue
+		}
+		execT[id] = pm.PerBlockCycles[id] * ratio
+		intT[id] = int64(pm.InternalCrossings[id]) * reconT
+	}
+
+	trace, runs, err := BuildTrace(f, in.Freq, in.Edges)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Frames:   cfg.Frames,
+		Ports:    cfg.Ports,
+		Prefetch: cfg.Prefetch,
+		Runs:     runs,
+		// The model charges its crossing count once per frame (its
+		// per-frame t_FPGA just scales), so the comparable total is
+		// crossings × frames — Reconfigs likewise accumulates over frames.
+		ModelCrossings: pm.Crossings(in.Freq, in.Edges) * int64(cfg.Frames),
+	}
+
+	// Prefetch oracle: the temporal partition the sequencer will need next
+	// on the fine fabric after each trace position (-1 when no fine-grain
+	// block follows). One backward pass, shared by every frame.
+	var nextPart []int32
+	if cfg.Prefetch {
+		nextPart = make([]int32, len(trace))
+		need := int32(-1)
+		for i := len(trace) - 1; i >= 0; i-- {
+			nextPart[i] = need
+			if !moved[trace[i]] {
+				need = int32(pm.FirstPart[trace[i]])
+			}
+		}
+	}
+
+	// Event-driven replay over three resources. All times are in ticks
+	// (T_CGC cycles = FPGA cycles x ClockRatio), so coarse-grain latencies
+	// stay integral and the final makespan converts with one ceiling
+	// division — which is what makes contention-free single-frame runs agree
+	// with the analytical model cycle for cycle.
+	var (
+		fineFree, coarseFree, memFree int64
+		fineBusyT, fineReconT         int64
+		coarseBusyT, memBusyT         int64
+		makespan                      int64
+		loadedPart                    = -1
+		prefetchPart                  = -1
+		prefetchReady                 int64
+	)
+	if pm.NumPartitions == 0 {
+		loadedPart = 0 // nothing to configure
+	}
+	invocations := make([]uint64, n)
+	busyT := make([]int64, n)
+	firstT := make([]int64, n)
+	lastT := make([]int64, n)
+	for i := range firstT {
+		firstT[i] = -1
+	}
+	note := func(id ir.BlockID, start, end, busy int64) {
+		invocations[id]++
+		busyT[id] += busy
+		if firstT[id] < 0 || start < firstT[id] {
+			firstT[id] = start
+		}
+		if end > lastT[id] {
+			lastT[id] = end
+		}
+		if end > makespan {
+			makespan = end
+		}
+	}
+
+	for frame := 0; frame < cfg.Frames; frame++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var prevEnd int64 // program-order completion within this frame
+		for idx, b := range trace {
+			if idx&0xffff == 0xffff {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			id := int(b)
+			if moved[id] {
+				// Transfer live-ins/outs through the shared memory, then
+				// execute on the data-path. Both resources serve pipelined
+				// frames in order.
+				mStart := max64(prevEnd, memFree)
+				mEnd := mStart + txT[id]
+				memFree = mEnd
+				memBusyT += txT[id]
+				cStart := max64(mEnd, coarseFree)
+				cEnd := cStart + latT[id]
+				coarseFree = cEnd
+				coarseBusyT += latT[id]
+				prevEnd = cEnd
+				note(b, mStart, cEnd, latT[id])
+
+				// The fine fabric idles under this window: with prefetch the
+				// sequencer uses it to load the next block's configuration.
+				if cfg.Prefetch && prefetchPart < 0 {
+					if need := int(nextPart[idx]); need >= 0 && need != loadedPart {
+						loadStart := max64(fineFree, mStart)
+						prefetchReady = loadStart + reconT
+						fineFree = prefetchReady
+						fineReconT += reconT
+						rep.Reconfigs++
+						prefetchPart = need
+					}
+				}
+				continue
+			}
+
+			start := max64(prevEnd, fineFree)
+			if need := pm.FirstPart[id]; need != loadedPart {
+				if prefetchPart == need {
+					// Configuration already (being) loaded during a previous
+					// data-path window; any remaining load time still stalls.
+					stall := max64(0, prefetchReady-prevEnd)
+					rep.HiddenReconfigCycles += max64(0, reconT-stall)
+					start = max64(start, prefetchReady)
+				} else {
+					// On-demand load: the fabric reconfigures, then executes.
+					rep.Reconfigs++
+					fineReconT += reconT
+					start += reconT
+				}
+				loadedPart = need
+			}
+			prefetchPart = -1
+			end := start + execT[id] + intT[id]
+			fineBusyT += execT[id]
+			fineReconT += intT[id]
+			rep.Reconfigs += int64(pm.InternalCrossings[id])
+			loadedPart = pm.LastPart[id]
+			fineFree = end
+			prevEnd = end
+			note(b, start, end, execT[id])
+		}
+		if cfg.OnFrame != nil {
+			cfg.OnFrame(frame+1, ceilDiv(makespan, ratio))
+		}
+	}
+
+	rep.TotalCycles = ceilDiv(makespan, ratio)
+	rep.FineBusy = ceilDiv(fineBusyT, ratio)
+	rep.FineReconfig = ceilDiv(fineReconT, ratio)
+	rep.FineIdle = max64(0, rep.TotalCycles-rep.FineBusy-rep.FineReconfig)
+	rep.CoarseBusy = ceilDiv(coarseBusyT, ratio)
+	rep.CoarseIdle = max64(0, rep.TotalCycles-rep.CoarseBusy)
+	rep.MemBusy = ceilDiv(memBusyT, ratio)
+	rep.HiddenReconfigCycles = ceilDiv(rep.HiddenReconfigCycles, ratio)
+
+	for id := 0; id < n; id++ {
+		if invocations[id] == 0 {
+			continue
+		}
+		fabric := "fine"
+		if moved[id] {
+			fabric = "coarse"
+		}
+		rep.Kernels = append(rep.Kernels, KernelStat{
+			Block:       ir.BlockID(id),
+			Name:        f.Blocks[id].Name,
+			Fabric:      fabric,
+			Invocations: invocations[id],
+			BusyCycles:  ceilDiv(busyT[id], ratio),
+			FirstStart:  firstT[id] / ratio,
+			LastEnd:     ceilDiv(lastT[id], ratio),
+		})
+	}
+	return rep, nil
+}

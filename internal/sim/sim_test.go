@@ -1,0 +1,402 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+
+	"hybridpart/internal/finegrain"
+	"hybridpart/internal/interp"
+	"hybridpart/internal/ir"
+	"hybridpart/internal/lower"
+	"hybridpart/internal/platform"
+)
+
+// threeStageSrc alternates three distinct basic blocks inside a loop: an
+// ALU-heavy stage, a multiply stage (the data-path candidate) and a second
+// ALU stage. With a small A_FPGA the stages pack into different temporal
+// partitions, which is the regime where configuration scheduling matters.
+const threeStageSrc = `
+void main_fn() {
+  int i; int x; int y; int z;
+  i = 0; x = 1; y = 2; z = 3;
+  while (i < 16) {
+    if (x < 100000) {
+      x = x + i + y + x + i + y + x + i + y + x + i + y + x + i;
+    }
+    if (y < 100000) {
+      y = y * x + x * i + y * y + x * y;
+    }
+    if (z < 100000) {
+      z = z + x + i + z + y + i + z + x + i + z + y + i + z + x;
+    }
+    i = i + 1;
+  }
+}
+`
+
+// divSrc holds a division, which the CGC data-path cannot execute.
+const divSrc = `
+void main_fn() {
+  int i; int x;
+  i = 1; x = 100;
+  while (i < 8) {
+    x = x / i + x;
+    i = i + 1;
+  }
+}
+`
+
+// prep lowers src, flattens entry and profiles one run (args-free).
+func prep(t *testing.T, src, entry string, runsCount int) (*ir.Program, *ir.Function, []uint64, []finegrain.EdgeFreq) {
+	t.Helper()
+	prog, err := lower.LowerSource(src)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	flat, err := lower.Flatten(prog, entry)
+	if err != nil {
+		t.Fatalf("flatten: %v", err)
+	}
+	fp := ir.NewProgram()
+	fp.Globals = prog.Globals
+	if err := fp.AddFunc(flat); err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(fp)
+	prof := m.EnableProfile()
+	for i := 0; i < runsCount; i++ {
+		if _, err := m.Run(entry); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	}
+	var edges []finegrain.EdgeFreq
+	for k, n := range prof.Edges[entry] {
+		edges = append(edges, finegrain.EdgeFreq{From: k.From(), To: k.To(), N: n})
+	}
+	freq := make([]uint64, len(flat.Blocks))
+	copy(freq, prof.Counts[entry])
+	return fp, flat, freq, edges
+}
+
+// smallPlat is the paper platform with A_FPGA shrunk so the three-stage
+// program spans several temporal partitions.
+func smallPlat(afpga int) platform.Platform {
+	p := platform.Default()
+	p.Fine.Area = afpga
+	return p
+}
+
+func TestBuildTraceReplaysProfile(t *testing.T) {
+	_, flat, freq, edges := prep(t, threeStageSrc, "main_fn", 1)
+	trace, runs, err := BuildTrace(flat, freq, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Fatalf("runs = %d, want 1", runs)
+	}
+	// Visit counts match the profile exactly.
+	seen := make([]uint64, len(flat.Blocks))
+	for _, b := range trace {
+		seen[b]++
+	}
+	if !reflect.DeepEqual(seen, freq) {
+		t.Fatalf("trace visit counts %v != profiled %v", seen, freq)
+	}
+	// The multiset of consecutive transitions is exactly the profiled edges.
+	got := map[[2]ir.BlockID]uint64{}
+	for i := 0; i+1 < len(trace); i++ {
+		got[[2]ir.BlockID{trace[i], trace[i+1]}]++
+	}
+	want := map[[2]ir.BlockID]uint64{}
+	for _, e := range edges {
+		want[[2]ir.BlockID{e.From, e.To}] += e.N
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("trace transitions diverge from profiled edges:\ngot  %v\nwant %v", got, want)
+	}
+	if trace[0] != flat.Entry {
+		t.Fatalf("trace starts at block %d, want entry %d", trace[0], flat.Entry)
+	}
+}
+
+func TestBuildTraceDeterministic(t *testing.T) {
+	_, flat, freq, edges := prep(t, threeStageSrc, "main_fn", 1)
+	a, _, err := BuildTrace(flat, freq, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shuffle the edge order: the reconstruction must not depend on it.
+	shuffled := make([]finegrain.EdgeFreq, len(edges))
+	copy(shuffled, edges)
+	sort.Slice(shuffled, func(i, j int) bool {
+		if shuffled[i].To != shuffled[j].To {
+			return shuffled[i].To > shuffled[j].To
+		}
+		return shuffled[i].From > shuffled[j].From
+	})
+	b, _, err := BuildTrace(flat, freq, shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("trace reconstruction depends on edge input order")
+	}
+}
+
+func TestBuildTraceMultiRun(t *testing.T) {
+	_, flat, freq, edges := prep(t, threeStageSrc, "main_fn", 3)
+	trace, runs, err := BuildTrace(flat, freq, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 3 {
+		t.Fatalf("runs = %d, want 3", runs)
+	}
+	seen := make([]uint64, len(flat.Blocks))
+	for _, b := range trace {
+		seen[b]++
+	}
+	if !reflect.DeepEqual(seen, freq) {
+		t.Fatalf("multi-run trace visit counts %v != profiled %v", seen, freq)
+	}
+}
+
+func TestBuildTraceInconsistentProfile(t *testing.T) {
+	_, flat, freq, edges := prep(t, threeStageSrc, "main_fn", 1)
+	bad := make([]uint64, len(freq))
+	copy(bad, freq)
+	bad[len(bad)-1] += 5 // executions no edge explains
+	if _, _, err := BuildTrace(flat, bad, edges); err == nil {
+		t.Fatal("inconsistent profile reconstructed without error")
+	}
+}
+
+// TestBaselineMatchesPackedModel pins the all-FPGA simulation to the
+// analytical fine-grain model: with every block on the FPGA, one frame and
+// no contention, the simulated makespan is exactly PackedMapping.TotalCycles.
+func TestBaselineMatchesPackedModel(t *testing.T) {
+	fp, flat, freq, edges := prep(t, threeStageSrc, "main_fn", 1)
+	for _, afpga := range []int{256, 320, 448, 1500} {
+		plat := smallPlat(afpga)
+		pm, err := finegrain.PackFunction(flat, plat.Fine, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := pm.TotalCycles(freq, edges, plat.Fine.ReconfigCycles)
+		rep, err := Simulate(context.Background(), Input{Prog: fp, F: flat, Plat: plat, Freq: freq, Edges: edges}, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.TotalCycles != want {
+			t.Errorf("A=%d: simulated %d cycles, model %d", afpga, rep.TotalCycles, want)
+		}
+		if rep.Reconfigs != rep.ModelCrossings {
+			t.Errorf("A=%d: %d reconfigs vs %d model crossings", afpga, rep.Reconfigs, rep.ModelCrossings)
+		}
+		if rep.CoarseBusy != 0 || rep.MemBusy != 0 {
+			t.Errorf("A=%d: all-FPGA run used the data-path (%d) or transfers (%d)", afpga, rep.CoarseBusy, rep.MemBusy)
+		}
+	}
+}
+
+// TestPrefetchHidesReconfiguration exercises the configuration-prefetch
+// path: with the multiply stage on the data-path and a partition boundary
+// across the window, the naive sequencer stalls on loads the model never
+// charges, and prefetch hides part of them — never running slower.
+func TestPrefetchHidesReconfiguration(t *testing.T) {
+	fp, flat, freq, edges := prep(t, threeStageSrc, "main_fn", 1)
+	in := Input{Prog: fp, F: flat, Plat: smallPlat(320), Freq: freq, Edges: edges, Moved: []ir.BlockID{5}}
+	off, err := Simulate(context.Background(), in, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Simulate(context.Background(), in, Config{Prefetch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Reconfigs <= off.ModelCrossings {
+		t.Fatalf("fixture lost its cross-window loads: %d reconfigs vs %d model crossings",
+			off.Reconfigs, off.ModelCrossings)
+	}
+	if on.TotalCycles >= off.TotalCycles {
+		t.Fatalf("prefetch did not help: %d >= %d", on.TotalCycles, off.TotalCycles)
+	}
+	if on.HiddenReconfigCycles <= 0 {
+		t.Fatalf("prefetch hid nothing (total %d vs %d)", on.TotalCycles, off.TotalCycles)
+	}
+}
+
+// TestPrefetchNeverSlower sweeps areas and moved sets: prefetch must never
+// extend the makespan.
+func TestPrefetchNeverSlower(t *testing.T) {
+	fp, flat, freq, edges := prep(t, threeStageSrc, "main_fn", 1)
+	for afpga := 96; afpga <= 512; afpga += 32 {
+		for moved := 0; moved < len(flat.Blocks); moved++ {
+			in := Input{Prog: fp, F: flat, Plat: smallPlat(afpga), Freq: freq, Edges: edges,
+				Moved: []ir.BlockID{ir.BlockID(moved)}}
+			off, err := Simulate(context.Background(), in, Config{})
+			if err != nil {
+				continue // unmappable moved block etc.
+			}
+			for _, frames := range []int{1, 5} {
+				off, err = Simulate(context.Background(), in, Config{Frames: frames})
+				if err != nil {
+					t.Fatal(err)
+				}
+				on, err := Simulate(context.Background(), in, Config{Frames: frames, Prefetch: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if on.TotalCycles > off.TotalCycles {
+					t.Errorf("A=%d moved=%d frames=%d: prefetch slower: %d > %d",
+						afpga, moved, frames, on.TotalCycles, off.TotalCycles)
+				}
+			}
+		}
+	}
+}
+
+func TestFramesPipeline(t *testing.T) {
+	fp, flat, freq, edges := prep(t, threeStageSrc, "main_fn", 1)
+	in := Input{Prog: fp, F: flat, Plat: smallPlat(320), Freq: freq, Edges: edges, Moved: []ir.BlockID{5}}
+	single, err := Simulate(context.Background(), in, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frameEnds []int64
+	rep, err := Simulate(context.Background(), in, Config{
+		Frames:  4,
+		OnFrame: func(frame int, cycles int64) { frameEnds = append(frameEnds, cycles) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalCycles < single.TotalCycles || rep.TotalCycles > 4*single.TotalCycles {
+		t.Fatalf("4-frame makespan %d outside [%d, %d]", rep.TotalCycles, single.TotalCycles, 4*single.TotalCycles)
+	}
+	if len(frameEnds) != 4 {
+		t.Fatalf("OnFrame fired %d times, want 4", len(frameEnds))
+	}
+	for i := 1; i < len(frameEnds); i++ {
+		if frameEnds[i] < frameEnds[i-1] {
+			t.Fatalf("frame completions regress: %v", frameEnds)
+		}
+	}
+	if frameEnds[3] != rep.TotalCycles {
+		t.Fatalf("last frame ends at %d, makespan %d", frameEnds[3], rep.TotalCycles)
+	}
+}
+
+func TestPortsSpeedTransfers(t *testing.T) {
+	fp, flat, freq, edges := prep(t, threeStageSrc, "main_fn", 1)
+	in := Input{Prog: fp, F: flat, Plat: smallPlat(320), Freq: freq, Edges: edges, Moved: []ir.BlockID{5}}
+	one, err := Simulate(context.Background(), in, Config{Ports: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Simulate(context.Background(), in, Config{Ports: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.MemBusy >= one.MemBusy {
+		t.Fatalf("4 ports did not shorten transfers: %d >= %d", four.MemBusy, one.MemBusy)
+	}
+	if four.TotalCycles > one.TotalCycles {
+		t.Fatalf("4 ports slower overall: %d > %d", four.TotalCycles, one.TotalCycles)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	fp, flat, freq, edges := prep(t, threeStageSrc, "main_fn", 1)
+	in := Input{Prog: fp, F: flat, Plat: smallPlat(320), Freq: freq, Edges: edges, Moved: []ir.BlockID{5}}
+	cfg := Config{Frames: 3, Ports: 2, Prefetch: true}
+	a, err := Simulate(context.Background(), in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(context.Background(), in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("repeated simulation diverged")
+	}
+}
+
+func TestSimulateCancellation(t *testing.T) {
+	fp, flat, freq, edges := prep(t, threeStageSrc, "main_fn", 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Simulate(ctx, Input{Prog: fp, F: flat, Plat: smallPlat(320), Freq: freq, Edges: edges},
+		Config{Frames: 2})
+	if err != context.Canceled {
+		t.Fatalf("cancelled simulation returned %v", err)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	fp, flat, freq, edges := prep(t, threeStageSrc, "main_fn", 1)
+	in := Input{Prog: fp, F: flat, Plat: smallPlat(320), Freq: freq, Edges: edges}
+	if _, err := Simulate(context.Background(), in, Config{Frames: -1}); err == nil {
+		t.Error("negative frames accepted")
+	}
+	if _, err := Simulate(context.Background(), in, Config{Ports: -1}); err == nil {
+		t.Error("negative ports accepted")
+	}
+	bad := in
+	bad.Moved = []ir.BlockID{ir.BlockID(len(flat.Blocks))}
+	if _, err := Simulate(context.Background(), bad, Config{}); err == nil {
+		t.Error("out-of-range moved block accepted")
+	}
+
+	// A kernel the data-path cannot execute must be rejected, like the
+	// partitioning engine rejects it.
+	dp, dflat, dfreq, dedges := prep(t, divSrc, "main_fn", 1)
+	for id := range dflat.Blocks {
+		din := Input{Prog: dp, F: dflat, Plat: platform.Default(), Freq: dfreq, Edges: dedges,
+			Moved: []ir.BlockID{ir.BlockID(id)}}
+		if _, err := Simulate(context.Background(), din, Config{}); err != nil {
+			return // found the division block: rejected as expected
+		}
+	}
+	t.Error("no block of the division program was rejected")
+}
+
+// TestKernelTimeline sanity-checks the per-kernel rows: every executed
+// block appears once, fabrics are labeled correctly, and invocation counts
+// scale with the frame count.
+func TestKernelTimeline(t *testing.T) {
+	fp, flat, freq, edges := prep(t, threeStageSrc, "main_fn", 1)
+	in := Input{Prog: fp, F: flat, Plat: smallPlat(320), Freq: freq, Edges: edges, Moved: []ir.BlockID{5}}
+	rep, err := Simulate(context.Background(), in, Config{Frames: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var executed int
+	for _, n := range freq {
+		if n > 0 {
+			executed++
+		}
+	}
+	if len(rep.Kernels) != executed {
+		t.Fatalf("%d timeline rows, want %d", len(rep.Kernels), executed)
+	}
+	for _, k := range rep.Kernels {
+		if k.Invocations != 2*freq[k.Block] {
+			t.Errorf("block %d: %d invocations, want %d", k.Block, k.Invocations, 2*freq[k.Block])
+		}
+		wantFabric := "fine"
+		if k.Block == 5 {
+			wantFabric = "coarse"
+		}
+		if k.Fabric != wantFabric {
+			t.Errorf("block %d on %q, want %q", k.Block, k.Fabric, wantFabric)
+		}
+		if k.FirstStart < 0 || k.LastEnd > rep.TotalCycles || k.FirstStart > k.LastEnd {
+			t.Errorf("block %d timeline [%d, %d] outside [0, %d]", k.Block, k.FirstStart, k.LastEnd, rep.TotalCycles)
+		}
+	}
+}

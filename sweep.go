@@ -50,15 +50,14 @@ func OptionsFor(preset string) (Options, error) {
 
 // DefaultConstraint returns the paper's evaluation timing constraint for a
 // built-in benchmark (60000 FPGA cycles for OFDM, 21×10⁶ for JPEG), or 0
-// for unknown names.
+// for unknown names. The values live in the benchmark registry, so new
+// benchmarks carry their own default.
 func DefaultConstraint(bench string) int64 {
-	switch bench {
-	case BenchOFDM:
-		return 60000
-	case BenchJPEG:
-		return 21000000
+	d, ok := lookupBenchmark(bench)
+	if !ok {
+		return 0
 	}
-	return 0
+	return d.constraint
 }
 
 // profileCache memoizes compiled+profiled benchmarks per (name, seed), so a
@@ -66,18 +65,59 @@ func DefaultConstraint(bench string) int64 {
 // of recompiling and re-interpreting per cell. Profiling is
 // input-deterministic — the same benchmark and seed always yield the same
 // block frequencies — which is what makes the cache sound.
-var profileCache struct {
+var profileCache = struct {
 	mu      sync.Mutex
 	entries map[profileKey]*profileEntry
 	order   []profileKey // insertion order, for the capacity bound
+	// bound caps the memo (see DefaultProfileMemoBound); 0 disables the
+	// bound for trusted deployments whose seed space is known.
+	bound int
+}{bound: DefaultProfileMemoBound}
+
+// DefaultProfileMemoBound is the benchmark profile memo's default capacity.
+// Each entry pins a full compiled App plus its profile, and the
+// partitioning service keys entries by an arbitrary client-supplied seed,
+// so by default the memo must not grow without bound; once full, the
+// oldest entry is dropped (callers already holding it are unaffected — the
+// next request for that key simply recompiles). Operators can resize or
+// lift the bound with SetProfileMemoBound (hservd: -profile-memo).
+const DefaultProfileMemoBound = 64
+
+// SetProfileMemoBound resizes the process-wide benchmark profile memo used
+// by ProfileBenchmarkCached: n entries, or unbounded when n is 0. Shrinking
+// below the current population evicts oldest-first. It returns an error for
+// negative n.
+func SetProfileMemoBound(n int) error {
+	if n < 0 {
+		return fmt.Errorf("hybridpart: profile memo bound must be non-negative, got %d", n)
+	}
+	profileCache.mu.Lock()
+	defer profileCache.mu.Unlock()
+	profileCache.bound = n
+	evictOverflowLocked()
+	return nil
 }
 
-// profileCacheCap bounds the memo. Each entry pins a full compiled App plus
-// its profile, and the partitioning service keys entries by an arbitrary
-// client-supplied seed, so the memo must not grow without bound; once full,
-// the oldest entry is dropped (callers already holding it are unaffected —
-// the next request for that key simply recompiles).
-const profileCacheCap = 64
+// ProfileMemoStats reports the benchmark profile memo's population and its
+// configured bound (0 = unbounded). The partitioning service surfaces both
+// in /debug/stats.
+func ProfileMemoStats() (size, bound int) {
+	profileCache.mu.Lock()
+	defer profileCache.mu.Unlock()
+	return len(profileCache.entries), profileCache.bound
+}
+
+func evictOverflowLocked() {
+	bound := profileCache.bound
+	if bound <= 0 {
+		return
+	}
+	for len(profileCache.entries) > bound {
+		oldest := profileCache.order[0]
+		profileCache.order = profileCache.order[1:]
+		delete(profileCache.entries, oldest)
+	}
+}
 
 type profileKey struct {
 	bench string
@@ -109,11 +149,7 @@ func ProfileBenchmarkCached(name string, seed uint32) (*App, *RunProfile, error)
 		e = &profileEntry{}
 		profileCache.entries[key] = e
 		profileCache.order = append(profileCache.order, key)
-		for len(profileCache.entries) > profileCacheCap {
-			oldest := profileCache.order[0]
-			profileCache.order = profileCache.order[1:]
-			delete(profileCache.entries, oldest)
-		}
+		evictOverflowLocked()
 	}
 	profileCache.mu.Unlock()
 

@@ -14,7 +14,7 @@ func TestProfileCacheBounded(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping benchmark compilation in -short mode")
 	}
-	for seed := uint32(1000); seed < uint32(1000+profileCacheCap+8); seed++ {
+	for seed := uint32(1000); seed < uint32(1000+DefaultProfileMemoBound+8); seed++ {
 		app, prof, err := ProfileBenchmarkCached(BenchOFDM, seed)
 		if err != nil {
 			t.Fatal(err)
@@ -26,9 +26,9 @@ func TestProfileCacheBounded(t *testing.T) {
 	profileCache.mu.Lock()
 	size, order := len(profileCache.entries), len(profileCache.order)
 	profileCache.mu.Unlock()
-	if size > profileCacheCap || order != size {
+	if size > DefaultProfileMemoBound || order != size {
 		t.Fatalf("profile cache unbounded: %d entries, %d order records (cap %d)",
-			size, order, profileCacheCap)
+			size, order, DefaultProfileMemoBound)
 	}
 	// Evicted pairs recompile transparently.
 	if _, _, err := ProfileBenchmarkCached(BenchOFDM, 1000); err != nil {

@@ -30,32 +30,21 @@ func NewWorkload(src, entry string) (*Workload, error) {
 	return &Workload{app: app, run: app.NewRunner()}, nil
 }
 
-// BenchmarkWorkload compiles the named built-in benchmark ("ofdm" or
-// "jpeg"), loads its standard input vectors for the given seed, and executes
-// it once with profiling — the ready-to-partition equivalent of the paper's
+// BenchmarkWorkload compiles the named built-in benchmark (see Benchmarks),
+// loads its standard input vectors for the given seed, and executes it once
+// with profiling — the ready-to-partition equivalent of the paper's
 // evaluation setup.
 func BenchmarkWorkload(name string, seed uint32) (*Workload, error) {
-	var (
-		app   *App
-		err   error
-		input string
-		vals  []int32
-	)
-	switch name {
-	case BenchOFDM:
-		app, err = OFDMApp()
-		input, vals = OFDMBitsArray, OFDMBits(seed)
-	case BenchJPEG:
-		app, err = JPEGApp()
-		input, vals = JPEGImageArray, JPEGImage(seed)
-	default:
+	d, ok := lookupBenchmark(name)
+	if !ok {
 		return nil, errUnknownBenchmark(name)
 	}
+	app, err := d.compile()
 	if err != nil {
 		return nil, err
 	}
 	w := &Workload{app: app, run: app.NewRunner()}
-	if err := w.SetInput(input, vals); err != nil {
+	if err := w.SetInput(d.inputArray, d.input(seed)); err != nil {
 		return nil, err
 	}
 	if _, err := w.Run(); err != nil {
