@@ -418,3 +418,39 @@ func BenchmarkSimulateFrames(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkObjective compares the move-loop objectives on OFDM at 8
+// pipelined frames: the closed-form model loop, the fully simulation-scored
+// loop, and rerank(3), the cheap middle ground. Each run reports the chosen
+// mapping's simulated makespan and speedup, so the published artifact
+// (BENCH_objective.json via cmd/benchjson) tracks both the wall-time cost
+// of feedback-directed partitioning and the execution-level speedup it
+// buys back.
+func BenchmarkObjective(b *testing.B) {
+	app, prof, _, _ := benchSetup(b)
+	modes := []struct {
+		name string
+		opt  Option
+	}{
+		{"model", WithObjective(ObjectiveModel)},
+		{"sim", WithObjective(ObjectiveSimulated)},
+		{"rerank3", WithRerank(3)},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			eng, err := NewEngine(WithConstraint(60000), WithSimFrames(8), mode.opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				if res, err = eng.PartitionProfiled(context.Background(), app, prof); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.SimulatedCycles), "sim-makespan")
+			b.ReportMetric(res.SimulatedSpeedup, "sim-speedup")
+			b.ReportMetric(float64(len(res.Moved)), "moves")
+		})
+	}
+}

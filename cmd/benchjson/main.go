@@ -52,12 +52,24 @@ type simBench struct {
 	SimCyclesPerSec float64 `json:"simcycles_per_sec,omitempty"`
 }
 
+// objectiveBench is one move-loop objective's derived summary: what the
+// mode costs in wall time and what it buys in simulated makespan/speedup.
+type objectiveBench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	SimMakespan float64 `json:"sim_makespan,omitempty"`
+	SimSpeedup  float64 `json:"sim_speedup,omitempty"`
+	Moves       float64 `json:"moves,omitempty"`
+}
+
 type report struct {
 	Benchmarks []benchResult `json:"benchmarks"`
 	Sweep      *sweepReport  `json:"sweep,omitempty"`
 	// Sim summarizes BenchmarkSimulate sub-benchmarks by benchmark name
 	// (JSON object keys are emitted sorted, so the report is deterministic).
 	Sim map[string]simBench `json:"sim,omitempty"`
+	// Objective summarizes BenchmarkObjective sub-benchmarks by mode
+	// ("model", "sim", "rerank3").
+	Objective map[string]objectiveBench `json:"objective,omitempty"`
 }
 
 func main() {
@@ -100,6 +112,23 @@ func main() {
 				}
 			}
 			rep.Sim[b.Name[i+len("Simulate/"):]] = row
+		}
+		if i := strings.Index(b.Name, "Objective/"); i >= 0 {
+			if rep.Objective == nil {
+				rep.Objective = map[string]objectiveBench{}
+			}
+			row := objectiveBench{NsPerOp: b.NsOp}
+			for _, m := range b.Metrics {
+				switch m.Name {
+				case "sim-makespan":
+					row.SimMakespan = m.Value
+				case "sim-speedup":
+					row.SimSpeedup = m.Value
+				case "moves":
+					row.Moves = m.Value
+				}
+			}
+			rep.Objective[b.Name[i+len("Objective/"):]] = row
 		}
 	}
 	if serial > 0 && parallel > 0 {

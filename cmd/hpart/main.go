@@ -12,7 +12,20 @@
 // individual fields of it when given explicitly. -trace streams the
 // move-by-move partitioning trajectory to stderr. -json replaces the table
 // with the full result as machine-readable JSON — the same wire shape the
-// hservd service returns from POST /v1/partition. Custom sources are
+// hservd service returns from POST /v1/partition.
+//
+// Feedback-directed partitioning: -objective sim makes the move loop
+// optimize the simulated makespan (replaying the profiled trace through the
+// co-simulator per candidate) instead of the closed-form t_total, and
+// -rerank k keeps the closed-form loop but re-scores its top-k trajectories
+// by simulation. -frames/-ports/-prefetch set the simulated operating
+// point; with any of them the report also carries the chosen mapping's
+// simulated makespan, so
+//
+//	hpart -bench ofdm -frames 8 -objective model
+//	hpart -bench ofdm -frames 8 -objective sim
+//
+// compare what the model picks against what execution-level feedback picks. Custom sources are
 // profiled by executing the entry function once; entry functions with
 // scalar parameters receive the values passed via -args (comma-separated
 // integers). Input arrays can be preset only for the built-in benchmarks;
@@ -42,6 +55,11 @@ func main() {
 	afpga := flag.Int("afpga", 1500, "usable fine-grain area A_FPGA")
 	cgcs := flag.Int("cgcs", 2, "number of 2x2 CGCs in the data-path")
 	constraint := flag.Int64("constraint", 60000, "timing constraint in FPGA cycles")
+	objective := flag.String("objective", "model", `move-loop objective: "model" (closed-form t_total) or "sim" (simulated makespan)`)
+	rerank := flag.Int("rerank", 0, "re-score the top-k model trajectories by simulation (0 = off, -1 = all)")
+	frames := flag.Int("frames", 0, "co-simulation frame count for the objective/report (0 = no simulation unless -objective sim)")
+	ports := flag.Int("ports", 0, "co-simulation transfer-port width (0 = 1)")
+	prefetch := flag.Bool("prefetch", false, "co-simulate with configuration prefetch")
 	trace := flag.Bool("trace", false, "stream the move-by-move trajectory to stderr")
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON (the service wire format) instead of the table")
 	pipelineN := flag.Int("pipeline-frames", 0, "if >0, also report frame pipelining over N frames")
@@ -68,6 +86,19 @@ func main() {
 		fail(fmt.Sprintf("-pipeline-frames must be non-negative, got %d", *pipelineN))
 	case *jsonOut && *pipelineN > 0:
 		fail("-json and -pipeline-frames are mutually exclusive (the pipeline report is table-only)")
+	case *frames < 0:
+		fail(fmt.Sprintf("-frames must be non-negative, got %d", *frames))
+	case *ports < 0:
+		fail(fmt.Sprintf("-ports must be non-negative, got %d", *ports))
+	case *rerank < -1:
+		fail(fmt.Sprintf("-rerank must be -1 (all), 0 (off) or positive, got %d", *rerank))
+	}
+	obj, err := hybridpart.ParseObjective(*objective)
+	if err != nil {
+		fail(err.Error())
+	}
+	if obj == hybridpart.ObjectiveSimulated && *rerank != 0 {
+		fail("-objective sim and -rerank are mutually exclusive (rerank already ends with a simulated selection)")
 	}
 
 	// Engine configuration: the preset (if any) lays down the platform;
@@ -82,7 +113,10 @@ func main() {
 	if *preset == "" || set["cgcs"] {
 		engineOpts = append(engineOpts, hybridpart.WithCGCs(*cgcs))
 	}
-	engineOpts = append(engineOpts, hybridpart.WithConstraint(*constraint))
+	engineOpts = append(engineOpts, hybridpart.WithConstraint(*constraint),
+		hybridpart.WithObjective(obj), hybridpart.WithRerank(*rerank),
+		hybridpart.WithSimFrames(*frames), hybridpart.WithSimPorts(*ports),
+		hybridpart.WithSimPrefetch(*prefetch))
 	if *trace {
 		engineOpts = append(engineOpts, hybridpart.WithObserver(func(ev hybridpart.Event) {
 			if mv, ok := ev.(hybridpart.MoveEvent); ok {
@@ -128,6 +162,11 @@ func main() {
 		fmt.Print(res.Format())
 		if len(res.Unmappable) > 0 {
 			fmt.Printf("Unmappable kernels:        %v\n", res.Unmappable)
+		}
+		if res.SimulatedBaselineCycles > 0 {
+			fmt.Printf("Objective:                 %s\n", res.Objective)
+			fmt.Printf("Simulated makespan:        %d (all-FPGA %d, speedup %.3f)\n",
+				res.SimulatedCycles, res.SimulatedBaselineCycles, res.SimulatedSpeedup)
 		}
 		if *pipelineN > 0 {
 			fmt.Printf("\nFrame pipelining over %d frames:\n%s", *pipelineN,

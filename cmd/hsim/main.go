@@ -45,6 +45,8 @@ func main() {
 	frames := flag.Int("frames", 1, "application frames to replay (the frame pipeline overlaps the fabrics)")
 	ports := flag.Int("ports", 1, "fabric-to-fabric transfer ports (the model assumes 1)")
 	prefetch := flag.Bool("prefetch", false, "overlap configuration loads with data-path execution")
+	objective := flag.String("objective", "model", `move-loop objective of the simulated partitioning: "model" or "sim"`)
+	rerank := flag.Int("rerank", 0, "re-score the top-k model trajectories by simulation (0 = off, -1 = all)")
 	trace := flag.Bool("trace", false, "stream per-frame simulation events to stderr")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON (the service wire format) instead of the table")
 	flag.Parse()
@@ -72,6 +74,15 @@ func main() {
 		fail(fmt.Sprintf("-frames must be positive, got %d", *frames))
 	case *ports <= 0:
 		fail(fmt.Sprintf("-ports must be positive, got %d", *ports))
+	case *rerank < -1:
+		fail(fmt.Sprintf("-rerank must be -1 (all), 0 (off) or positive, got %d", *rerank))
+	}
+	obj, err := hybridpart.ParseObjective(*objective)
+	if err != nil {
+		fail(err.Error())
+	}
+	if obj == hybridpart.ObjectiveSimulated && *rerank != 0 {
+		fail("-objective sim and -rerank are mutually exclusive (rerank already ends with a simulated selection)")
 	}
 	if *constraint == 0 {
 		*constraint = hybridpart.DefaultConstraint(*bench)
@@ -89,7 +100,13 @@ func main() {
 	if *preset == "" || set["cgcs"] {
 		engineOpts = append(engineOpts, hybridpart.WithCGCs(*cgcs))
 	}
-	engineOpts = append(engineOpts, hybridpart.WithConstraint(*constraint))
+	// The knobs go on the engine (not just this Simulate call) so a
+	// simulated objective or re-rank scores candidates at the same operating
+	// point the report replays.
+	engineOpts = append(engineOpts, hybridpart.WithConstraint(*constraint),
+		hybridpart.WithObjective(obj), hybridpart.WithRerank(*rerank),
+		hybridpart.WithSimFrames(*frames), hybridpart.WithSimPorts(*ports),
+		hybridpart.WithSimPrefetch(*prefetch))
 	if *trace {
 		engineOpts = append(engineOpts, hybridpart.WithObserver(func(ev hybridpart.Event) {
 			if se, ok := ev.(hybridpart.SimEvent); ok {
@@ -114,10 +131,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	rep, err := eng.Simulate(context.Background(), w,
-		hybridpart.SimFrames(*frames),
-		hybridpart.SimPorts(*ports),
-		hybridpart.SimPrefetch(*prefetch))
+	rep, err := eng.Simulate(context.Background(), w)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hsim: %v\n", err)
 		os.Exit(1)

@@ -12,6 +12,14 @@
 //	hsweep -bench ofdm -areas 1500,5000 -cgcs 1,2,4 -workers 8
 //	hsweep -bench ofdm,jpeg -presets default,dsp-rich,lut-only -format csv
 //
+// The co-simulation axes chart executed reality next to the closed form:
+// -frames/-ports/-prefetch set the simulated operating point per cell and
+// -objectives compares the move loops themselves (the closed-form "model"
+// objective against the simulation-scored "sim" objective), adding
+// simulated-makespan and simulated-speedup columns to every output format:
+//
+//	hsweep -bench ofdm -frames 1,8 -objectives model,sim
+//
 // Constraints default to the paper's per-benchmark values (OFDM 60000,
 // JPEG 21000000 FPGA cycles). -format json/csv emits machine-readable
 // output (to -o when given); -list-presets prints the platform registry;
@@ -43,6 +51,10 @@ func main() {
 	cgcs := flag.String("cgcs", "", "comma-separated CGC counts (empty = preset default)")
 	constraints := flag.String("constraints", "", "comma-separated timing constraints in FPGA cycles (empty = paper defaults)")
 	presets := flag.String("presets", "", "comma-separated platform presets (see -list-presets)")
+	frames := flag.String("frames", "", "comma-separated co-simulation frame counts (any sim axis adds simulated-speedup columns)")
+	ports := flag.String("ports", "", "comma-separated transfer-port widths")
+	prefetch := flag.String("prefetch", "", `comma-separated prefetch settings ("false,true")`)
+	objectives := flag.String("objectives", "", `comma-separated move-loop objectives ("model", "sim")`)
 	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS)")
 	seed := flag.Uint("seed", 1, "benchmark input-vector seed")
 	format := flag.String("format", "table", `output format: "table", "json" or "csv"`)
@@ -78,6 +90,21 @@ func main() {
 	if spec.Constraints, err = parseInt64s(*constraints); err != nil {
 		fatal("-constraints", err)
 	}
+	if spec.Frames, err = parseInts(*frames); err != nil {
+		fatal("-frames", err)
+	}
+	if spec.Ports, err = parseInts(*ports); err != nil {
+		fatal("-ports", err)
+	}
+	if spec.Prefetch, err = parseBools(*prefetch); err != nil {
+		fatal("-prefetch", err)
+	}
+	spec.Objectives = splitList(*objectives)
+	for _, o := range spec.Objectives {
+		if _, err := hybridpart.ParseObjective(o); err != nil {
+			fatal("-objectives", err)
+		}
+	}
 	switch *format {
 	case "table", "json", "csv":
 	default:
@@ -100,6 +127,12 @@ func main() {
 			if o.Failed() {
 				fmt.Fprintf(os.Stderr, "hsweep: [%d/%d] %s afpga=%d cgcs=%d: error: %s\n",
 					ce.Done, ce.Total, o.Benchmark, o.AreaUsed(), o.CGCsUsed(), o.Err)
+				return
+			}
+			if o.Simulated {
+				fmt.Fprintf(os.Stderr, "hsweep: [%d/%d] %s afpga=%d cgcs=%d final=%d speedup=%.3f met=%v obj=%s frames=%d sim=%d simspeedup=%.3f\n",
+					ce.Done, ce.Total, o.Benchmark, o.AreaUsed(), o.CGCsUsed(), o.FinalCycles, o.Speedup, o.Met,
+					o.EffectiveObjective, o.EffectiveFrames, o.SimCycles, o.SimSpeedup)
 				return
 			}
 			fmt.Fprintf(os.Stderr, "hsweep: [%d/%d] %s afpga=%d cgcs=%d final=%d speedup=%.3f met=%v\n",
@@ -207,6 +240,18 @@ func parseInt64s(s string) ([]int64, error) {
 	var out []int64
 	for _, p := range splitList(s) {
 		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseBools(s string) ([]bool, error) {
+	var out []bool
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseBool(p)
 		if err != nil {
 			return nil, err
 		}

@@ -13,7 +13,7 @@
 //	analysis     — kernel extraction and ordering (eq. 1)
 //	finegrain    — Figure-3 temporal partitioning onto the FPGA
 //	coarsegrain  — list scheduling + CGC binding (FPL'04 data-path)
-//	partition    — the partitioning engine (eq. 2)
+//	partition    — the partitioning engine (eq. 2 or simulated makespan)
 //	explore      — design-space-exploration engine (grid sweeps)
 //	platform     — platform characterization and the preset registry
 //	apps         — the OFDM transmitter and JPEG encoder benchmarks
@@ -79,6 +79,31 @@
 //
 //	rep, _ := eng.Simulate(ctx, w, hybridpart.SimFrames(16), hybridpart.SimPrefetch(true))
 //	fmt.Println(rep.Validation.Exact, rep.Format())
+//
+// # Feedback-directed partitioning
+//
+// The closed form the move loop optimizes diverges from executed reality
+// whenever frames, ports or prefetch matter, so the engine can pick a
+// partition the simulator proves is not the fastest one.
+// WithObjective(ObjectiveSimulated) closes that loop: every trajectory
+// prefix is scored by replaying the canonical trace through the
+// co-simulator (under the engine's WithSimFrames/WithSimPorts/
+// WithSimPrefetch operating point) and the mapping with the minimal
+// simulated makespan wins. WithRerank(k) is the cheap middle ground — the
+// closed-form loop runs as usual, then the k best prefixes are re-scored by
+// simulation (k = -1 re-scores all, provably identical to the full
+// simulated objective). Results carry the chosen mapping's simulated
+// makespan, baseline and speedup whenever any sim knob is active; all sim
+// knobs live in Options and therefore in Fingerprint(). SweepSpec's
+// Frames/Ports/Prefetch/Objectives axes chart simulated speedup across
+// grids:
+//
+//	eng, _ := hybridpart.NewEngine(
+//		hybridpart.WithConstraint(60000),
+//		hybridpart.WithSimFrames(8),
+//		hybridpart.WithObjective(hybridpart.ObjectiveSimulated),
+//	)
+//	res, _ := eng.Partition(ctx, w) // res.SimulatedCycles < the model objective's
 //
 // # Service
 //

@@ -273,6 +273,75 @@ func WithWeights(alu, mul, div, mem int64) Option {
 	}
 }
 
+// WithObjective selects the move-loop objective: ObjectiveModel (the
+// paper's closed-form t_total, the default) or ObjectiveSimulated, which
+// scores every trajectory prefix by replaying the profiled trace through the
+// co-simulator under the engine's sim knobs (WithSimFrames/WithSimPorts/
+// WithSimPrefetch) and keeps the mapping with the minimal simulated
+// makespan. The simulated objective closes the estimation-vs-execution gap:
+// frame pipelining, port contention and prefetch are invisible to the
+// closed form, so the model can prefer a partition the simulator proves
+// slower.
+func WithObjective(o Objective) Option {
+	return func(e *Engine) error {
+		if _, err := ParseObjective(o.String()); err != nil {
+			return fmt.Errorf("hybridpart: invalid objective %d", int(o))
+		}
+		e.opts.Objective = o
+		return nil
+	}
+}
+
+// WithRerank keeps the closed-form move loop but re-scores the k trajectory
+// prefixes with the best model t_total by simulation, returning the one with
+// the minimal simulated makespan (0 disables re-ranking, -1 re-scores every
+// prefix — equivalent to WithObjective(ObjectiveSimulated)). It is the
+// cheaper middle ground when a full simulated objective is too expensive.
+func WithRerank(k int) Option {
+	return func(e *Engine) error {
+		if k < -1 {
+			return fmt.Errorf("hybridpart: rerank k must be -1 (all), 0 (off) or positive, got %d", k)
+		}
+		e.opts.RerankK = k
+		return nil
+	}
+}
+
+// WithSimFrames sets the engine-level co-simulation frame count (0 = 1, the
+// analytical model's operating point). The knob participates in
+// Options.Fingerprint and is shared by Simulate, the simulated objective and
+// re-ranking; per-call SimOptions override it for one Simulate call.
+func WithSimFrames(n int) Option {
+	return func(e *Engine) error {
+		if n < 0 {
+			return fmt.Errorf("hybridpart: sim frames must be non-negative, got %d", n)
+		}
+		e.opts.SimFrames = n
+		return nil
+	}
+}
+
+// WithSimPorts sets the engine-level transfer-channel width in shared-memory
+// ports (0 = 1). See WithSimFrames for scope and fingerprinting.
+func WithSimPorts(n int) Option {
+	return func(e *Engine) error {
+		if n < 0 {
+			return fmt.Errorf("hybridpart: sim ports must be non-negative, got %d", n)
+		}
+		e.opts.SimPorts = n
+		return nil
+	}
+}
+
+// WithSimPrefetch enables configuration prefetch at the engine level. See
+// WithSimFrames for scope and fingerprinting.
+func WithSimPrefetch(on bool) Option {
+	return func(e *Engine) error {
+		e.opts.SimPrefetch = on
+		return nil
+	}
+}
+
 // WithEnergyBudget sets the energy budget for PartitionEnergy (arbitrary
 // consistent units; see internal/energy for the characterization).
 func WithEnergyBudget(budget float64) Option {
@@ -392,25 +461,56 @@ func (e *Engine) PartitionProfiled(ctx context.Context, a *App, p *RunProfile) (
 // partitionApp is Partition on the raw v1 pair; the legacy App.Partition
 // shim calls it directly.
 func (e *Engine) partitionApp(ctx context.Context, a *App, p *RunProfile) (*Result, error) {
-	return e.partitionCell(ctx, a, p, e.opts, e.costsSet, e.moveHook(e.opts.Constraint))
+	return e.partitionCell(ctx, a, p, e.opts, e.costsSet, e.moveHook(e.opts.Constraint), nil)
 }
 
 // partitionCell runs one partitioning evaluation with an explicit knob set
-// (Sweep resolves per-cell options and calls this per grid cell).
+// (Sweep resolves per-cell options and calls this per grid cell). When any
+// co-simulation knob is active — the simulated objective, re-ranking, or an
+// explicit frames/ports/prefetch operating point — it also scores the chosen
+// mapping and the all-FPGA baseline by simulation, so model-objective runs
+// report the simulated makespan of their choice for comparison. A non-nil
+// onFrame additionally replays the chosen mapping once with per-frame
+// callbacks (Sweep uses it to stream per-cell SimEvents).
 func (e *Engine) partitionCell(ctx context.Context, a *App, p *RunProfile, opts Options,
-	costsSet bool, onMove func(partition.Move)) (*Result, error) {
+	costsSet bool, onMove func(partition.Move), onFrame func(frame int, cycles int64)) (*Result, error) {
+	res, _, err := e.partitionScored(ctx, a, p, opts, costsSet, onMove, onFrame, true)
+	return res, err
+}
+
+// partitionScored is partitionCell returning the run's simScorer (nil when
+// no sim knob is active) so callers that keep simulating — Engine.Simulate
+// replays both mappings for its report — can reuse the scorer's Replayer
+// instead of rebuilding the trace and schedules. report=false skips the
+// final/baseline scoring of the chosen mapping for callers that are about
+// to replay it anyway.
+func (e *Engine) partitionScored(ctx context.Context, a *App, p *RunProfile, opts Options,
+	costsSet bool, onMove func(partition.Move), onFrame func(frame int, cycles int64),
+	report bool) (*Result, *simScorer, error) {
 	an := a.Analyze(p.Freq, opts)
-	res, err := partition.Partition(ctx, a.fprog, a.flat, an.rep, partition.Config{
-		Platform:         e.platformOf(opts, costsSet),
+	plat := e.platformOf(opts, costsSet)
+	cfg := partition.Config{
+		Platform:         plat,
 		Constraint:       opts.Constraint,
 		Order:            opts.Order,
 		Edges:            p.edges,
 		MaxMoves:         opts.MaxMoves,
 		SkipNonImproving: opts.SkipNonImproving,
 		OnMove:           onMove,
-	})
+		Objective:        opts.Objective,
+		RerankK:          opts.RerankK,
+	}
+	var scorer *simScorer
+	if simKnobsActive(opts) {
+		var err error
+		if scorer, err = newSimScorer(a, p, plat, simSpecOf(opts)); err != nil {
+			return nil, nil, err
+		}
+		cfg.SimCost = scorer.Score
+	}
+	res, err := partition.Partition(ctx, a.fprog, a.flat, an.rep, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := &Result{
 		InitialCycles:     res.InitialCycles,
@@ -422,6 +522,7 @@ func (e *Engine) partitionCell(ctx context.Context, a *App, p *RunProfile, opts 
 		TComm:             res.TComm,
 		Constraint:        res.Constraint,
 		Met:               res.Met,
+		Objective:         res.Objective,
 	}
 	for _, b := range res.Moved {
 		out.Moved = append(out.Moved, int(b))
@@ -432,7 +533,31 @@ func (e *Engine) partitionCell(ctx context.Context, a *App, p *RunProfile, opts 
 	for _, b := range res.Skipped {
 		out.Skipped = append(out.Skipped, int(b))
 	}
-	return out, nil
+	if scorer != nil && report {
+		// Both calls are memo hits when the objective already scored them.
+		total, err := scorer.Score(ctx, res.Moved)
+		if err != nil {
+			return nil, nil, err
+		}
+		base, err := scorer.Score(ctx, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		out.SimulatedCycles = total
+		out.SimulatedBaselineCycles = base
+		if total > 0 {
+			out.SimulatedSpeedup = float64(base) / float64(total)
+		}
+		out.SimStats = scorer.stats
+		if onFrame != nil {
+			cfg := scorer.cfg
+			cfg.OnFrame = onFrame
+			if _, err := scorer.rep.Simulate(ctx, cfg, res.Moved); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return out, scorer, nil
 }
 
 // PartitionEnergy runs the energy-constrained engine against the budget set
@@ -521,6 +646,11 @@ func (e *Engine) Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error
 	if spec.Workers == 0 {
 		spec.Workers = e.workers
 	}
+	// simBuf parks each simulated cell's per-frame SimEvents until the cell
+	// is reported: the progress callback flushes them in expansion order
+	// right before the cell's CellEvent, keeping the observer stream
+	// deterministic for any worker count.
+	var simBuf sync.Map // cell index -> []SimEvent
 	eval := func(p SweepPoint) (SweepOutcome, error) {
 		app, prof, err := ProfileBenchmarkCached(p.Benchmark, spec.Seed)
 		if err != nil {
@@ -562,9 +692,57 @@ func (e *Engine) Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error
 		}
 		opts.Constraint = constraint
 
-		res, err := e.partitionCell(ctx, app, prof, opts, costsSet, nil)
+		// Co-simulation resolution: the cell's axes override the engine's
+		// sim knobs; a bool/string axis applies only when present (its zero
+		// value cannot mean "unset"). Any sim axis in the spec forces
+		// simulation scoring, so an objectives=["model","sim"] sweep charts
+		// the simulated makespan of both loops side by side.
+		if p.Frames > 0 {
+			opts.SimFrames = p.Frames
+		}
+		if p.Ports > 0 {
+			opts.SimPorts = p.Ports
+		}
+		if len(spec.Prefetch) > 0 {
+			opts.SimPrefetch = p.Prefetch
+		}
+		if p.Objective != "" {
+			obj, err := ParseObjective(p.Objective)
+			if err != nil {
+				return SweepOutcome{}, err
+			}
+			// The axis selects the whole mode: an explicit "model" cell is
+			// the pure closed-form loop, not closed-form-plus-rerank.
+			opts.Objective = obj
+			opts.RerankK = 0
+		}
+		if spec.Simulates() && opts.SimFrames == 0 {
+			opts.SimFrames = 1 // activate scoring at the model's operating point
+		}
+		simFrames := opts.SimFrames
+		if simFrames == 0 {
+			simFrames = 1
+		}
+		simPorts := opts.SimPorts
+		if simPorts == 0 {
+			simPorts = 1
+		}
+
+		var onFrame func(int, int64)
+		var cellEvents []SimEvent
+		if e.observer != nil && simKnobsActive(opts) {
+			onFrame = func(frame int, cycles int64) {
+				cellEvents = append(cellEvents, SimEvent{
+					Stage: "partitioned", Cell: p.Index, Frame: frame, Frames: simFrames, Cycles: cycles,
+				})
+			}
+		}
+		res, err := e.partitionCell(ctx, app, prof, opts, costsSet, nil, onFrame)
 		if err != nil {
 			return SweepOutcome{}, err
+		}
+		if len(cellEvents) > 0 {
+			simBuf.Store(p.Index, cellEvents)
 		}
 		out := SweepOutcome{
 			InitialCycles:       res.InitialCycles,
@@ -584,11 +762,26 @@ func (e *Engine) Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error
 		if res.FinalCycles > 0 {
 			out.Speedup = float64(res.InitialCycles) / float64(res.FinalCycles)
 		}
+		if res.SimulatedCycles > 0 || res.SimulatedBaselineCycles > 0 {
+			out.Simulated = true
+			out.SimCycles = res.SimulatedCycles
+			out.SimBaselineCycles = res.SimulatedBaselineCycles
+			out.SimSpeedup = res.SimulatedSpeedup
+			out.EffectiveFrames = simFrames
+			out.EffectivePorts = simPorts
+			out.EffectivePrefetch = opts.SimPrefetch
+			out.EffectiveObjective = opts.Objective.String()
+		}
 		return out, nil
 	}
 	var progress explore.Progress
 	if e.observer != nil {
 		progress = func(o explore.Outcome, done, total int) {
+			if evs, ok := simBuf.LoadAndDelete(o.Index); ok {
+				for _, se := range evs.([]SimEvent) {
+					e.emit(se)
+				}
+			}
 			e.emit(CellEvent{Outcome: o, Done: done, Total: total})
 		}
 	}

@@ -69,12 +69,17 @@ type CellEvent struct {
 }
 
 // SimEvent is emitted by Engine.Simulate as simulated frames complete —
-// first for the all-FPGA baseline replay, then for the partitioned one.
-// Events arrive in frame order within each stage.
+// first for the all-FPGA baseline replay, then for the partitioned one —
+// and by Engine.Sweep for every simulated cell's chosen mapping. Events
+// arrive in frame order within each stage; sweep-cell events arrive in
+// expansion order, each run of frames immediately before its CellEvent.
 type SimEvent struct {
 	// Stage is "baseline" while the all-FPGA mapping replays and
 	// "partitioned" for the partitioned mapping.
 	Stage string `json:"stage"`
+	// Cell is the sweep cell index the event belongs to, or -1 outside
+	// sweeps.
+	Cell int `json:"cell"`
 	// Frame is the 1-based frame just completed; Frames is the spec's total.
 	Frame  int `json:"frame"`
 	Frames int `json:"frames"`

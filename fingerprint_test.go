@@ -36,6 +36,14 @@ func TestFingerprintDistinct(t *testing.T) {
 		{"wmem", func(o *Options) { o.WeightMem++ }},
 		{"costs", func(o *Options) { o.Costs = platform.DSPRichOpCosts() }},
 		{"costs-one-field", func(o *Options) { o.Costs.LatMul++ }},
+		// The co-simulation knobs moved into Options precisely so that every
+		// mutation below lands in the fingerprint: two cached entries that
+		// differ in any sim knob must never collide.
+		{"objective", func(o *Options) { o.Objective = ObjectiveSimulated }},
+		{"rerankk", func(o *Options) { o.RerankK = 3 }},
+		{"simframes", func(o *Options) { o.SimFrames = 8 }},
+		{"simports", func(o *Options) { o.SimPorts = 2 }},
+		{"simprefetch", func(o *Options) { o.SimPrefetch = true }},
 	}
 	baseFP := base.Fingerprint()
 	seen := map[string]string{"(base)": baseFP}

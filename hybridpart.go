@@ -227,6 +227,27 @@ type Options struct {
 	WeightDiv int64
 	WeightMem int64
 
+	// Objective selects the move-loop objective: ObjectiveModel optimizes
+	// the closed-form t_total (the paper's engine, the default);
+	// ObjectiveSimulated scores every trajectory prefix by replaying the
+	// profiled trace through the co-simulator under the Sim* knobs and keeps
+	// the mapping with the minimal simulated makespan.
+	Objective Objective
+	// RerankK keeps the closed-form loop but re-scores the k trajectory
+	// prefixes with the best model t_total by simulation (0 = off, -1 = all,
+	// which is equivalent to ObjectiveSimulated). Mutually exclusive with
+	// ObjectiveSimulated.
+	RerankK int
+
+	// SimFrames, SimPorts and SimPrefetch are the co-simulation knobs shared
+	// by Simulate, the simulated objective and re-ranking (zero frames/ports
+	// mean 1, the analytical model's operating point). They live here — not
+	// only in per-call SimOptions — so they participate in Fingerprint() and
+	// two cached results that differ only in a sim knob can never collide.
+	SimFrames   int
+	SimPorts    int
+	SimPrefetch bool
+
 	// Costs is the fine-grain operator cost table (area and latency per
 	// operation class). The zero value selects the default characterization,
 	// so Options built literally keep their previous meaning; presets such
@@ -361,6 +382,20 @@ type Result struct {
 	Moved             []int
 	Unmappable        []int
 	Skipped           []int
+
+	// Objective echoes the move-loop objective the run optimized.
+	Objective Objective
+	// SimulatedCycles, SimulatedBaselineCycles and SimulatedSpeedup report
+	// the chosen mapping, the all-FPGA mapping and their ratio under the
+	// run's co-simulation knobs (SimFrames/SimPorts/SimPrefetch). They are
+	// filled whenever any sim knob, the simulated objective or re-ranking is
+	// active, and stay zero on purely closed-form runs. Met always refers to
+	// the analytical t_total against the constraint, never to these.
+	SimulatedCycles         int64
+	SimulatedBaselineCycles int64
+	SimulatedSpeedup        float64
+	// SimStats breaks down how the run's candidate simulations were paid for.
+	SimStats SimScoreStats
 }
 
 // ReductionPct is the % cycle reduction over the all-FPGA mapping.

@@ -54,12 +54,15 @@ func (rs *ResultSet) WriteJSON(w io.Writer) error {
 	return enc.Encode(rs)
 }
 
-// csvHeader is the fixed column layout of WriteCSV.
+// csvHeader is the fixed column layout of WriteCSV. The co-simulation
+// columns stay empty on cells the simulator never scored.
 var csvHeader = []string{
 	"index", "benchmark", "preset", "afpga", "cgcs", "constraint",
 	"initial_cycles", "initial_partitions", "cycles_in_cgc",
 	"final_cycles", "t_fpga", "t_coarse", "t_comm",
-	"met", "moved", "reduction_pct", "speedup", "err",
+	"met", "moved", "reduction_pct", "speedup",
+	"objective", "frames", "ports", "prefetch", "sim_cycles", "sim_speedup",
+	"err",
 }
 
 // WriteCSV emits one row per outcome with a fixed header; the moved-block
@@ -73,6 +76,15 @@ func (rs *ResultSet) WriteCSV(w io.Writer) error {
 		moved := make([]string, len(o.Moved))
 		for i, b := range o.Moved {
 			moved[i] = strconv.Itoa(b)
+		}
+		var objective, frames, ports, prefetch, simCycles, simSpeedup string
+		if o.Simulated {
+			objective = o.EffectiveObjective
+			frames = strconv.Itoa(o.EffectiveFrames)
+			ports = strconv.Itoa(o.EffectivePorts)
+			prefetch = strconv.FormatBool(o.EffectivePrefetch)
+			simCycles = strconv.FormatInt(o.SimCycles, 10)
+			simSpeedup = strconv.FormatFloat(o.SimSpeedup, 'f', 3, 64)
 		}
 		rec := []string{
 			strconv.Itoa(o.Index), o.Benchmark, o.Preset,
@@ -89,6 +101,7 @@ func (rs *ResultSet) WriteCSV(w io.Writer) error {
 			strings.Join(moved, "|"),
 			strconv.FormatFloat(o.ReductionPct, 'f', 1, 64),
 			strconv.FormatFloat(o.Speedup, 'f', 3, 64),
+			objective, frames, ports, prefetch, simCycles, simSpeedup,
 			o.Err,
 		}
 		if err := cw.Write(rec); err != nil {
@@ -138,12 +151,25 @@ func (rs *ResultSet) Pareto() []Outcome {
 }
 
 // FormatSummary renders the full grid as an aligned text table followed by
-// the Pareto front of the speedup-vs-area trade-off.
+// the Pareto front of the speedup-vs-area trade-off. Sweeps with simulated
+// cells grow four extra columns: the objective, the frame count, the
+// simulated makespan and the simulated speedup.
 func (rs *ResultSet) FormatSummary() string {
+	simulated := false
+	for _, o := range rs.Outcomes {
+		if o.Simulated {
+			simulated = true
+			break
+		}
+	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-6s %-10s %-12s %-7s %-5s %-12s %-14s %-14s %-8s %-8s %-6s\n",
+	fmt.Fprintf(&sb, "%-6s %-10s %-12s %-7s %-5s %-12s %-14s %-14s %-8s %-8s %-6s",
 		"index", "bench", "preset", "afpga", "cgcs", "constraint",
 		"initial", "final", "red%", "speedup", "met")
+	if simulated {
+		fmt.Fprintf(&sb, " %-9s %-7s %-14s %-8s", "objective", "frames", "simcycles", "simspeed")
+	}
+	sb.WriteString("\n")
 	for _, o := range rs.Outcomes {
 		preset := o.Preset
 		if preset == "" {
@@ -154,9 +180,18 @@ func (rs *ResultSet) FormatSummary() string {
 				o.Index, o.Benchmark, preset, o.AFPGA, o.NumCGCs, o.Err)
 			continue
 		}
-		fmt.Fprintf(&sb, "%-6d %-10s %-12s %-7d %-5d %-12d %-14d %-14d %-8.1f %-8.3f %-6v\n",
+		fmt.Fprintf(&sb, "%-6d %-10s %-12s %-7d %-5d %-12d %-14d %-14d %-8.1f %-8.3f %-6v",
 			o.Index, o.Benchmark, preset, o.AreaUsed(), o.CGCsUsed(), o.EffectiveConstraint,
 			o.InitialCycles, o.FinalCycles, o.ReductionPct, o.Speedup, o.Met)
+		if simulated {
+			if o.Simulated {
+				fmt.Fprintf(&sb, " %-9s %-7d %-14d %-8.3f",
+					o.EffectiveObjective, o.EffectiveFrames, o.SimCycles, o.SimSpeedup)
+			} else {
+				fmt.Fprintf(&sb, " %-9s %-7s %-14s %-8s", "-", "-", "-", "-")
+			}
+		}
+		sb.WriteString("\n")
 	}
 	front := rs.Pareto()
 	if len(front) > 0 {

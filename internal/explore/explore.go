@@ -42,13 +42,25 @@ type Point struct {
 	// Constraint overrides the timing constraint in FPGA cycles
 	// (0 = the benchmark's paper constraint).
 	Constraint int64 `json:"constraint"`
+	// Frames and Ports set the cell's co-simulation operating point
+	// (0 = the engine's configured value, then 1).
+	Frames int `json:"frames,omitempty"`
+	Ports  int `json:"ports,omitempty"`
+	// Prefetch enables configuration prefetch for the cell. It is applied
+	// only when the spec carries a Prefetch axis (a bool cannot distinguish
+	// "unset" from false), otherwise the engine's configuration holds.
+	Prefetch bool `json:"prefetch,omitempty"`
+	// Objective overrides the move-loop objective ("model" or "sim";
+	// "" = the engine's configured objective).
+	Objective string `json:"objective,omitempty"`
 }
 
 // Spec declares a sweep grid. Every slice is one axis of the cross product;
 // an empty axis contributes a single zero-valued entry, which evaluators
 // interpret as "default". The expansion order is fixed — benchmarks
-// outermost, then presets, areas, CGC counts and constraints — so a Spec
-// always yields the same Point sequence.
+// outermost, then presets, areas, CGC counts, constraints, and the
+// co-simulation axes (frames, ports, prefetch, objectives) innermost — so a
+// Spec always yields the same Point sequence.
 type Spec struct {
 	// Benchmarks lists the applications to sweep (required).
 	Benchmarks []string `json:"benchmarks"`
@@ -60,10 +72,67 @@ type Spec struct {
 	CGCs []int `json:"cgcs,omitempty"`
 	// Constraints lists timing constraints in FPGA cycles (optional).
 	Constraints []int64 `json:"constraints,omitempty"`
+	// Frames, Ports, Prefetch and Objectives are the co-simulation axes:
+	// frame counts, transfer-port widths, prefetch on/off and move-loop
+	// objectives ("model", "sim"). Any non-empty sim axis switches the sweep
+	// to simulation scoring — every cell's chosen mapping is additionally
+	// replayed through the co-simulator and reported as simulated makespan
+	// and speedup.
+	Frames     []int    `json:"frames,omitempty"`
+	Ports      []int    `json:"ports,omitempty"`
+	Prefetch   []bool   `json:"prefetch,omitempty"`
+	Objectives []string `json:"objectives,omitempty"`
 	// Seed is the benchmark input-vector seed shared by every point.
 	Seed uint32 `json:"seed"`
 	// Workers bounds the evaluation pool (0 = GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
+}
+
+// Simulates reports whether any co-simulation axis is present, i.e. whether
+// the sweep's cells are scored by the simulator in addition to the closed
+// form.
+func (s Spec) Simulates() bool {
+	return len(s.Frames) > 0 || len(s.Ports) > 0 || len(s.Prefetch) > 0 || len(s.Objectives) > 0
+}
+
+// simObjectiveReplayFactor is the conservative per-cell multiplier charged
+// for cells whose Objective axis selects the simulation-scored move loop:
+// such a cell replays the trace once per trajectory prefix, and the
+// trajectory length (the number of movable kernels) is unknown before
+// profiling, so cost accounting assumes this many prefixes.
+const simObjectiveReplayFactor = 32
+
+// SimulationCost returns the sweep's cost in whole-trace replays: every
+// cell costs its frame count (cells without a Frames axis, simulated or
+// not, count 1), and cells driven by the "sim" objective cost
+// simObjectiveReplayFactor times that, approximating one replay per
+// trajectory prefix. Operators cap on this rather than on raw cell count —
+// a cell replaying 64 frames under the simulated objective costs thousands
+// of closed-form cells' worth of work.
+func (s Spec) SimulationCost() int {
+	frames := s.Frames
+	if len(frames) == 0 {
+		frames = []int{1}
+	}
+	objectives := s.Objectives
+	if len(objectives) == 0 {
+		objectives = []string{""}
+	}
+	base := s.NumPoints() / (len(frames) * len(objectives))
+	cost := 0
+	for _, f := range frames {
+		if f < 1 {
+			f = 1
+		}
+		for _, o := range objectives {
+			per := f
+			if o == "sim" || o == "simulated" {
+				per *= simObjectiveReplayFactor
+			}
+			cost += base * per
+		}
+	}
+	return cost
 }
 
 // Validate reports whether the spec describes a runnable sweep.
@@ -91,6 +160,23 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("explore: timing constraint must be positive, got %d", c)
 		}
 	}
+	for _, f := range s.Frames {
+		if f <= 0 {
+			return fmt.Errorf("explore: sim frame count must be positive, got %d", f)
+		}
+	}
+	for _, p := range s.Ports {
+		if p <= 0 {
+			return fmt.Errorf("explore: sim port count must be positive, got %d", p)
+		}
+	}
+	for _, o := range s.Objectives {
+		switch o {
+		case "model", "sim", "simulated":
+		default:
+			return fmt.Errorf(`explore: unknown objective %q (want "model" or "sim")`, o)
+		}
+	}
 	if s.Workers < 0 {
 		return fmt.Errorf("explore: negative worker count %d", s.Workers)
 	}
@@ -100,7 +186,8 @@ func (s Spec) Validate() error {
 // NumPoints returns the size of the expanded grid.
 func (s Spec) NumPoints() int {
 	n := len(s.Benchmarks)
-	for _, axis := range []int{len(s.Presets), len(s.Areas), len(s.CGCs), len(s.Constraints)} {
+	for _, axis := range []int{len(s.Presets), len(s.Areas), len(s.CGCs), len(s.Constraints),
+		len(s.Frames), len(s.Ports), len(s.Prefetch), len(s.Objectives)} {
 		if axis > 0 {
 			n *= axis
 		}
@@ -126,20 +213,48 @@ func (s Spec) Expand() []Point {
 	if len(constraints) == 0 {
 		constraints = []int64{0}
 	}
+	frames := s.Frames
+	if len(frames) == 0 {
+		frames = []int{0}
+	}
+	ports := s.Ports
+	if len(ports) == 0 {
+		ports = []int{0}
+	}
+	prefetch := s.Prefetch
+	if len(prefetch) == 0 {
+		prefetch = []bool{false}
+	}
+	objectives := s.Objectives
+	if len(objectives) == 0 {
+		objectives = []string{""}
+	}
 	points := make([]Point, 0, s.NumPoints())
 	for _, bench := range s.Benchmarks {
 		for _, preset := range presets {
 			for _, area := range areas {
 				for _, ncgc := range cgcs {
 					for _, c := range constraints {
-						points = append(points, Point{
-							Index:      len(points),
-							Benchmark:  bench,
-							Preset:     preset,
-							AFPGA:      area,
-							NumCGCs:    ncgc,
-							Constraint: c,
-						})
+						for _, fr := range frames {
+							for _, po := range ports {
+								for _, pf := range prefetch {
+									for _, obj := range objectives {
+										points = append(points, Point{
+											Index:      len(points),
+											Benchmark:  bench,
+											Preset:     preset,
+											AFPGA:      area,
+											NumCGCs:    ncgc,
+											Constraint: c,
+											Frames:     fr,
+											Ports:      po,
+											Prefetch:   pf,
+											Objective:  obj,
+										})
+									}
+								}
+							}
+						}
 					}
 				}
 			}
@@ -182,6 +297,20 @@ type Outcome struct {
 	// Speedup is InitialCycles/FinalCycles.
 	ReductionPct float64 `json:"reduction_pct"`
 	Speedup      float64 `json:"speedup"`
+	// Simulated marks a cell scored by the co-simulator (any sim axis in the
+	// spec, or a simulating engine configuration). SimCycles is the chosen
+	// mapping's simulated makespan, SimBaselineCycles the simulated all-FPGA
+	// makespan, and SimSpeedup their ratio — the executed counterpart of
+	// Speedup. EffectiveFrames, EffectivePorts and EffectiveObjective are
+	// the resolved co-simulation operating point.
+	Simulated          bool    `json:"simulated,omitempty"`
+	SimCycles          int64   `json:"sim_cycles,omitempty"`
+	SimBaselineCycles  int64   `json:"sim_baseline_cycles,omitempty"`
+	SimSpeedup         float64 `json:"sim_speedup,omitempty"`
+	EffectiveFrames    int     `json:"effective_frames,omitempty"`
+	EffectivePorts     int     `json:"effective_ports,omitempty"`
+	EffectivePrefetch  bool    `json:"effective_prefetch,omitempty"`
+	EffectiveObjective string  `json:"effective_objective,omitempty"`
 	// Err carries the evaluation error, if any.
 	Err string `json:"err,omitempty"`
 }

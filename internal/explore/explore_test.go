@@ -215,9 +215,9 @@ func goldenResultSet(t *testing.T) *ResultSet {
 	return rs
 }
 
-const goldenCSV = `index,benchmark,preset,afpga,cgcs,constraint,initial_cycles,initial_partitions,cycles_in_cgc,final_cycles,t_fpga,t_coarse,t_comm,met,moved,reduction_pct,speedup,err
-0,ofdm,,1500,2,60000,150000,4,320,15000,13500,320,1180,true,26|29,90.0,10.000,
-1,ofdm,,5000,2,60000,500000,4,320,50000,45000,320,4680,true,26|29,90.0,10.000,
+const goldenCSV = `index,benchmark,preset,afpga,cgcs,constraint,initial_cycles,initial_partitions,cycles_in_cgc,final_cycles,t_fpga,t_coarse,t_comm,met,moved,reduction_pct,speedup,objective,frames,ports,prefetch,sim_cycles,sim_speedup,err
+0,ofdm,,1500,2,60000,150000,4,320,15000,13500,320,1180,true,26|29,90.0,10.000,,,,,,,
+1,ofdm,,5000,2,60000,500000,4,320,50000,45000,320,4680,true,26|29,90.0,10.000,,,,,,,
 `
 
 func TestWriteCSVGolden(t *testing.T) {

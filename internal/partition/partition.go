@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"hybridpart/internal/analysis"
@@ -50,6 +51,23 @@ type Config struct {
 	// kernel move with the move just recorded. It runs on the engine's own
 	// goroutine, so callbacks observe moves in trajectory order.
 	OnMove func(Move)
+
+	// Objective selects the move-loop objective. Under ObjectiveSimulated
+	// the loop walks the full trajectory (ignoring the constraint-met early
+	// exit), scores every prefix with SimCost and keeps the mapping with the
+	// minimal simulated makespan.
+	Objective Objective
+	// RerankK keeps the closed-form loop but re-scores the k trajectory
+	// prefixes with the best model t_total by simulation, returning the one
+	// with the minimal simulated makespan (0 = off, -1 = all prefixes, which
+	// is equivalent to ObjectiveSimulated). Mutually exclusive with
+	// ObjectiveSimulated.
+	RerankK int
+	// SimCost scores a candidate moved-set by its simulated makespan in FPGA
+	// cycles. Required when Objective is ObjectiveSimulated or RerankK is
+	// non-zero; the engine facade injects the co-simulator here (this package
+	// cannot import internal/sim, which imports it back for ComputeLiveIO).
+	SimCost func(ctx context.Context, moved []ir.BlockID) (int64, error)
 }
 
 // Move records one accepted kernel move and the resulting system state.
@@ -99,6 +117,15 @@ type Result struct {
 
 	// Skipped lists kernels rejected by SkipNonImproving.
 	Skipped []ir.BlockID
+
+	// Objective echoes the configured move-loop objective.
+	Objective Objective
+	// SimulatedCycles is the simulated makespan (FPGA cycles) of the chosen
+	// mapping when the objective or rerank consulted the simulator; 0 when
+	// the run was purely closed-form.
+	SimulatedCycles int64
+	// SimScored counts the candidate mappings scored by SimCost.
+	SimScored int
 }
 
 // ReductionPct returns the % cycles reduction over the all-FPGA solution
@@ -134,6 +161,19 @@ func Partition(ctx context.Context, prog *ir.Program, f *ir.Function, rep *analy
 	if rep == nil || len(rep.Blocks) != len(f.Blocks) {
 		return nil, fmt.Errorf("partition: analysis report does not match function")
 	}
+	if cfg.RerankK < -1 {
+		return nil, fmt.Errorf("partition: rerank k must be -1 (all), 0 (off) or positive, got %d", cfg.RerankK)
+	}
+	if cfg.RerankK != 0 && cfg.Objective == ObjectiveSimulated {
+		return nil, fmt.Errorf("partition: rerank and the simulated objective are mutually exclusive (rerank already ends with a simulated selection)")
+	}
+	// simSelect runs move selection on simulated makespans: the loop walks
+	// the whole trajectory and a simulation-scored argmin pass picks the
+	// winning prefix afterwards.
+	simSelect := cfg.Objective == ObjectiveSimulated || cfg.RerankK != 0
+	if simSelect && cfg.SimCost == nil {
+		return nil, fmt.Errorf("partition: objective %v (rerank %d) needs a SimCost evaluator", cfg.Objective, cfg.RerankK)
+	}
 
 	plat := cfg.Platform
 	freq := make([]uint64, len(f.Blocks))
@@ -146,14 +186,16 @@ func Partition(ctx context.Context, prog *ir.Program, f *ir.Function, rep *analy
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
 	}
-	res := &Result{Func: f.Name, Constraint: cfg.Constraint}
+	res := &Result{Func: f.Name, Constraint: cfg.Constraint, Objective: cfg.Objective}
 	res.InitialCycles = pm.TotalCycles(freq, cfg.Edges, plat.Fine.ReconfigCycles)
 	res.InitialPartitions = pm.NumPartitions
 	res.FinalCycles = res.InitialCycles
 	res.TFPGA = res.InitialCycles
-	if res.InitialCycles <= cfg.Constraint {
+	if res.InitialCycles <= cfg.Constraint && !simSelect {
 		// Timing met by the all-FPGA solution: the methodology exits before
-		// the analysis/partitioning steps.
+		// the analysis/partitioning steps. Simulation-scored selection keeps
+		// walking — moving kernels can still lower the simulated makespan
+		// even when the closed form is already under the constraint.
 		res.Met = true
 		return res, nil
 	}
@@ -179,7 +221,11 @@ func Partition(ctx context.Context, prog *ir.Program, f *ir.Function, rep *analy
 		return tFPGA, tCoarse, tComm, tFPGA + tCoarse + tComm, nil
 	}
 
-	// Step 4: move kernels one by one until the constraint is met.
+	// Step 4: move kernels one by one until the constraint is met (under
+	// simulation-scored selection: until the candidates run out, recording
+	// the eq. 2 components of every prefix for the argmin pass).
+	type prefix struct{ tFPGA, tCoarse, tComm, total int64 }
+	prefixes := []prefix{{tFPGA: res.InitialCycles, total: res.InitialCycles}}
 	for _, k := range kernels {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -227,19 +273,69 @@ func Partition(ctx context.Context, prog *ir.Program, f *ir.Function, rep *analy
 		res.TFPGA, res.TCoarse, res.TComm = tFPGA, tCoarse, tComm
 		res.FinalCycles = total
 		res.CyclesInCGC = tCoarse
+		prefixes = append(prefixes, prefix{tFPGA: tFPGA, tCoarse: tCoarse, tComm: tComm, total: total})
 		mv := Move{Block: k, CGCCycles: sched.Latency, TotalAfter: total}
 		res.Moves = append(res.Moves, mv)
 		if cfg.OnMove != nil {
 			cfg.OnMove(mv)
 		}
-		if total <= cfg.Constraint {
+		if total <= cfg.Constraint && !simSelect {
 			res.Met = true
 			return res, nil
 		}
 	}
+	if !simSelect {
+		// Candidates exhausted without satisfying the constraint: report the
+		// best-effort partitioning (Met stays false).
+		return res, nil
+	}
 
-	// Candidates exhausted without satisfying the constraint: report the
-	// best-effort partitioning (Met stays false).
+	// Simulation-scored selection: score the candidate prefixes in prefix
+	// order and keep the first one with the minimal simulated makespan.
+	// ObjectiveSimulated scores every prefix; rerank scores the RerankK
+	// prefixes with the best model t_total (so rerank with k = -1 or
+	// k >= len(prefixes) degenerates to the full simulated objective —
+	// identical candidate set, identical traversal order and tie-break).
+	candidate := make([]bool, len(prefixes))
+	if cfg.Objective == ObjectiveSimulated || cfg.RerankK < 0 || cfg.RerankK >= len(prefixes) {
+		for i := range candidate {
+			candidate[i] = true
+		}
+	} else {
+		order := make([]int, len(prefixes))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return prefixes[order[a]].total < prefixes[order[b]].total })
+		for _, i := range order[:cfg.RerankK] {
+			candidate[i] = true
+		}
+	}
+	bestIdx, bestSim := -1, int64(0)
+	for i := range prefixes {
+		if !candidate[i] {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sim, err := cfg.SimCost(ctx, res.Moved[:i])
+		if err != nil {
+			return nil, err
+		}
+		res.SimScored++
+		if bestIdx < 0 || sim < bestSim {
+			bestIdx, bestSim = i, sim
+		}
+	}
+	best := prefixes[bestIdx]
+	res.Moved = res.Moved[:bestIdx]
+	res.Moves = res.Moves[:bestIdx]
+	res.TFPGA, res.TCoarse, res.TComm = best.tFPGA, best.tCoarse, best.tComm
+	res.FinalCycles = best.total
+	res.CyclesInCGC = best.tCoarse
+	res.Met = best.total <= cfg.Constraint
+	res.SimulatedCycles = bestSim
 	return res, nil
 }
 

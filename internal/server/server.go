@@ -50,6 +50,12 @@ const StatusClientClosedRequest = 499
 // maxSweepPoints bounds the expanded grid of one /v1/sweep request.
 const maxSweepPoints = 100000
 
+// maxSweepCost bounds one /v1/sweep request's simulation cost in whole-trace
+// replays (Spec.SimulationCost: cells × frames). Counting cells alone would
+// let a modest grid with a frames axis multiply the work arbitrarily — each
+// frame replays the entire profiled trace.
+const maxSweepCost = maxSweepPoints
+
 // Config parameterizes a Server.
 type Config struct {
 	// CacheCapacity bounds the result cache in entries (default 256).
@@ -448,17 +454,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, httpErr)
 		return
 	}
-	req.normalize()
 	opts, httpErr := req.resolveOptions()
 	if httpErr != nil {
 		s.writeError(w, httpErr)
 		return
 	}
-	simOpts := []hybridpart.SimOption{
-		hybridpart.SimFrames(req.Frames),
-		hybridpart.SimPorts(req.Ports),
-		hybridpart.SimPrefetch(req.Prefetch),
-	}
+	normalizeSimOptions(&opts)
+	// The sim knobs were folded into opts by resolveOptions (the one
+	// fingerprinted location), so the engine's configuration already is the
+	// requested operating point — no per-call SimOptions needed.
 	s.serveCached(w, r, "/v1/simulate", req.fingerprint(opts), func(ctx context.Context) ([]byte, error) {
 		eng, err := hybridpart.NewEngine(hybridpart.WithOptions(opts))
 		if err != nil {
@@ -470,7 +474,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
-			rep, err = eng.SimulateProfiled(ctx, app, prof, simOpts...)
+			rep, err = eng.SimulateProfiled(ctx, app, prof)
 			if err != nil {
 				return nil, err
 			}
@@ -479,7 +483,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
-			if rep, err = eng.Simulate(ctx, wl, simOpts...); err != nil {
+			if rep, err = eng.Simulate(ctx, wl); err != nil {
 				return nil, err
 			}
 		}
@@ -512,6 +516,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// demand gigabytes of outcome storage.
 	if n := spec.NumPoints(); n > maxSweepPoints {
 		s.writeError(w, badRequest(fmt.Sprintf("sweep grid has %d cells, limit is %d", n, maxSweepPoints)))
+		return
+	}
+	// Per-cell frame counts are capped like /v1/simulate's — each frame
+	// replays the whole profiled trace.
+	for _, f := range spec.Frames {
+		if f > maxSimFrames {
+			s.writeError(w, badRequest(fmt.Sprintf("frames axis value %d exceeds the per-cell limit %d", f, maxSimFrames)))
+			return
+		}
+	}
+	// Sim-aware accounting: cells × frames (× a trajectory factor for
+	// sim-objective cells), not cells — the sim axes are work multipliers,
+	// so a grid that fits the cell cap can still be unprocessable.
+	if c := spec.SimulationCost(); c > maxSweepCost {
+		s.writeError(w, &httpError{status: http.StatusUnprocessableEntity,
+			msg: fmt.Sprintf("sweep costs %d trace replays (cells x frames, sim-objective cells weighted), limit is %d", c, maxSweepCost)})
 		return
 	}
 	for _, b := range spec.Benchmarks {
@@ -554,8 +574,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		engineOpts = append(engineOpts, hybridpart.WithObserver(func(ev hybridpart.Event) {
 			// Observer delivery is serialized by the engine, so writes to
-			// the response cannot interleave.
-			if _, ok := ev.(hybridpart.CellEvent); !ok {
+			// the response cannot interleave. Cells stream as "cell" frames;
+			// simulated cells additionally stream their per-frame progress
+			// as "sim" frames (tagged with the cell index), each run
+			// arriving in expansion order right before its cell.
+			switch ev.(type) {
+			case hybridpart.CellEvent, hybridpart.SimEvent:
+			default:
 				return
 			}
 			if err := hybridpart.WriteSSE(w, ev); err != nil {

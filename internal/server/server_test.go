@@ -691,3 +691,245 @@ func BenchmarkPartitionCacheMiss(b *testing.B) {
 		}
 	}
 }
+
+// TestSweepSimAxesGolden is the /v1/sweep regression golden for the
+// co-simulation axes: a fixed small grid returns byte-identical bodies
+// across repeated runs and across worker counts, with every cell carrying
+// its simulated makespan and speedup.
+func TestSweepSimAxesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark compilation in -short mode")
+	}
+	s := newTestServer(t, Config{})
+	body := func(workers int) string {
+		return fmt.Sprintf(`{"benchmarks":["ofdm"],"frames":[1,4],"objectives":["model","sim"],"seed":1,"workers":%d}`, workers)
+	}
+	var golden []byte
+	for i, workers := range []int{1, 4, 1} {
+		rec := post(t, s, "/v1/sweep", body(workers))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+		var rs hybridpart.SweepResult
+		if err := json.Unmarshal(rec.Body.Bytes(), &rs); err != nil {
+			t.Fatal(err)
+		}
+		// The echoed spec repeats the requested worker count; the data must
+		// not depend on it.
+		rs.Spec.Workers = 0
+		norm, err := json.Marshal(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			golden = norm
+			if len(rs.Outcomes) != 4 {
+				t.Fatalf("grid has %d cells, want 4", len(rs.Outcomes))
+			}
+			for _, o := range rs.Outcomes {
+				if !o.Simulated || o.SimCycles == 0 || o.SimSpeedup == 0 {
+					t.Fatalf("cell %d lacks simulation results: %+v", o.Index, o)
+				}
+			}
+			// The simulated objective must beat the model objective at 4
+			// frames (cells 2 and 3 of the fixed expansion order).
+			if rs.Outcomes[3].SimCycles >= rs.Outcomes[2].SimCycles {
+				t.Fatalf("sim objective (%d) not below model objective (%d) at 4 frames",
+					rs.Outcomes[3].SimCycles, rs.Outcomes[2].SimCycles)
+			}
+			continue
+		}
+		if string(norm) != string(golden) {
+			t.Fatalf("workers=%d: sweep body diverged:\n%s\nvs\n%s", workers, norm, golden)
+		}
+	}
+}
+
+// TestSweepSimCostCap: the grid cap accounts cells x frames (weighted for
+// sim-objective cells), not cells — a small grid with a big frames axis is
+// unprocessable (422) and the message names the computed cost.
+func TestSweepSimCostCap(t *testing.T) {
+	s := newTestServer(t, Config{})
+	// 200 cells x 1024 frames = 204800 replays > the 100000 cap.
+	rec := post(t, s, "/v1/sweep",
+		`{"benchmarks":["ofdm"],"areas":[`+intList(200)+`],"frames":[1024],"seed":1}`)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422 (body %s)", rec.Code, rec.Body)
+	}
+	var e ErrorJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, "204800") || !strings.Contains(e.Error, "limit") {
+		t.Fatalf("422 message does not carry the computed cost: %q", e.Error)
+	}
+	// Sim-objective cells are weighted by the trajectory factor: 4 cells x
+	// 1024 frames x 32 = 131072 replays, over the cap even though the same
+	// grid under the model objective (4096 replays) is fine.
+	rec = post(t, s, "/v1/sweep",
+		`{"benchmarks":["ofdm"],"areas":[1500,2000,3000,5000],"frames":[1024],"objectives":["sim"],"seed":1}`)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("sim-objective weighting: status %d, want 422 (body %s)", rec.Code, rec.Body)
+	}
+	// A single frames axis value beyond the per-cell limit is malformed.
+	rec = post(t, s, "/v1/sweep", `{"benchmarks":["ofdm"],"frames":[200000],"seed":1}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("per-cell frames cap: status %d, want 400 (body %s)", rec.Code, rec.Body)
+	}
+	// The plain cell cap stays a 400 and is checked first.
+	rec = post(t, s, "/v1/sweep",
+		`{"benchmarks":["ofdm"],"areas":[`+intList(400)+`],"cgcs":[`+intList(300)+`],"seed":1}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("cell-cap status %d, want 400 (body %s)", rec.Code, rec.Body)
+	}
+	// An unknown objective axis entry is a malformed request (spec
+	// validation, shared with the library path).
+	rec = post(t, s, "/v1/sweep", `{"benchmarks":["ofdm"],"objectives":["fastest"],"seed":1}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad objective status %d, want 400 (body %s)", rec.Code, rec.Body)
+	}
+}
+
+// TestSweepSimSSE: a streamed sim-axis sweep carries per-cell "sim" frames
+// tagged with their cell index, each run arriving right before its cell.
+func TestSweepSimSSE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark compilation in -short mode")
+	}
+	s := newTestServer(t, Config{})
+	rec := postCtx(t, s, "/v1/sweep", `{"benchmarks":["ofdm"],"frames":[2],"seed":1,"workers":2}`,
+		context.Background(), map[string]string{"Accept": "text/event-stream"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	body := rec.Body.String()
+	if got := strings.Count(body, "event: sim\n"); got != 2 {
+		t.Fatalf("want 2 sim frames (2 frames x 1 cell), got %d:\n%s", got, body)
+	}
+	if !strings.Contains(body, `"cell":0`) {
+		t.Fatalf("sim frames not tagged with their cell:\n%s", body)
+	}
+	if simIdx, cellIdx := strings.Index(body, "event: sim\n"), strings.Index(body, "event: cell\n"); simIdx > cellIdx {
+		t.Fatalf("sim frames must precede their cell frame:\n%s", body)
+	}
+}
+
+// TestSimKnobCacheCollision is the satellite collision test: with the sim
+// knobs unified into the fingerprinted Options, requests that differ only
+// in one knob must occupy distinct cache entries on every endpoint.
+func TestSimKnobCacheCollision(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark compilation in -short mode")
+	}
+	s := newTestServer(t, Config{})
+	bodies := []string{
+		`{"benchmark":"ofdm","constraint":60000,"frames":4}`,
+		`{"benchmark":"ofdm","constraint":60000,"frames":4,"prefetch":true}`,
+		`{"benchmark":"ofdm","constraint":60000,"frames":4,"ports":2}`,
+		`{"benchmark":"ofdm","constraint":60000,"frames":4,"objective":"sim"}`,
+		`{"benchmark":"ofdm","constraint":60000,"frames":4,"rerank":3}`,
+	}
+	for _, path := range []string{"/v1/simulate", "/v1/partition"} {
+		seen := map[string]string{}
+		for _, body := range bodies {
+			rec := post(t, s, path, body)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("%s %s: status %d: %s", path, body, rec.Code, rec.Body)
+			}
+			if got := rec.Header().Get("X-Cache"); got != "miss" {
+				t.Fatalf("%s %s: X-Cache %q — collided with a differently-knobbed entry", path, body, got)
+			}
+			// The simulate wire echoes every knob, so distinct knob sets must
+			// also produce distinct bodies there. (Partition results may
+			// legitimately coincide — e.g. prefetch that hides zero cycles.)
+			if path == "/v1/simulate" {
+				if prev, dup := seen[rec.Body.String()]; dup {
+					t.Fatalf("%s: %s and %s returned identical bodies", path, body, prev)
+				}
+				seen[rec.Body.String()] = body
+			}
+			// The repeat must hit its own entry.
+			if rec := post(t, s, path, body); rec.Header().Get("X-Cache") != "hit" {
+				t.Fatalf("%s %s: repeat missed its own entry", path, body)
+			}
+		}
+	}
+}
+
+// TestPartitionObjectiveWire: /v1/partition surfaces the objective and the
+// simulated makespan through the wire type, and the simulated objective's
+// choice beats the model's on simulated makespan at 8 frames.
+func TestPartitionObjectiveWire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark compilation in -short mode")
+	}
+	s := newTestServer(t, Config{})
+	decode := func(body string) ResultJSON {
+		rec := post(t, s, "/v1/partition", body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+		var res ResultJSON
+		if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := decode(`{"benchmark":"ofdm","constraint":60000}`)
+	if plain.Objective != "model" || plain.SimulatedCycles != 0 {
+		t.Fatalf("plain partition: objective %q, simulated_cycles %d", plain.Objective, plain.SimulatedCycles)
+	}
+	model := decode(`{"benchmark":"ofdm","constraint":60000,"frames":8}`)
+	if model.Objective != "model" || model.SimulatedCycles == 0 || model.SimulatedSpeedup == 0 {
+		t.Fatalf("frames=8 model partition lacks simulated fields: %+v", model)
+	}
+	sim := decode(`{"benchmark":"ofdm","constraint":60000,"frames":8,"objective":"sim"}`)
+	if sim.Objective != "sim" {
+		t.Fatalf("objective not echoed: %+v", sim)
+	}
+	if sim.SimulatedCycles >= model.SimulatedCycles {
+		t.Fatalf("simulated objective (%d) not below model objective (%d)", sim.SimulatedCycles, model.SimulatedCycles)
+	}
+	// Sim knobs on the energy endpoint are a shape error.
+	if rec := post(t, s, "/v1/partition-energy",
+		`{"benchmark":"ofdm","energy_budget":5,"frames":2}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("energy with sim knobs: status %d, want 400", rec.Code)
+	}
+}
+
+// TestSimulateOptionsOverrideFrames: a full Options override carrying
+// SimFrames must be honored by /v1/simulate — the zero-knob normalization
+// runs on the resolved Options, so it must never clobber an explicit
+// override with the default of 1.
+func TestSimulateOptionsOverrideFrames(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark compilation in -short mode")
+	}
+	s := newTestServer(t, Config{})
+	opts := hybridpart.DefaultOptions()
+	opts.SimFrames = 8
+	optsJSON, err := json.Marshal(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := post(t, s, "/v1/simulate",
+		fmt.Sprintf(`{"benchmark":"ofdm","seed":1,"options":%s}`, optsJSON))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var wire SimReportJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Frames != 8 {
+		t.Fatalf("Options.SimFrames=8 simulated %d frame(s)", wire.Frames)
+	}
+	// The resolved-knob frames cap catches overrides too.
+	opts.SimFrames = 1_000_000
+	optsJSON, _ = json.Marshal(opts)
+	rec = post(t, s, "/v1/simulate",
+		fmt.Sprintf(`{"benchmark":"ofdm","seed":1,"options":%s}`, optsJSON))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversized Options.SimFrames: status %d, want 400", rec.Code)
+	}
+}

@@ -15,7 +15,10 @@ import (
 // -json CLI output both encode through them, so machine consumers see a
 // single schema regardless of transport.
 
-// ResultJSON is the wire form of hybridpart.Result.
+// ResultJSON is the wire form of hybridpart.Result. The simulated_* fields
+// are present whenever the run consulted the co-simulator (a sim knob, the
+// simulated objective or re-ranking); met always refers to the analytical
+// t_total against the constraint.
 type ResultJSON struct {
 	InitialCycles     int64   `json:"initial_cycles"`
 	InitialPartitions int     `json:"initial_partitions"`
@@ -27,9 +30,14 @@ type ResultJSON struct {
 	Constraint        int64   `json:"constraint"`
 	Met               bool    `json:"met"`
 	ReductionPct      float64 `json:"reduction_pct"`
+	Objective         string  `json:"objective"`
 	Moved             []int   `json:"moved,omitempty"`
 	Unmappable        []int   `json:"unmappable,omitempty"`
 	Skipped           []int   `json:"skipped,omitempty"`
+
+	SimulatedCycles         int64   `json:"simulated_cycles,omitempty"`
+	SimulatedBaselineCycles int64   `json:"simulated_baseline_cycles,omitempty"`
+	SimulatedSpeedup        float64 `json:"simulated_speedup,omitempty"`
 }
 
 // NewResultJSON converts a library Result to its wire form.
@@ -45,9 +53,14 @@ func NewResultJSON(r *hybridpart.Result) ResultJSON {
 		Constraint:        r.Constraint,
 		Met:               r.Met,
 		ReductionPct:      r.ReductionPct(),
+		Objective:         r.Objective.String(),
 		Moved:             r.Moved,
 		Unmappable:        r.Unmappable,
 		Skipped:           r.Skipped,
+
+		SimulatedCycles:         r.SimulatedCycles,
+		SimulatedBaselineCycles: r.SimulatedBaselineCycles,
+		SimulatedSpeedup:        r.SimulatedSpeedup,
 	}
 }
 
@@ -140,6 +153,19 @@ type PartitionRequest struct {
 	Options    *hybridpart.Options `json:"options,omitempty"`
 	Constraint int64               `json:"constraint,omitempty"`
 
+	// Objective selects the move-loop objective ("model" or "sim") and
+	// Rerank re-scores the top-k trajectory prefixes by simulation (-1 =
+	// all). Frames, Ports and Prefetch set the co-simulation operating
+	// point; on /v1/partition any of them makes the response carry the
+	// simulated_* fields. All five fold into the resolved Options — the one
+	// fingerprinted location — so requests differing in any sim knob can
+	// never share a cache entry.
+	Objective string `json:"objective,omitempty"`
+	Rerank    int    `json:"rerank,omitempty"`
+	Frames    int    `json:"frames,omitempty"`
+	Ports     int    `json:"ports,omitempty"`
+	Prefetch  bool   `json:"prefetch,omitempty"`
+
 	// EnergyBudget is the energy bound for /v1/partition-energy.
 	EnergyBudget float64 `json:"energy_budget,omitempty"`
 }
@@ -162,13 +188,29 @@ func (r *PartitionRequest) validate(energy bool) *httpError {
 		return badRequest("\"energy_budget\" must be positive for /v1/partition-energy")
 	case !energy && r.EnergyBudget != 0:
 		return badRequest("\"energy_budget\" applies only to /v1/partition-energy")
+	case energy && (r.Objective != "" || r.Rerank != 0 || r.Frames != 0 || r.Ports != 0 || r.Prefetch):
+		return badRequest("the co-simulation knobs apply only to timing-constrained partitioning")
+	case r.Rerank < -1:
+		return badRequest(fmt.Sprintf("\"rerank\" must be -1 (all), 0 (off) or positive, got %d", r.Rerank))
+	case r.Frames < 0:
+		return badRequest(fmt.Sprintf("\"frames\" must be non-negative, got %d", r.Frames))
+	case r.Frames > maxSimFrames:
+		return badRequest(fmt.Sprintf("\"frames\" is %d, limit is %d", r.Frames, maxSimFrames))
+	case r.Ports < 0:
+		return badRequest(fmt.Sprintf("\"ports\" must be non-negative, got %d", r.Ports))
+	}
+	if _, err := hybridpart.ParseObjective(r.Objective); err != nil {
+		return badRequest(err.Error())
 	}
 	return nil
 }
 
 // resolveOptions materializes the request's knob set: a full Options
 // override is used verbatim, otherwise the preset (or the paper default)
-// supplies the base; a positive Constraint then overrides either.
+// supplies the base; a positive Constraint and the co-simulation shortcuts
+// then override either. The sim knobs land in Options — the location
+// Fingerprint covers — which is what keeps every knob combination a
+// distinct cache key.
 func (r *PartitionRequest) resolveOptions() (hybridpart.Options, *httpError) {
 	if r.Options != nil && r.Preset != "" {
 		return hybridpart.Options{}, badRequest("\"preset\" and \"options\" are mutually exclusive")
@@ -184,6 +226,31 @@ func (r *PartitionRequest) resolveOptions() (hybridpart.Options, *httpError) {
 	}
 	if r.Constraint > 0 {
 		opts.Constraint = r.Constraint
+	}
+	if r.Objective != "" {
+		obj, err := hybridpart.ParseObjective(r.Objective)
+		if err != nil {
+			return hybridpart.Options{}, badRequest(err.Error())
+		}
+		opts.Objective = obj
+	}
+	if r.Rerank != 0 {
+		opts.RerankK = r.Rerank
+	}
+	if r.Frames > 0 {
+		opts.SimFrames = r.Frames
+	}
+	if r.Ports > 0 {
+		opts.SimPorts = r.Ports
+	}
+	if r.Prefetch {
+		opts.SimPrefetch = true
+	}
+	// The frames cap must hold for the resolved knobs, not just the
+	// top-level shortcut — a full Options override is the other way to set
+	// a client-controlled work multiplier.
+	if opts.SimFrames > maxSimFrames {
+		return hybridpart.Options{}, badRequest(fmt.Sprintf("\"frames\" is %d, limit is %d", opts.SimFrames, maxSimFrames))
 	}
 	return opts, nil
 }
@@ -227,17 +294,12 @@ func (r *PartitionRequest) fingerprint(kind string, opts hybridpart.Options) str
 }
 
 // SimulateRequest is the body of POST /v1/simulate: a PartitionRequest
-// workload+platform (energy_budget excluded) plus the co-simulation knobs.
-// Zero frames/ports select the analytical model's operating point (one
-// frame, one port).
+// workload+platform (energy_budget excluded), whose frames/ports/prefetch/
+// objective/rerank knobs select the simulated operating point. Zero
+// frames/ports select the analytical model's operating point (one frame,
+// one port).
 type SimulateRequest struct {
 	PartitionRequest
-	// Frames replays the profiled trace this many times (pipelined).
-	Frames int `json:"frames,omitempty"`
-	// Ports widens the fabric-to-fabric transfer channel.
-	Ports int `json:"ports,omitempty"`
-	// Prefetch overlaps configuration loads with data-path execution.
-	Prefetch bool `json:"prefetch,omitempty"`
 }
 
 // maxSimFrames bounds one request's trace replays. Each frame re-walks the
@@ -246,44 +308,36 @@ type SimulateRequest struct {
 // grid size.
 const maxSimFrames = 1024
 
-// validate checks the simulate request's shape on top of the base
-// partition-shape rules.
+// validate checks the simulate request's shape (the base partition-shape
+// rules already cover the sim knobs).
 func (r *SimulateRequest) validate() *httpError {
-	if e := r.PartitionRequest.validate(false); e != nil {
-		return e
-	}
-	if r.Frames < 0 {
-		return badRequest(fmt.Sprintf("\"frames\" must be non-negative, got %d", r.Frames))
-	}
-	if r.Frames > maxSimFrames {
-		return badRequest(fmt.Sprintf("\"frames\" is %d, limit is %d", r.Frames, maxSimFrames))
-	}
-	if r.Ports < 0 {
-		return badRequest(fmt.Sprintf("\"ports\" must be non-negative, got %d", r.Ports))
-	}
-	return nil
+	return r.PartitionRequest.validate(false)
 }
 
-// normalize folds the documented-equivalent zero knobs onto their defaults
-// (0 frames/ports = 1, the model's operating point) so equivalent requests
-// fingerprint — and therefore cache and coalesce — identically.
-func (r *SimulateRequest) normalize() {
-	if r.Frames == 0 {
-		r.Frames = 1
+// normalizeSimOptions folds the documented-equivalent zero sim knobs of a
+// resolved knob set onto their defaults (0 frames/ports = 1, the model's
+// operating point) so equivalent requests fingerprint, cache and coalesce
+// identically. It runs on the resolved Options — after a top-level
+// "frames"/"ports" shortcut or a full Options override has been applied —
+// so an explicit override like {"options":{"SimFrames":8}} is never
+// clobbered by the default. /v1/partition must not share this: there a zero
+// frame count means "no simulation at all", which is a different response
+// shape than frames=1.
+func normalizeSimOptions(opts *hybridpart.Options) {
+	if opts.SimFrames == 0 {
+		opts.SimFrames = 1
 	}
-	if r.Ports == 0 {
-		r.Ports = 1
+	if opts.SimPorts == 0 {
+		opts.SimPorts = 1
 	}
 }
 
-// fingerprint extends the base request fingerprint with the simulation
-// knobs, under its own kind so simulate results never collide with
-// partition results for the same workload.
+// fingerprint is the simulate request's cache key: the base fingerprint
+// under its own kind, so simulate results never collide with partition
+// results for the same workload. The sim knobs need no separate hashing —
+// resolveOptions folded them into opts, whose Fingerprint the base covers.
 func (r *SimulateRequest) fingerprint(opts hybridpart.Options) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "base=%s\nframes=%d\nports=%d\nprefetch=%v\n",
-		r.PartitionRequest.fingerprint("simulate", opts), r.Frames, r.Ports, r.Prefetch)
-	return hex.EncodeToString(h.Sum(nil))
+	return r.PartitionRequest.fingerprint("simulate", opts)
 }
 
 // FabricUtilJSON is the wire form of hybridpart.FabricUtil.
@@ -324,6 +378,7 @@ type SimReportJSON struct {
 	Frames               int               `json:"frames"`
 	Ports                int               `json:"ports"`
 	Prefetch             bool              `json:"prefetch"`
+	Objective            string            `json:"objective"`
 	Runs                 int               `json:"runs"`
 	TotalCycles          int64             `json:"total_cycles"`
 	BaselineCycles       int64             `json:"baseline_cycles"`
@@ -352,6 +407,7 @@ func NewSimReportJSON(r *hybridpart.SimReport) SimReportJSON {
 		Frames:               r.Frames,
 		Ports:                r.Ports,
 		Prefetch:             r.Prefetch,
+		Objective:            r.Objective.String(),
 		Runs:                 r.Runs,
 		TotalCycles:          r.TotalCycles,
 		BaselineCycles:       r.BaselineCycles,

@@ -108,15 +108,96 @@ func max64(a, b int64) int64 {
 	return b
 }
 
-// Simulate replays the profiled trace of in against the given mapping under
-// cfg. It is deterministic: equal inputs produce equal reports. The context
-// is checked between frames and periodically inside each frame's replay.
-func Simulate(ctx context.Context, in Input, cfg Config) (*Report, error) {
-	if ctx == nil {
-		ctx = context.Background()
+// Replayer is the reusable half of the simulator: the canonical trace, the
+// live-in/out footprints and the per-kernel data-path schedules, all of
+// which depend only on the application and its profile — not on the mapping.
+// Building one Replayer and calling Simulate per candidate moved-set is what
+// makes simulated makespan affordable as a move-loop objective: each
+// candidate pays only the packing and the replay, never a trace
+// reconstruction or a list-scheduling pass. A Replayer is not safe for
+// concurrent use (the schedule memo is unlocked); clone one per goroutine.
+type Replayer struct {
+	in     Input
+	trace  []ir.BlockID
+	runs   int
+	liveIO []partition.LiveIO
+	arrLen coarsegrain.ArrLenFunc
+
+	// schedule memo: per-block data-path latency in T_CGC cycles, or the
+	// mapping error. Filled lazily — most blocks are never candidates.
+	schedDone []bool
+	schedLat  []int64
+	schedErr  []error
+}
+
+// NewReplayer validates the platform, reconstructs the canonical trace and
+// computes the mapping-independent tables. in.Moved is ignored — the mapping
+// is chosen per Simulate call.
+func NewReplayer(in Input) (*Replayer, error) {
+	if err := in.Plat.Validate(); err != nil {
+		return nil, err
 	}
+	trace, runs, err := BuildTrace(in.F, in.Freq, in.Edges)
+	if err != nil {
+		return nil, err
+	}
+	n := len(in.F.Blocks)
+	return &Replayer{
+		in:        in,
+		trace:     trace,
+		runs:      runs,
+		liveIO:    partition.ComputeLiveIO(in.F),
+		arrLen:    coarsegrain.ArrLenOf(in.Prog, in.F),
+		schedDone: make([]bool, n),
+		schedLat:  make([]int64, n),
+		schedErr:  make([]error, n),
+	}, nil
+}
+
+// Runs returns the number of profiled runs folded into the replayed trace.
+func (r *Replayer) Runs() int { return r.runs }
+
+// TraceLen returns the number of kernel invocations replayed per frame.
+func (r *Replayer) TraceLen() int { return len(r.trace) }
+
+// CoarseLatency returns block id's data-path latency in T_CGC cycles (the
+// same list schedule the partitioning engine uses), memoized across calls.
+func (r *Replayer) CoarseLatency(id ir.BlockID) (int64, error) {
+	if !r.schedDone[id] {
+		r.schedDone[id] = true
+		sched, err := coarsegrain.MapDFG(ir.BuildDFG(r.in.F, r.in.F.Block(id)), r.in.Plat.Coarse, r.arrLen)
+		if err != nil {
+			r.schedErr[id] = fmt.Errorf("sim: moved kernel b%d has no data-path schedule: %w", id, err)
+		} else {
+			r.schedLat[id] = sched.Latency
+		}
+	}
+	return r.schedLat[id], r.schedErr[id]
+}
+
+// WalkTrace calls fn for every kernel invocation of the canonical trace, in
+// replay order. Closed-form scorers use it to run reduced state machines
+// (e.g. the sequencer's loaded-partition walk) without the event engine.
+func (r *Replayer) WalkTrace(fn func(ir.BlockID)) {
+	for _, b := range r.trace {
+		fn(b)
+	}
+}
+
+// TransferTicks returns block id's per-invocation transfer-channel occupancy
+// in ticks when its live-in/out words stripe over the given port count.
+func (r *Replayer) TransferTicks(id ir.BlockID, ports int) int64 {
+	ratio := int64(r.in.Plat.Coarse.ClockRatio)
+	words := int64(r.liveIO[id].In + r.liveIO[id].Out)
+	perSlot := ceilDiv(words, int64(ports))
+	return (perSlot*int64(r.in.Plat.Comm.CyclesPerWord) + int64(r.in.Plat.Comm.SyncCycles)) * ratio
+}
+
+// normalize folds cfg's documented-equivalent zero knobs onto their defaults
+// and rejects negative values.
+func (cfg *Config) normalize() error {
 	if cfg.Frames < 0 || cfg.Ports < 0 {
-		return nil, fmt.Errorf("sim: frames and ports must be non-negative, got %d/%d", cfg.Frames, cfg.Ports)
+		return fmt.Errorf("sim: frames and ports must be non-negative, got %d/%d", cfg.Frames, cfg.Ports)
 	}
 	if cfg.Frames == 0 {
 		cfg.Frames = 1
@@ -124,13 +205,34 @@ func Simulate(ctx context.Context, in Input, cfg Config) (*Report, error) {
 	if cfg.Ports == 0 {
 		cfg.Ports = 1
 	}
-	if err := in.Plat.Validate(); err != nil {
+	return nil
+}
+
+// Simulate replays the profiled trace of in against the given mapping under
+// cfg. It is deterministic: equal inputs produce equal reports. The context
+// is checked between frames and periodically inside each frame's replay.
+func Simulate(ctx context.Context, in Input, cfg Config) (*Report, error) {
+	r, err := NewReplayer(in)
+	if err != nil {
 		return nil, err
 	}
+	return r.Simulate(ctx, cfg, in.Moved)
+}
+
+// Simulate replays the trace against the mapping that moves the given blocks
+// to the coarse-grain data-path (nil simulates the all-FPGA mapping).
+func (r *Replayer) Simulate(ctx context.Context, cfg Config, movedBlocks []ir.BlockID) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	in := r.in
 	f := in.F
 	n := len(f.Blocks)
 	moved := make([]bool, n)
-	for _, b := range in.Moved {
+	for _, b := range movedBlocks {
 		if int(b) < 0 || int(b) >= n {
 			return nil, fmt.Errorf("sim: moved block %d outside the function", b)
 		}
@@ -149,8 +251,6 @@ func Simulate(ctx context.Context, in Input, cfg Config) (*Report, error) {
 	// transfer words from the live-in/out footprints.
 	ratio := int64(in.Plat.Coarse.ClockRatio)
 	reconT := int64(in.Plat.Fine.ReconfigCycles) * ratio
-	liveIO := partition.ComputeLiveIO(f)
-	arrLen := coarsegrain.ArrLenOf(in.Prog, f)
 	latT := make([]int64, n)  // kernel latency, in ticks (T_CGC cycles)
 	txT := make([]int64, n)   // transfer-channel occupancy per invocation, ticks
 	execT := make([]int64, n) // fine-grain level cycles per execution, ticks
@@ -158,24 +258,19 @@ func Simulate(ctx context.Context, in Input, cfg Config) (*Report, error) {
 	for id := 0; id < n; id++ {
 		b := ir.BlockID(id)
 		if moved[id] {
-			sched, err := coarsegrain.MapDFG(ir.BuildDFG(f, f.Block(b)), in.Plat.Coarse, arrLen)
+			lat, err := r.CoarseLatency(b)
 			if err != nil {
-				return nil, fmt.Errorf("sim: moved kernel b%d has no data-path schedule: %w", id, err)
+				return nil, err
 			}
-			latT[id] = sched.Latency
-			words := int64(liveIO[b].In + liveIO[b].Out)
-			perSlot := ceilDiv(words, int64(cfg.Ports))
-			txT[id] = (perSlot*int64(in.Plat.Comm.CyclesPerWord) + int64(in.Plat.Comm.SyncCycles)) * ratio
+			latT[id] = lat
+			txT[id] = r.TransferTicks(b, cfg.Ports)
 			continue
 		}
 		execT[id] = pm.PerBlockCycles[id] * ratio
 		intT[id] = int64(pm.InternalCrossings[id]) * reconT
 	}
 
-	trace, runs, err := BuildTrace(f, in.Freq, in.Edges)
-	if err != nil {
-		return nil, err
-	}
+	trace, runs := r.trace, r.runs
 
 	rep := &Report{
 		Frames:   cfg.Frames,

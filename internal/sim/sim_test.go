@@ -400,3 +400,51 @@ func TestKernelTimeline(t *testing.T) {
 		}
 	}
 }
+
+// TestReplayerMatchesSimulate: the Replayer's per-mapping entry point is
+// the one-shot Simulate, mapping for mapping — and one Replayer serves many
+// mappings (the move-loop objective's access pattern) without rebuilding
+// the trace or the schedules.
+func TestReplayerMatchesSimulate(t *testing.T) {
+	prog, flat, freq, edges := prep(t, threeStageSrc, "main_fn", 1)
+	in := Input{Prog: prog, F: flat, Plat: smallPlat(320), Freq: freq, Edges: edges}
+	r, err := NewReplayer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Frames: 4, Ports: 2, Prefetch: true}
+	// Every mappable singleton plus the empty mapping, all through the one
+	// Replayer.
+	movedSets := [][]ir.BlockID{nil}
+	for id := range flat.Blocks {
+		if _, err := r.CoarseLatency(ir.BlockID(id)); err == nil {
+			movedSets = append(movedSets, []ir.BlockID{ir.BlockID(id)})
+		}
+	}
+	if len(movedSets) < 3 {
+		t.Fatalf("fixture yields only %d mappable sets", len(movedSets))
+	}
+	for _, moved := range movedSets {
+		in.Moved = moved
+		oneShot, err := Simulate(context.Background(), in, cfg)
+		if err != nil {
+			t.Fatalf("moved=%v: %v", moved, err)
+		}
+		reused, err := r.Simulate(context.Background(), cfg, moved)
+		if err != nil {
+			t.Fatalf("moved=%v: %v", moved, err)
+		}
+		if !reflect.DeepEqual(oneShot, reused) {
+			t.Fatalf("moved=%v: replayer diverges from one-shot Simulate:\n%+v\nvs\n%+v", moved, reused, oneShot)
+		}
+	}
+	// WalkTrace covers the whole trace in order: visit counts must match
+	// the profile.
+	seen := make([]uint64, len(flat.Blocks))
+	r.WalkTrace(func(b ir.BlockID) { seen[b]++ })
+	for id, n := range seen {
+		if n != freq[id] {
+			t.Fatalf("WalkTrace visits block %d %d times, profiled %d", id, n, freq[id])
+		}
+	}
+}

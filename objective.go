@@ -1,0 +1,292 @@
+package hybridpart
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"hybridpart/internal/finegrain"
+	"hybridpart/internal/ir"
+	"hybridpart/internal/partition"
+	"hybridpart/internal/platform"
+	"hybridpart/internal/sim"
+)
+
+// Objective selects what the move loop optimizes — the closed-form t_total
+// of eq. 2 (ObjectiveModel, the paper's engine) or the simulated makespan of
+// each candidate mapping (ObjectiveSimulated). See internal/partition for
+// the selection semantics.
+type Objective = partition.Objective
+
+// Move-loop objectives.
+const (
+	ObjectiveModel     = partition.ObjectiveModel
+	ObjectiveSimulated = partition.ObjectiveSimulated
+)
+
+// ParseObjective parses the flag/wire spelling of an objective ("model",
+// "sim" or "simulated"; "" selects ObjectiveModel).
+func ParseObjective(s string) (Objective, error) { return partition.ParseObjective(s) }
+
+// SimScoreStats breaks down how a simulation-scored partitioning run paid
+// for its candidate evaluations. Scored counts distinct mappings; every
+// further request for one of them is a memo hit. Of the distinct mappings,
+// Replays went through the full discrete-event engine, ClosedForm through
+// the additive single-frame fast path (an O(trace) reconfiguration walk, no
+// event bookkeeping), and Incremental through the delta update that skips
+// even the walk when the moved kernel's fabric reassignment provably leaves
+// the crossing set unchanged.
+type SimScoreStats struct {
+	Scored      int `json:"scored"`
+	Replays     int `json:"replays"`
+	ClosedForm  int `json:"closed_form"`
+	Incremental int `json:"incremental"`
+	MemoHits    int `json:"memo_hits"`
+}
+
+// debugDisableSimFastPath forces every candidate through the full
+// discrete-event replay. Test hook: the property suite flips it to pin the
+// fast paths to the replay cycle for cycle.
+var debugDisableSimFastPath = false
+
+// simSpecOf materializes the engine-level co-simulation knobs.
+func simSpecOf(o Options) SimSpec {
+	return SimSpec{Frames: o.SimFrames, Ports: o.SimPorts, Prefetch: o.SimPrefetch}
+}
+
+// simKnobsActive reports whether the knob set asks for any simulation work
+// during partitioning: a simulation-scored objective, re-ranking, or an
+// explicit co-simulation operating point to report the chosen mapping under.
+func simKnobsActive(o Options) bool {
+	return o.Objective != ObjectiveModel || o.RerankK != 0 ||
+		o.SimFrames > 0 || o.SimPorts > 0 || o.SimPrefetch
+}
+
+// scoredMapping is the incremental-evaluation state of the last scored
+// candidate: its packing, makespan and per-block entry-load counts.
+type scoredMapping struct {
+	moved      []ir.BlockID
+	pm         *finegrain.PackedMapping
+	entryLoads []int64
+	ticks      int64
+}
+
+// simScorer scores candidate mappings by simulated makespan for the move
+// loop. It memoizes everything mapping-independent once (canonical trace,
+// live-in/out footprints, data-path schedules, the all-FPGA baseline) and
+// every scored mapping forever, so a trajectory walk plus a re-rank pass
+// plus the final report never replay the same mapping twice. Single-frame
+// no-prefetch candidates take the additive closed form instead of the event
+// engine, and consecutive trajectory prefixes whose move leaves the crossing
+// set unchanged take a pure delta update. A simScorer is not safe for
+// concurrent use; build one per partitioning run.
+type simScorer struct {
+	rep   *sim.Replayer
+	cfg   sim.Config
+	plat  platform.Platform
+	f     *ir.Function
+	freq  []uint64
+	ratio int64
+
+	memo  map[string]int64
+	last  *scoredMapping
+	stats SimScoreStats
+}
+
+// newSimScorer builds the scorer for one (application, profile, platform,
+// sim spec) tuple. The spec's zero frames/ports normalize to 1.
+func newSimScorer(a *App, p *RunProfile, plat platform.Platform, spec SimSpec) (*simScorer, error) {
+	if spec.Frames < 0 || spec.Ports < 0 {
+		return nil, fmt.Errorf("hybridpart: sim frames and ports must be non-negative, got %d/%d", spec.Frames, spec.Ports)
+	}
+	if spec.Frames == 0 {
+		spec.Frames = 1
+	}
+	if spec.Ports == 0 {
+		spec.Ports = 1
+	}
+	rep, err := sim.NewReplayer(sim.Input{Prog: a.fprog, F: a.flat, Plat: plat, Freq: p.Freq, Edges: p.edges})
+	if err != nil {
+		return nil, err
+	}
+	return &simScorer{
+		rep:   rep,
+		cfg:   sim.Config{Frames: spec.Frames, Ports: spec.Ports, Prefetch: spec.Prefetch},
+		plat:  plat,
+		f:     a.flat,
+		freq:  p.Freq,
+		ratio: int64(plat.Coarse.ClockRatio),
+		memo:  map[string]int64{},
+	}, nil
+}
+
+// movedKey is the canonical memo key of a moved-set (order-independent).
+func movedKey(moved []ir.BlockID) string {
+	ids := make([]int, len(moved))
+	for i, b := range moved {
+		ids[i] = int(b)
+	}
+	sort.Ints(ids)
+	var sb strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&sb, "%d,", id)
+	}
+	return sb.String()
+}
+
+// Score returns the simulated makespan (FPGA cycles) of the mapping that
+// moves the given blocks to the coarse-grain data-path. It has the
+// partition.Config.SimCost signature.
+func (s *simScorer) Score(ctx context.Context, moved []ir.BlockID) (int64, error) {
+	key := movedKey(moved)
+	if v, ok := s.memo[key]; ok {
+		s.stats.MemoHits++
+		return v, nil
+	}
+	v, err := s.score(ctx, moved)
+	if err != nil {
+		return 0, err
+	}
+	s.stats.Scored++
+	s.memo[key] = v
+	return v, nil
+}
+
+func (s *simScorer) score(ctx context.Context, moved []ir.BlockID) (int64, error) {
+	if s.cfg.Frames == 1 && !s.cfg.Prefetch && !debugDisableSimFastPath {
+		return s.closedForm(moved)
+	}
+	rep, err := s.rep.Simulate(ctx, s.cfg, moved)
+	if err != nil {
+		return 0, err
+	}
+	s.stats.Replays++
+	return rep.TotalCycles, nil
+}
+
+// closedForm scores a single-frame no-prefetch candidate without the event
+// engine: in that regime every invocation window chains sequentially (no
+// resource is ever ahead of program order), so the makespan is the sum of
+// per-invocation costs plus the reconfiguration walk's on-demand loads —
+// the same additive structure that makes the simulator agree with the
+// analytical model cycle for cycle at the model's operating point.
+func (s *simScorer) closedForm(moved []ir.BlockID) (int64, error) {
+	n := len(s.f.Blocks)
+	movedMask := make([]bool, n)
+	for _, b := range moved {
+		if int(b) < 0 || int(b) >= n {
+			return 0, fmt.Errorf("hybridpart: moved block %d outside the function", b)
+		}
+		movedMask[b] = true
+	}
+	pm, err := finegrain.PackFunction(s.f, s.plat.Fine, func(id ir.BlockID) bool { return !movedMask[id] })
+	if err != nil {
+		return 0, err
+	}
+
+	reconT := int64(s.plat.Fine.ReconfigCycles) * s.ratio
+	var ticks int64
+	var coarseDelta int64 // Σ freq·(lat+tx) over the moved set, in ticks
+	for id := 0; id < n; id++ {
+		freq := int64(s.freq[id])
+		if freq == 0 {
+			continue
+		}
+		if movedMask[id] {
+			lat, err := s.rep.CoarseLatency(ir.BlockID(id))
+			if err != nil {
+				return 0, err
+			}
+			coarseDelta += freq * (lat + s.rep.TransferTicks(ir.BlockID(id), s.cfg.Ports))
+			continue
+		}
+		ticks += freq * (pm.PerBlockCycles[id]*s.ratio + int64(pm.InternalCrossings[id])*reconT)
+	}
+	ticks += coarseDelta
+
+	// Incremental tier: the trajectory hands us prefixes, each extending the
+	// last by one kernel k. When repacking without k leaves every remaining
+	// block's partition assignment unchanged and k itself never straddled a
+	// boundary or triggered an entry load, k's fabric reassignment does not
+	// change the crossing set — the load walk would count exactly the loads
+	// it counted last time, so the memoized count is reused without
+	// re-walking the trace.
+	if prev := s.last; prev != nil && len(moved) == len(prev.moved)+1 &&
+		sameBlocks(moved[:len(prev.moved)], prev.moved) &&
+		prev.entryLoads[moved[len(prev.moved)]] == 0 &&
+		sameCrossingSet(pm, prev.pm, moved[len(prev.moved)]) {
+		// prev.entryLoads stays valid verbatim: the elided kernel's entry
+		// count is zero and every other block loads exactly as before.
+		ticks += sumLoads(prev.entryLoads) * reconT
+		s.stats.Incremental++
+		s.last = &scoredMapping{moved: append([]ir.BlockID(nil), moved...), pm: pm, entryLoads: prev.entryLoads, ticks: ticks}
+		return ceilDiv64(ticks, s.ratio), nil
+	}
+
+	// Reconfiguration walk: replay only the sequencer's loaded-partition
+	// state machine over the canonical trace — the one quantity of the
+	// single-frame makespan that needs the trace at all.
+	entryLoads := make([]int64, n)
+	loaded := -1
+	if pm.NumPartitions == 0 {
+		loaded = 0 // nothing to configure
+	}
+	s.rep.WalkTrace(func(b ir.BlockID) {
+		if movedMask[b] {
+			return
+		}
+		if pm.FirstPart[b] != loaded {
+			entryLoads[b]++
+			loaded = pm.FirstPart[b]
+		}
+		loaded = pm.LastPart[b]
+	})
+	ticks += sumLoads(entryLoads) * reconT
+	s.stats.ClosedForm++
+	s.last = &scoredMapping{moved: append([]ir.BlockID(nil), moved...), pm: pm, entryLoads: entryLoads, ticks: ticks}
+	return ceilDiv64(ticks, s.ratio), nil
+}
+
+func sumLoads(loads []int64) int64 {
+	var total int64
+	for _, n := range loads {
+		total += n
+	}
+	return total
+}
+
+func sameBlocks(a, b []ir.BlockID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sameCrossingSet reports whether moving kernel k provably leaves the
+// reconfiguration sequence unchanged: every block keeps its partition
+// assignment across the repack, and k neither straddled a boundary nor ever
+// entered on a cold partition (so eliding its visits from the trace leaves
+// the sequencer's loaded-partition state machine on the same path).
+func sameCrossingSet(cur, prev *finegrain.PackedMapping, k ir.BlockID) bool {
+	if cur.NumPartitions != prev.NumPartitions {
+		return false
+	}
+	if prev.InternalCrossings[k] != 0 {
+		return false
+	}
+	for id := range cur.FirstPart {
+		if ir.BlockID(id) == k {
+			continue
+		}
+		if cur.FirstPart[id] != prev.FirstPart[id] || cur.LastPart[id] != prev.LastPart[id] ||
+			cur.InternalCrossings[id] != prev.InternalCrossings[id] {
+			return false
+		}
+	}
+	return true
+}
+
+func ceilDiv64(a, b int64) int64 { return (a + b - 1) / b }

@@ -91,6 +91,9 @@ type SimReport struct {
 	Frames   int
 	Ports    int
 	Prefetch bool
+	// Objective is the move-loop objective the underlying partitioning run
+	// optimized (the simulated mapping is that run's choice).
+	Objective Objective
 	// Runs is the number of profiled executions folded into the replayed
 	// trace (one per Workload.Run call).
 	Runs int
@@ -130,8 +133,8 @@ func (r *SimReport) Speedup() float64 {
 // section. The layout is deterministic — equal reports format equally.
 func (r *SimReport) Format() string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Simulated frames:          %d (ports %d, prefetch %v, %d profiled run(s))\n",
-		r.Frames, r.Ports, r.Prefetch, r.Runs)
+	fmt.Fprintf(&sb, "Simulated frames:          %d (ports %d, prefetch %v, objective %s, %d profiled run(s))\n",
+		r.Frames, r.Ports, r.Prefetch, r.Objective, r.Runs)
 	fmt.Fprintf(&sb, "Simulated cycles (all-FPGA): %d\n", r.BaselineCycles)
 	fmt.Fprintf(&sb, "Simulated cycles (partitioned): %d\n", r.TotalCycles)
 	fmt.Fprintf(&sb, "Simulated speedup:         %.3f\n", r.Speedup())
@@ -191,7 +194,10 @@ func (e *Engine) SimulateProfiled(ctx context.Context, a *App, p *RunProfile, op
 }
 
 func (e *Engine) simulateApp(ctx context.Context, a *App, p *RunProfile, opts []SimOption) (*SimReport, error) {
-	var spec SimSpec
+	// The engine-level sim knobs (WithSimFrames/WithSimPorts/WithSimPrefetch,
+	// fingerprinted in Options) are the defaults; per-call SimOptions layer
+	// over them for this one simulation.
+	spec := simSpecOf(e.opts)
 	for _, opt := range opts {
 		if opt != nil {
 			opt(&spec)
@@ -209,8 +215,12 @@ func (e *Engine) simulateApp(ctx context.Context, a *App, p *RunProfile, opts []
 
 	// The analytical side: the same silent partitioning run the service
 	// caches — per-move events would be misleading here, the trajectory is
-	// not this call's product.
-	res, err := e.partitionCell(ctx, a, p, e.opts, e.costsSet, nil)
+	// not this call's product. report=false because this call replays the
+	// chosen mapping itself; when the run built a scorer (simulated
+	// objective, re-rank or engine sim knobs) its Replayer — trace,
+	// live-in/out footprints and data-path schedules — is reused for the
+	// report replays below instead of being rebuilt.
+	res, scorer, err := e.partitionScored(ctx, a, p, e.opts, e.costsSet, nil, nil, false)
 	if err != nil {
 		return nil, err
 	}
@@ -218,31 +228,38 @@ func (e *Engine) simulateApp(ctx context.Context, a *App, p *RunProfile, opts []
 	for i, b := range res.Moved {
 		moved[i] = ir.BlockID(b)
 	}
-	in := sim.Input{
-		Prog:  a.fprog,
-		F:     a.flat,
-		Plat:  e.platformOf(e.opts, e.costsSet),
-		Freq:  p.Freq,
-		Edges: p.edges,
+	var replayer *sim.Replayer
+	if scorer != nil {
+		replayer = scorer.rep
+	} else {
+		replayer, err = sim.NewReplayer(sim.Input{
+			Prog:  a.fprog,
+			F:     a.flat,
+			Plat:  e.platformOf(e.opts, e.costsSet),
+			Freq:  p.Freq,
+			Edges: p.edges,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	onFrame := func(stage string) func(int, int64) {
 		if e.observer == nil {
 			return nil
 		}
 		return func(frame int, cycles int64) {
-			e.emit(SimEvent{Stage: stage, Frame: frame, Frames: spec.Frames, Cycles: cycles})
+			e.emit(SimEvent{Stage: stage, Cell: -1, Frame: frame, Frames: spec.Frames, Cycles: cycles})
 		}
 	}
 	cfg := sim.Config{Frames: spec.Frames, Ports: spec.Ports, Prefetch: spec.Prefetch}
 
 	cfg.OnFrame = onFrame("baseline")
-	base, err := sim.Simulate(ctx, in, cfg)
+	base, err := replayer.Simulate(ctx, cfg, nil)
 	if err != nil {
 		return nil, err
 	}
-	in.Moved = moved
 	cfg.OnFrame = onFrame("partitioned")
-	part, err := sim.Simulate(ctx, in, cfg)
+	part, err := replayer.Simulate(ctx, cfg, moved)
 	if err != nil {
 		return nil, err
 	}
@@ -251,6 +268,7 @@ func (e *Engine) simulateApp(ctx context.Context, a *App, p *RunProfile, opts []
 		Frames:               spec.Frames,
 		Ports:                spec.Ports,
 		Prefetch:             spec.Prefetch,
+		Objective:            e.opts.Objective,
 		Runs:                 part.Runs,
 		TotalCycles:          part.TotalCycles,
 		BaselineCycles:       base.TotalCycles,
