@@ -454,3 +454,41 @@ func BenchmarkObjective(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkObjectiveParallel measures the batched simulation-scored argmin
+// against the PR-5 serial path: "serial" re-enables the one-candidate-at-a-
+// time full-report replay (debugSerialScoring), while wN runs the live
+// branch-and-bound batch scorer with an N-worker budget. On a single-core
+// host the speedup comes from pruning, arena reuse and report-free replays
+// rather than concurrency, so wN tracks w1 closely there; allocs/op pins
+// the arena's steady-state zero-allocation claim. cmd/benchjson publishes
+// the sub-benchmarks (and the w8-over-serial speedup) in
+// BENCH_objective.json, which CI gates at >= 3x.
+func BenchmarkObjectiveParallel(b *testing.B) {
+	app, prof, _, _ := benchSetup(b)
+	run := func(b *testing.B, workers int, serialScoring bool) {
+		eng, err := NewEngine(WithConstraint(60000), WithSimFrames(8),
+			WithObjective(ObjectiveSimulated), WithWorkers(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		debugSerialScoring = serialScoring
+		defer func() { debugSerialScoring = false }()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var res *Result
+		for i := 0; i < b.N; i++ {
+			if res, err = eng.PartitionProfiled(context.Background(), app, prof); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(res.SimulatedCycles), "sim-makespan")
+		b.ReportMetric(float64(res.SimStats.Pruned), "pruned")
+		b.ReportMetric(float64(res.SimStats.Scored), "scored")
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1, true) })
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) { run(b, w, false) })
+	}
+}

@@ -61,6 +61,18 @@ type objectiveBench struct {
 	Moves       float64 `json:"moves,omitempty"`
 }
 
+// objectiveParallelBench is one BenchmarkObjectiveParallel sub-benchmark's
+// derived summary: wall time and allocations for a scoring configuration,
+// its branch-and-bound counters, and its speedup over the serial baseline.
+type objectiveParallelBench struct {
+	NsPerOp           float64 `json:"ns_per_op"`
+	AllocsPerOp       float64 `json:"allocs_per_op,omitempty"`
+	Pruned            float64 `json:"pruned"`
+	Scored            float64 `json:"scored,omitempty"`
+	SimMakespan       float64 `json:"sim_makespan,omitempty"`
+	SpeedupOverSerial float64 `json:"speedup_over_serial,omitempty"`
+}
+
 type report struct {
 	Benchmarks []benchResult `json:"benchmarks"`
 	Sweep      *sweepReport  `json:"sweep,omitempty"`
@@ -70,6 +82,10 @@ type report struct {
 	// Objective summarizes BenchmarkObjective sub-benchmarks by mode
 	// ("model", "sim", "rerank3").
 	Objective map[string]objectiveBench `json:"objective,omitempty"`
+	// ObjectiveParallel summarizes BenchmarkObjectiveParallel sub-benchmarks
+	// by scoring configuration ("serial", "w1".."w8"), each with its speedup
+	// over the full-replay serial baseline.
+	ObjectiveParallel map[string]objectiveParallelBench `json:"objective_parallel,omitempty"`
 }
 
 func main() {
@@ -113,6 +129,25 @@ func main() {
 			}
 			rep.Sim[b.Name[i+len("Simulate/"):]] = row
 		}
+		if i := strings.Index(b.Name, "ObjectiveParallel/"); i >= 0 {
+			if rep.ObjectiveParallel == nil {
+				rep.ObjectiveParallel = map[string]objectiveParallelBench{}
+			}
+			row := objectiveParallelBench{NsPerOp: b.NsOp}
+			for _, m := range b.Metrics {
+				switch m.Name {
+				case "allocs/op":
+					row.AllocsPerOp = m.Value
+				case "pruned":
+					row.Pruned = m.Value
+				case "scored":
+					row.Scored = m.Value
+				case "sim-makespan":
+					row.SimMakespan = m.Value
+				}
+			}
+			rep.ObjectiveParallel[b.Name[i+len("ObjectiveParallel/"):]] = row
+		}
 		if i := strings.Index(b.Name, "Objective/"); i >= 0 {
 			if rep.Objective == nil {
 				rep.Objective = map[string]objectiveBench{}
@@ -129,6 +164,15 @@ func main() {
 				}
 			}
 			rep.Objective[b.Name[i+len("Objective/"):]] = row
+		}
+	}
+	if base, ok := rep.ObjectiveParallel["serial"]; ok && base.NsPerOp > 0 {
+		for key, row := range rep.ObjectiveParallel {
+			if key == "serial" {
+				continue
+			}
+			row.SpeedupOverSerial = base.NsPerOp / row.NsPerOp
+			rep.ObjectiveParallel[key] = row
 		}
 	}
 	if serial > 0 && parallel > 0 {

@@ -60,7 +60,8 @@ func main() {
 	frames := flag.Int("frames", 0, "co-simulation frame count for the objective/report (0 = no simulation unless -objective sim)")
 	ports := flag.Int("ports", 0, "co-simulation transfer-port width (0 = 1)")
 	prefetch := flag.Bool("prefetch", false, "co-simulate with configuration prefetch")
-	trace := flag.Bool("trace", false, "stream the move-by-move trajectory to stderr")
+	trace := flag.Bool("trace", false, "stream the move-by-move trajectory and scoring stats to stderr")
+	workers := flag.Int("workers", 0, "worker budget for simulation-scored candidate slates (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON (the service wire format) instead of the table")
 	pipelineN := flag.Int("pipeline-frames", 0, "if >0, also report frame pipelining over N frames")
 	flag.Parse()
@@ -92,6 +93,8 @@ func main() {
 		fail(fmt.Sprintf("-ports must be non-negative, got %d", *ports))
 	case *rerank < -1:
 		fail(fmt.Sprintf("-rerank must be -1 (all), 0 (off) or positive, got %d", *rerank))
+	case *workers < 0:
+		fail(fmt.Sprintf("-workers must be non-negative, got %d", *workers))
 	}
 	obj, err := hybridpart.ParseObjective(*objective)
 	if err != nil {
@@ -116,7 +119,7 @@ func main() {
 	engineOpts = append(engineOpts, hybridpart.WithConstraint(*constraint),
 		hybridpart.WithObjective(obj), hybridpart.WithRerank(*rerank),
 		hybridpart.WithSimFrames(*frames), hybridpart.WithSimPorts(*ports),
-		hybridpart.WithSimPrefetch(*prefetch))
+		hybridpart.WithSimPrefetch(*prefetch), hybridpart.WithWorkers(*workers))
 	if *trace {
 		engineOpts = append(engineOpts, hybridpart.WithObserver(func(ev hybridpart.Event) {
 			if mv, ok := ev.(hybridpart.MoveEvent); ok {
@@ -148,6 +151,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hpart: %v\n", err)
 		os.Exit(1)
+	}
+	if *trace && res.SimStats != (hybridpart.SimScoreStats{}) {
+		st := res.SimStats
+		fmt.Fprintf(os.Stderr, "hpart: sim scoring: %d scored (%d replays, %d closed-form, %d incremental), %d pruned, %d parallel, %d memo hits, %d workers\n",
+			st.Scored, st.Replays, st.ClosedForm, st.Incremental, st.Pruned, st.Parallel, st.MemoHits, st.Workers)
 	}
 	if *jsonOut {
 		// Machine-readable path: the same wire type the partitioning

@@ -105,7 +105,20 @@
 //	)
 //	res, _ := eng.Partition(ctx, w) // res.SimulatedCycles < the model objective's
 //
+// Simulated scoring is parallel and pruned: candidates are bounded by
+// admissible lower bounds (sim.Replayer.LowerBound, FineWalkBound) and only
+// those that can still beat the incumbent replay, on a WithWorkers-bounded
+// pool with per-worker replay arenas. The outcome is bit-identical to
+// serial scoring at every worker count — ties break on trajectory index —
+// and Result.SimStats reports the scored/pruned/parallel counters.
+//
 // # Service
+//
+// The service's default objective is ObjectiveSimulated: a POST
+// /v1/partition request that names no objective, options or rerank runs
+// under simulated scoring and reports "objective": "sim" on the wire (send
+// "objective": "model" for the closed-form-only loop). POST /v1/simulate is
+// unchanged: it validates the model at an explicit operating point.
 //
 // cmd/hservd exposes the Engine over HTTP/JSON (internal/server), fronted
 // by a bounded content-addressed result cache with request coalescing

@@ -506,7 +506,13 @@ func (e *Engine) partitionScored(ctx context.Context, a *App, p *RunProfile, opt
 		if scorer, err = newSimScorer(a, p, plat, simSpecOf(opts)); err != nil {
 			return nil, nil, err
 		}
+		// The scorer's pool reuses the engine's worker budget (WithWorkers,
+		// 0 = GOMAXPROCS), the same knob the sweep honors.
+		scorer.workers = e.workers
 		cfg.SimCost = scorer.Score
+		if !debugSerialScoring {
+			cfg.SimCostBatch = scorer.ScoreBatch
+		}
 	}
 	res, err := partition.Partition(ctx, a.fprog, a.flat, an.rep, cfg)
 	if err != nil {

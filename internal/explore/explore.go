@@ -95,17 +95,17 @@ func (s Spec) Simulates() bool {
 	return len(s.Frames) > 0 || len(s.Ports) > 0 || len(s.Prefetch) > 0 || len(s.Objectives) > 0
 }
 
-// simObjectiveReplayFactor is the conservative per-cell multiplier charged
+// SimObjectiveReplayFactor is the conservative per-cell multiplier charged
 // for cells whose Objective axis selects the simulation-scored move loop:
 // such a cell replays the trace once per trajectory prefix, and the
 // trajectory length (the number of movable kernels) is unknown before
 // profiling, so cost accounting assumes this many prefixes.
-const simObjectiveReplayFactor = 32
+const SimObjectiveReplayFactor = 32
 
 // SimulationCost returns the sweep's cost in whole-trace replays: every
 // cell costs its frame count (cells without a Frames axis, simulated or
 // not, count 1), and cells driven by the "sim" objective cost
-// simObjectiveReplayFactor times that, approximating one replay per
+// SimObjectiveReplayFactor times that, approximating one replay per
 // trajectory prefix. Operators cap on this rather than on raw cell count —
 // a cell replaying 64 frames under the simulated objective costs thousands
 // of closed-form cells' worth of work.
@@ -127,7 +127,7 @@ func (s Spec) SimulationCost() int {
 		for _, o := range objectives {
 			per := f
 			if o == "sim" || o == "simulated" {
-				per *= simObjectiveReplayFactor
+				per *= SimObjectiveReplayFactor
 			}
 			cost += base * per
 		}

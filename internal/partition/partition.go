@@ -68,6 +68,23 @@ type Config struct {
 	// non-zero; the engine facade injects the co-simulator here (this package
 	// cannot import internal/sim, which imports it back for ComputeLiveIO).
 	SimCost func(ctx context.Context, moved []ir.BlockID) (int64, error)
+	// SimCostBatch, when non-nil, scores a whole slate of candidate
+	// moved-sets at once and takes precedence over per-candidate SimCost
+	// calls in the argmin pass. The scorer may evaluate candidates
+	// concurrently and may prune any candidate it can prove is not the
+	// argmin (bounded below above some fully scored candidate); a pruned
+	// entry carries no cycle count and is skipped by the selection. The
+	// returned slice must have one entry per candidate, index-aligned.
+	SimCostBatch func(ctx context.Context, candidates [][]ir.BlockID) ([]SimScore, error)
+}
+
+// SimScore is one candidate's entry in a SimCostBatch result: either its
+// simulated makespan in FPGA cycles, or Pruned — the scorer proved the
+// candidate strictly worse than another candidate it fully scored, so the
+// makespan was never computed and the candidate cannot be the argmin.
+type SimScore struct {
+	Cycles int64
+	Pruned bool
 }
 
 // Move records one accepted kernel move and the resulting system state.
@@ -312,20 +329,56 @@ func Partition(ctx context.Context, prog *ir.Program, f *ir.Function, rep *analy
 		}
 	}
 	bestIdx, bestSim := -1, int64(0)
-	for i := range prefixes {
-		if !candidate[i] {
-			continue
+	if cfg.SimCostBatch != nil {
+		// Batch path: hand the scorer the whole slate so it can run its
+		// worker pool and prune. Selection stays in candidate-index order
+		// with a strict < comparison, so ties break on the lowest trajectory
+		// index exactly like the serial loop — a pruned candidate is by
+		// contract strictly worse than some scored one, so skipping it never
+		// changes the argmin.
+		idxs := make([]int, 0, len(prefixes))
+		cands := make([][]ir.BlockID, 0, len(prefixes))
+		for i := range prefixes {
+			if candidate[i] {
+				idxs = append(idxs, i)
+				cands = append(cands, res.Moved[:i])
+			}
 		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		sim, err := cfg.SimCost(ctx, res.Moved[:i])
+		scores, err := cfg.SimCostBatch(ctx, cands)
 		if err != nil {
 			return nil, err
 		}
-		res.SimScored++
-		if bestIdx < 0 || sim < bestSim {
-			bestIdx, bestSim = i, sim
+		if len(scores) != len(cands) {
+			return nil, fmt.Errorf("partition: SimCostBatch returned %d scores for %d candidates", len(scores), len(cands))
+		}
+		for k, i := range idxs {
+			if scores[k].Pruned {
+				continue
+			}
+			res.SimScored++
+			if bestIdx < 0 || scores[k].Cycles < bestSim {
+				bestIdx, bestSim = i, scores[k].Cycles
+			}
+		}
+		if bestIdx < 0 {
+			return nil, fmt.Errorf("partition: SimCostBatch pruned every candidate")
+		}
+	} else {
+		for i := range prefixes {
+			if !candidate[i] {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			sim, err := cfg.SimCost(ctx, res.Moved[:i])
+			if err != nil {
+				return nil, err
+			}
+			res.SimScored++
+			if bestIdx < 0 || sim < bestSim {
+				bestIdx, bestSim = i, sim
+			}
 		}
 	}
 	best := prefixes[bestIdx]

@@ -366,3 +366,140 @@ func TestOnMoveMatchesMoves(t *testing.T) {
 		t.Fatalf("hook stream %v != recorded moves %v", hooked, res.Moves)
 	}
 }
+
+// batchStub builds a SimCostBatch stub whose scores are computed per slate
+// index, plus the SimCost fallback the config validator requires (it must
+// never run while the batch hook is installed).
+func batchStub(t *testing.T, score func(i int, moved []ir.BlockID) SimScore) (func(context.Context, [][]ir.BlockID) ([]SimScore, error), func(context.Context, []ir.BlockID) (int64, error), *[][]ir.BlockID) {
+	t.Helper()
+	var slates [][]ir.BlockID
+	batch := func(ctx context.Context, cands [][]ir.BlockID) ([]SimScore, error) {
+		slates = cands
+		out := make([]SimScore, len(cands))
+		for i, m := range cands {
+			out[i] = score(i, m)
+		}
+		return out, nil
+	}
+	serial := func(ctx context.Context, moved []ir.BlockID) (int64, error) {
+		t.Fatal("SimCost ran although SimCostBatch is installed (batch must take precedence)")
+		return 0, nil
+	}
+	return batch, serial, &slates
+}
+
+// TestSimCostBatchPrecedenceAndSlate: with both hooks installed only the
+// batch hook runs, and it receives every trajectory prefix in index order —
+// slate entry i is exactly the first i moved blocks.
+func TestSimCostBatchPrecedenceAndSlate(t *testing.T) {
+	p := prepare(t, hotLoopSrc, "f", interp.Int(8))
+	batch, serial, slates := batchStub(t, func(i int, moved []ir.BlockID) SimScore {
+		return SimScore{Cycles: int64(1000 - i)} // strictly improving: full trajectory wins
+	})
+	res := p.run(t, Config{
+		Platform: platform.Paper(5000, 2), Constraint: 1,
+		Objective: ObjectiveSimulated, SimCost: serial, SimCostBatch: batch,
+	})
+	if len(*slates) < 2 {
+		t.Fatalf("batch saw %d candidates, want the full prefix slate", len(*slates))
+	}
+	for i, moved := range *slates {
+		if len(moved) != i {
+			t.Fatalf("slate entry %d has %d moved blocks, want %d (prefixes in index order)", i, len(moved), i)
+		}
+	}
+	if want := len(*slates) - 1; len(res.Moved) != want {
+		t.Fatalf("strictly improving scores: moved %d blocks, want the full trajectory of %d", len(res.Moved), want)
+	}
+	if res.SimScored != len(*slates) {
+		t.Fatalf("SimScored %d, want %d (every candidate scored, none pruned)", res.SimScored, len(*slates))
+	}
+	if res.SimulatedCycles != int64(1000-(len(*slates)-1)) {
+		t.Fatalf("SimulatedCycles %d, want the winning score", res.SimulatedCycles)
+	}
+}
+
+// TestSimCostBatchTieBreaksLowestIndex: when every candidate scores the
+// same, the empty prefix (index 0) must win — the argmin tie-break is the
+// lowest trajectory index, independent of how the batch was scheduled.
+func TestSimCostBatchTieBreaksLowestIndex(t *testing.T) {
+	p := prepare(t, hotLoopSrc, "f", interp.Int(8))
+	batch, serial, _ := batchStub(t, func(i int, moved []ir.BlockID) SimScore {
+		return SimScore{Cycles: 777}
+	})
+	res := p.run(t, Config{
+		Platform: platform.Paper(5000, 2), Constraint: 1,
+		Objective: ObjectiveSimulated, SimCost: serial, SimCostBatch: batch,
+	})
+	if len(res.Moved) != 0 {
+		t.Fatalf("all-tied scores must keep the lowest-index prefix (no moves), got %v", res.Moved)
+	}
+	if res.SimulatedCycles != 777 {
+		t.Fatalf("SimulatedCycles %d, want 777", res.SimulatedCycles)
+	}
+}
+
+// TestSimCostBatchPrunedSkipped: pruned entries are skipped by selection
+// and excluded from SimScored; pruning the would-be winner's rivals leaves
+// the best scored candidate as argmin.
+func TestSimCostBatchPrunedSkipped(t *testing.T) {
+	p := prepare(t, hotLoopSrc, "f", interp.Int(8))
+	batch, serial, slates := batchStub(t, func(i int, moved []ir.BlockID) SimScore {
+		if i == 0 {
+			return SimScore{Pruned: true} // prune the lowest index so it cannot win a tie
+		}
+		return SimScore{Cycles: int64(100 + i)} // index 1 is the minimum
+	})
+	res := p.run(t, Config{
+		Platform: platform.Paper(5000, 2), Constraint: 1,
+		Objective: ObjectiveSimulated, SimCost: serial, SimCostBatch: batch,
+	})
+	if len(res.Moved) != 1 {
+		t.Fatalf("moved %v, want the 1-block prefix (index 1 is the cheapest scored candidate)", res.Moved)
+	}
+	if res.SimScored != len(*slates)-1 {
+		t.Fatalf("SimScored %d, want %d (pruned candidates are not scored)", res.SimScored, len(*slates)-1)
+	}
+	if res.SimulatedCycles != 101 {
+		t.Fatalf("SimulatedCycles %d, want 101", res.SimulatedCycles)
+	}
+}
+
+// TestSimCostBatchAllPrunedErrors: a batch that prunes every candidate has
+// violated its contract (the incumbent must be a real score) and the run
+// must fail loudly instead of silently picking a pruned mapping.
+func TestSimCostBatchAllPrunedErrors(t *testing.T) {
+	p := prepare(t, hotLoopSrc, "f", interp.Int(8))
+	batch, serial, _ := batchStub(t, func(i int, moved []ir.BlockID) SimScore {
+		return SimScore{Pruned: true}
+	})
+	cfg := Config{
+		Platform: platform.Paper(5000, 2), Constraint: 1,
+		Objective: ObjectiveSimulated, SimCost: serial, SimCostBatch: batch,
+	}
+	cfg.Edges = p.edges
+	_, err := Partition(context.Background(), p.prog, p.fn, p.rep, cfg)
+	if err == nil || !strings.Contains(err.Error(), "pruned every candidate") {
+		t.Fatalf("err = %v, want the all-pruned contract error", err)
+	}
+}
+
+// TestSimCostBatchLengthMismatchErrors: a score slice that is not
+// index-aligned with the slate is a contract violation, not a partial
+// result.
+func TestSimCostBatchLengthMismatchErrors(t *testing.T) {
+	p := prepare(t, hotLoopSrc, "f", interp.Int(8))
+	serial := func(ctx context.Context, moved []ir.BlockID) (int64, error) { return 1, nil }
+	batch := func(ctx context.Context, cands [][]ir.BlockID) ([]SimScore, error) {
+		return make([]SimScore, len(cands)+1), nil
+	}
+	cfg := Config{
+		Platform: platform.Paper(5000, 2), Constraint: 1,
+		Objective: ObjectiveSimulated, SimCost: serial, SimCostBatch: batch,
+	}
+	cfg.Edges = p.edges
+	_, err := Partition(context.Background(), p.prog, p.fn, p.rep, cfg)
+	if err == nil || !strings.Contains(err.Error(), "scores for") {
+		t.Fatalf("err = %v, want the length-mismatch contract error", err)
+	}
+}

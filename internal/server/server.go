@@ -75,6 +75,33 @@ type Server struct {
 	results *cache.Cache[[]byte]
 	mux     *http.ServeMux
 	metrics map[string]*endpointMetrics
+
+	// simScoring aggregates the engine's SimScoreStats over every
+	// /v1/partition run that consulted the co-simulator. Only cache misses
+	// contribute — a hit serves stored bytes and scores nothing.
+	simScoring simScoringMetrics
+}
+
+// simScoringMetrics is the candidate-scoring counter set behind
+// /debug/stats: how the simulation-scored runs paid for their candidate
+// evaluations (distinct mappings scored, full replays, branch-and-bound
+// prunes, worker-pool evaluations, memo hits).
+type simScoringMetrics struct {
+	scored   atomic.Int64
+	replays  atomic.Int64
+	pruned   atomic.Int64
+	parallel atomic.Int64
+	memoHits atomic.Int64
+}
+
+// recordSimStats folds one run's scoring breakdown into the /debug/stats
+// aggregate. Model-objective runs without sim knobs contribute all zeros.
+func (s *Server) recordSimStats(st hybridpart.SimScoreStats) {
+	s.simScoring.scored.Add(int64(st.Scored))
+	s.simScoring.replays.Add(int64(st.Replays))
+	s.simScoring.pruned.Add(int64(st.Pruned))
+	s.simScoring.parallel.Add(int64(st.Parallel))
+	s.simScoring.memoHits.Add(int64(st.MemoHits))
 }
 
 // New returns a ready-to-serve Server.
@@ -134,10 +161,22 @@ type ProfileMemoJSON struct {
 	Bound int `json:"bound"`
 }
 
+// SimScoringStatsJSON is the candidate-scoring section of GET /debug/stats:
+// SimScoreStats summed over every /v1/partition engine run (cache hits
+// score nothing and contribute nothing).
+type SimScoringStatsJSON struct {
+	Scored   int64 `json:"scored"`
+	Replays  int64 `json:"replays"`
+	Pruned   int64 `json:"pruned"`
+	Parallel int64 `json:"parallel"`
+	MemoHits int64 `json:"memo_hits"`
+}
+
 // StatsJSON is the body of GET /debug/stats.
 type StatsJSON struct {
 	Cache         cache.Stats                  `json:"cache"`
 	BenchProfiles ProfileMemoJSON              `json:"bench_profiles"`
+	SimScoring    SimScoringStatsJSON          `json:"sim_scoring"`
 	Endpoints     map[string]EndpointStatsJSON `json:"endpoints"`
 }
 
@@ -262,6 +301,13 @@ func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	out := StatsJSON{Cache: s.results.Stats(), Endpoints: map[string]EndpointStatsJSON{}}
 	out.BenchProfiles.Size, out.BenchProfiles.Bound = hybridpart.ProfileMemoStats()
+	out.SimScoring = SimScoringStatsJSON{
+		Scored:   s.simScoring.scored.Load(),
+		Replays:  s.simScoring.replays.Load(),
+		Pruned:   s.simScoring.pruned.Load(),
+		Parallel: s.simScoring.parallel.Load(),
+		MemoHits: s.simScoring.memoHits.Load(),
+	}
 	for name, m := range s.metrics {
 		row := EndpointStatsJSON{
 			Requests:         m.requests.Load(),
@@ -363,12 +409,24 @@ func (s *Server) servePartition(w http.ResponseWriter, r *http.Request, energy b
 	}
 	req, httpErr := decodePartitionRequest(r, energy)
 	if httpErr == nil {
+		if !energy {
+			// The service default: requests that leave the objective
+			// dimension untouched run the simulated objective. Applied
+			// before fingerprinting, so the default and an explicit
+			// "objective": "sim" share one cache entry.
+			req.applyDefaultObjective()
+		}
 		var opts hybridpart.Options
 		if opts, httpErr = req.resolveOptions(); httpErr == nil {
-			s.serveCached(w, r, endpoint, req.fingerprint(kind, opts), func(ctx context.Context) ([]byte, error) {
-				return run(ctx, req, opts)
-			})
-			return
+			if !energy {
+				httpErr = checkScoringCost(opts)
+			}
+			if httpErr == nil {
+				s.serveCached(w, r, endpoint, req.fingerprint(kind, opts), func(ctx context.Context) ([]byte, error) {
+					return run(ctx, req, opts)
+				})
+				return
+			}
 		}
 	}
 	s.writeError(w, httpErr)
@@ -376,7 +434,10 @@ func (s *Server) servePartition(w http.ResponseWriter, r *http.Request, energy b
 
 func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	s.servePartition(w, r, false, func(ctx context.Context, req *PartitionRequest, opts hybridpart.Options) ([]byte, error) {
-		eng, err := hybridpart.NewEngine(hybridpart.WithOptions(opts))
+		eng, err := hybridpart.NewEngine(
+			hybridpart.WithOptions(opts),
+			hybridpart.WithWorkers(s.cfg.Workers),
+		)
 		if err != nil {
 			return nil, err
 		}
@@ -399,6 +460,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 				return nil, err
 			}
 		}
+		s.recordSimStats(res.SimStats)
 		return MarshalResult(res)
 	})
 }
@@ -463,8 +525,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	// The sim knobs were folded into opts by resolveOptions (the one
 	// fingerprinted location), so the engine's configuration already is the
 	// requested operating point — no per-call SimOptions needed.
+	if httpErr := checkScoringCost(opts); httpErr != nil {
+		s.writeError(w, httpErr)
+		return
+	}
 	s.serveCached(w, r, "/v1/simulate", req.fingerprint(opts), func(ctx context.Context) ([]byte, error) {
-		eng, err := hybridpart.NewEngine(hybridpart.WithOptions(opts))
+		eng, err := hybridpart.NewEngine(
+			hybridpart.WithOptions(opts),
+			hybridpart.WithWorkers(s.cfg.Workers),
+		)
 		if err != nil {
 			return nil, err
 		}

@@ -140,6 +140,9 @@ func TestPartitionParity(t *testing.T) {
 	}
 	opts := hybridpart.DefaultOptions()
 	opts.Constraint = 9000
+	// The service's default objective for plain requests is the simulated
+	// one (see applyDefaultObjective); mirror it on the library side.
+	opts.Objective = hybridpart.ObjectiveSimulated
 	eng, err := hybridpart.NewEngine(hybridpart.WithOptions(opts))
 	if err != nil {
 		t.Fatal(err)
@@ -156,12 +159,13 @@ func TestPartitionParity(t *testing.T) {
 		t.Fatalf("service response diverges from library path:\n got: %s\nwant: %s", got, want)
 	}
 
-	// Decoded sanity: the run must have produced a real partition.
+	// Decoded sanity: the run consulted the simulator and reported under
+	// the service's default objective.
 	var rj ResultJSON
 	if err := json.Unmarshal(rec.Body.Bytes(), &rj); err != nil {
 		t.Fatal(err)
 	}
-	if rj.InitialCycles == 0 || len(rj.Moved) == 0 {
+	if rj.InitialCycles == 0 || rj.Objective != "sim" || rj.SimulatedCycles == 0 {
 		t.Fatalf("implausible result: %+v", rj)
 	}
 }
@@ -822,10 +826,14 @@ func TestSimKnobCacheCollision(t *testing.T) {
 		t.Skip("skipping benchmark compilation in -short mode")
 	}
 	s := newTestServer(t, Config{})
+	// The first body pins the objective explicitly: a plain /v1/partition
+	// request flips to the service default ("sim") and would legitimately
+	// share the fourth body's entry — TestPartitionDefaultObjective covers
+	// that sharing; this test wants five distinct knob sets.
 	bodies := []string{
-		`{"benchmark":"ofdm","constraint":60000,"frames":4}`,
-		`{"benchmark":"ofdm","constraint":60000,"frames":4,"prefetch":true}`,
-		`{"benchmark":"ofdm","constraint":60000,"frames":4,"ports":2}`,
+		`{"benchmark":"ofdm","constraint":60000,"frames":4,"objective":"model"}`,
+		`{"benchmark":"ofdm","constraint":60000,"frames":4,"prefetch":true,"objective":"model"}`,
+		`{"benchmark":"ofdm","constraint":60000,"frames":4,"ports":2,"objective":"model"}`,
 		`{"benchmark":"ofdm","constraint":60000,"frames":4,"objective":"sim"}`,
 		`{"benchmark":"ofdm","constraint":60000,"frames":4,"rerank":3}`,
 	}
@@ -875,11 +883,19 @@ func TestPartitionObjectiveWire(t *testing.T) {
 		}
 		return res
 	}
+	// The service default: a request with no objective field runs the
+	// simulated objective and carries the simulated_* fields.
 	plain := decode(`{"benchmark":"ofdm","constraint":60000}`)
-	if plain.Objective != "model" || plain.SimulatedCycles != 0 {
+	if plain.Objective != "sim" || plain.SimulatedCycles == 0 {
 		t.Fatalf("plain partition: objective %q, simulated_cycles %d", plain.Objective, plain.SimulatedCycles)
 	}
-	model := decode(`{"benchmark":"ofdm","constraint":60000,"frames":8}`)
+	// An explicit "model" opts out of the default and, without sim knobs,
+	// never consults the simulator.
+	modelPlain := decode(`{"benchmark":"ofdm","constraint":60000,"objective":"model"}`)
+	if modelPlain.Objective != "model" || modelPlain.SimulatedCycles != 0 {
+		t.Fatalf("explicit model partition: objective %q, simulated_cycles %d", modelPlain.Objective, modelPlain.SimulatedCycles)
+	}
+	model := decode(`{"benchmark":"ofdm","constraint":60000,"frames":8,"objective":"model"}`)
 	if model.Objective != "model" || model.SimulatedCycles == 0 || model.SimulatedSpeedup == 0 {
 		t.Fatalf("frames=8 model partition lacks simulated fields: %+v", model)
 	}
@@ -931,5 +947,76 @@ func TestSimulateOptionsOverrideFrames(t *testing.T) {
 		fmt.Sprintf(`{"benchmark":"ofdm","seed":1,"options":%s}`, optsJSON))
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("oversized Options.SimFrames: status %d, want 400", rec.Code)
+	}
+}
+
+// TestPartitionDefaultObjective pins the service's default-objective flip:
+// a /v1/partition request with no objective field runs the simulated
+// objective and — because the flip happens before fingerprinting — shares
+// one cache entry, byte for byte, with the explicit {"objective":"sim"}
+// spelling. Explicit objectives, rerank requests and full options overrides
+// are never flipped, and the trajectory-factor cost guard rejects
+// sim-scored frame counts the model objective would accept.
+func TestPartitionDefaultObjective(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark compilation in -short mode")
+	}
+	s := newTestServer(t, Config{})
+
+	miss := post(t, s, "/v1/partition", `{"benchmark":"ofdm","seed":1,"constraint":60000}`)
+	if miss.Code != http.StatusOK || miss.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("plain request: status %d, X-Cache %q: %s", miss.Code, miss.Header().Get("X-Cache"), miss.Body)
+	}
+	var rj ResultJSON
+	if err := json.Unmarshal(miss.Body.Bytes(), &rj); err != nil {
+		t.Fatal(err)
+	}
+	if rj.Objective != "sim" || rj.SimulatedCycles == 0 {
+		t.Fatalf("plain request did not run the default objective: %+v", rj)
+	}
+
+	// The explicit spelling hits the default's entry with identical bytes.
+	hit := post(t, s, "/v1/partition", `{"benchmark":"ofdm","seed":1,"constraint":60000,"objective":"sim"}`)
+	if hit.Header().Get("X-Cache") != "hit" {
+		t.Fatalf("explicit \"sim\" missed the default's cache entry (X-Cache %q)", hit.Header().Get("X-Cache"))
+	}
+	if hit.Body.String() != miss.Body.String() {
+		t.Fatalf("default and explicit \"sim\" bytes diverge:\n%s\nvs\n%s", miss.Body, hit.Body)
+	}
+
+	// Rerank requests keep the model move loop: flipping them would make
+	// the request invalid (rerank and the simulated objective are mutually
+	// exclusive), so the flip must leave them alone.
+	rr := post(t, s, "/v1/partition", `{"benchmark":"ofdm","seed":1,"constraint":60000,"frames":4,"rerank":2}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("rerank without objective: status %d: %s", rr.Code, rr.Body)
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &rj); err != nil {
+		t.Fatal(err)
+	}
+	if rj.Objective != "model" {
+		t.Fatalf("rerank request was flipped to %q", rj.Objective)
+	}
+
+	// Cost accounting: a sim-scored run is charged the trajectory factor
+	// per frame, so a frame count the model objective replays happily is
+	// over budget once the default flip makes the run sim-scored.
+	deny := post(t, s, "/v1/partition", `{"benchmark":"ofdm","seed":1,"constraint":60000,"frames":256}`)
+	if deny.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("sim-scored frames=256: status %d, want 422: %s", deny.Code, deny.Body)
+	}
+	allow := post(t, s, "/v1/partition", `{"benchmark":"ofdm","seed":1,"constraint":60000,"frames":256,"objective":"model"}`)
+	if allow.Code != http.StatusOK {
+		t.Fatalf("model frames=256: status %d: %s", allow.Code, allow.Body)
+	}
+
+	// The scoring work feeds the /debug/stats aggregate.
+	stats := get(t, s, "/debug/stats")
+	var st StatsJSON
+	if err := json.Unmarshal(stats.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SimScoring.Scored == 0 || st.SimScoring.Replays == 0 {
+		t.Fatalf("sim scoring stats empty after sim-scored runs: %+v", st.SimScoring)
 	}
 }

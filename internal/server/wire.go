@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"sort"
 
 	"hybridpart"
@@ -253,6 +254,50 @@ func (r *PartitionRequest) resolveOptions() (hybridpart.Options, *httpError) {
 		return hybridpart.Options{}, badRequest(fmt.Sprintf("\"frames\" is %d, limit is %d", opts.SimFrames, maxSimFrames))
 	}
 	return opts, nil
+}
+
+// applyDefaultObjective flips a plain /v1/partition request onto the
+// service's default move-loop objective, ObjectiveSimulated: the feedback-
+// directed selection beats the closed-form model on every benchmark in the
+// suite, and with pooled, branch-and-bound scoring it is cheap enough to be
+// what a request gets when it does not ask. The flip applies only when the
+// request leaves the whole objective dimension untouched — no "objective"
+// field, no full "options" override, no "rerank" (re-ranking is mutually
+// exclusive with the simulated objective) — so every explicit choice,
+// including "objective": "model", is honored verbatim. It runs before
+// fingerprinting, which is what makes a plain request and an explicit
+// {"objective": "sim"} share one cache entry, byte for byte.
+func (r *PartitionRequest) applyDefaultObjective() {
+	if r.Objective == "" && r.Options == nil && r.Rerank == 0 {
+		r.Objective = "sim"
+	}
+}
+
+// maxScoringCost bounds one partition/simulate request's candidate-scoring
+// cost in whole-trace replays, the same accounting /v1/sweep applies per
+// cell: a run costs its frame count, times the trajectory factor when the
+// move loop scores candidates by simulation (simulated objective or
+// re-ranking) — each of those replays the trace once per trajectory prefix.
+const maxScoringCost = 4 * maxSimFrames
+
+// checkScoringCost applies the trajectory-factor cost accounting to a
+// resolved knob set. It runs after resolveOptions so a full Options
+// override is charged like the equivalent shortcuts.
+func checkScoringCost(opts hybridpart.Options) *httpError {
+	frames := opts.SimFrames
+	if frames < 1 {
+		frames = 1
+	}
+	cost := frames
+	if opts.Objective == hybridpart.ObjectiveSimulated || opts.RerankK != 0 {
+		cost *= hybridpart.SimObjectiveReplayFactor
+	}
+	if cost > maxScoringCost {
+		return &httpError{status: http.StatusUnprocessableEntity, msg: fmt.Sprintf(
+			"request costs %d trace replays (frames, sim-scored runs weighted ×%d), limit is %d — lower \"frames\" or use \"objective\": \"model\"",
+			cost, hybridpart.SimObjectiveReplayFactor, maxScoringCost)}
+	}
+	return nil
 }
 
 // entryOrDefault returns the entry function for source workloads.

@@ -2,8 +2,10 @@ package sim
 
 import (
 	"context"
+	"fmt"
 	"reflect"
 	"sort"
+	"sync"
 	"testing"
 
 	"hybridpart/internal/finegrain"
@@ -446,5 +448,212 @@ func TestReplayerMatchesSimulate(t *testing.T) {
 		if n != freq[id] {
 			t.Fatalf("WalkTrace visits block %d %d times, profiled %d", id, n, freq[id])
 		}
+	}
+}
+
+// TestMakespanMatchesSimulate pins the report-free scoring entry point to
+// the full Simulate: for every mappable moved set, every frame count and
+// both prefetch settings, Makespan must return exactly Report.TotalCycles —
+// it is the same replay with the bookkeeping elided, not an approximation.
+// A single Arena is reused across all calls to exercise the grow/reset path.
+func TestMakespanMatchesSimulate(t *testing.T) {
+	prog, flat, freq, edges := prep(t, threeStageSrc, "main_fn", 1)
+	in := Input{Prog: prog, F: flat, Plat: smallPlat(320), Freq: freq, Edges: edges}
+	r, err := NewReplayer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	movedSets := [][]ir.BlockID{nil}
+	for id := range flat.Blocks {
+		if _, err := r.CoarseLatency(ir.BlockID(id)); err == nil {
+			movedSets = append(movedSets, []ir.BlockID{ir.BlockID(id)})
+		}
+	}
+	var arena Arena
+	for _, frames := range []int{1, 2, 8} {
+		for _, prefetch := range []bool{false, true} {
+			cfg := Config{Frames: frames, Ports: 2, Prefetch: prefetch}
+			for _, moved := range movedSets {
+				rep, err := r.Simulate(context.Background(), cfg, moved)
+				if err != nil {
+					t.Fatalf("moved=%v: %v", moved, err)
+				}
+				got, err := r.Makespan(context.Background(), cfg, moved, &arena)
+				if err != nil {
+					t.Fatalf("moved=%v: %v", moved, err)
+				}
+				if got != rep.TotalCycles {
+					t.Fatalf("frames=%d prefetch=%v moved=%v: Makespan %d != Simulate %d",
+						frames, prefetch, moved, got, rep.TotalCycles)
+				}
+				// nil arena allocates a fresh one and must agree too.
+				fresh, err := r.Makespan(context.Background(), cfg, moved, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fresh != got {
+					t.Fatalf("moved=%v: fresh-arena makespan %d != reused-arena %d", moved, fresh, got)
+				}
+			}
+		}
+	}
+}
+
+// TestLowerBoundAdmissible is the branch-and-bound soundness property: for
+// every moved set (empty, singletons, and all mappable pairs) under every
+// frame/port/prefetch combination, LowerBound never exceeds the replayed
+// makespan. One overestimate would let the scorer prune a true argmin.
+func TestLowerBoundAdmissible(t *testing.T) {
+	for _, src := range []struct {
+		name, src, entry string
+		area             int
+	}{
+		{"three-stage", threeStageSrc, "main_fn", 320},
+		{"div", divSrc, "main_fn", 260},
+	} {
+		t.Run(src.name, func(t *testing.T) {
+			prog, flat, freq, edges := prep(t, src.src, src.entry, 1)
+			in := Input{Prog: prog, F: flat, Plat: smallPlat(src.area), Freq: freq, Edges: edges}
+			r, err := NewReplayer(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var mappable []ir.BlockID
+			for id := range flat.Blocks {
+				if _, err := r.CoarseLatency(ir.BlockID(id)); err == nil {
+					mappable = append(mappable, ir.BlockID(id))
+				}
+			}
+			movedSets := [][]ir.BlockID{nil}
+			for i, a := range mappable {
+				movedSets = append(movedSets, []ir.BlockID{a})
+				for _, b := range mappable[i+1:] {
+					movedSets = append(movedSets, []ir.BlockID{a, b})
+				}
+			}
+			var arena Arena
+			for _, frames := range []int{1, 4} {
+				for _, ports := range []int{1, 2} {
+					for _, prefetch := range []bool{false, true} {
+						cfg := Config{Frames: frames, Ports: ports, Prefetch: prefetch}
+						for _, moved := range movedSets {
+							bound, err := r.LowerBound(cfg, moved)
+							if err != nil {
+								t.Fatalf("moved=%v: %v", moved, err)
+							}
+							full, err := r.Makespan(context.Background(), cfg, moved, &arena)
+							if err != nil {
+								t.Fatalf("moved=%v: %v", moved, err)
+							}
+							if bound > full {
+								t.Fatalf("frames=%d ports=%d prefetch=%v moved=%v: bound %d exceeds makespan %d",
+									frames, ports, prefetch, moved, bound, full)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReplayerConcurrentUse is the race-detector pin for the documented
+// concurrency contract: one Replayer, 16 goroutines, each hammering the
+// full read API — Simulate, Makespan (with its own Arena), LowerBound,
+// CoarseLatency, TransferTicks and WalkTrace — while asserting every
+// result equals the serially computed golden value. Run under -race in CI.
+func TestReplayerConcurrentUse(t *testing.T) {
+	prog, flat, freq, edges := prep(t, threeStageSrc, "main_fn", 1)
+	in := Input{Prog: prog, F: flat, Plat: smallPlat(320), Freq: freq, Edges: edges}
+	r, err := NewReplayer(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var moved []ir.BlockID
+	for id := range flat.Blocks {
+		if _, err := r.CoarseLatency(ir.BlockID(id)); err == nil {
+			moved = append(moved, ir.BlockID(id))
+			if len(moved) == 2 {
+				break
+			}
+		}
+	}
+	cfg := Config{Frames: 4, Ports: 2, Prefetch: true}
+	goldenRep, err := r.Simulate(context.Background(), cfg, moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenBound, err := r.LowerBound(cfg, moved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenLat, err := r.CoarseLatency(moved[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenTx := r.TransferTicks(moved[0], cfg.Ports)
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var arena Arena // per-goroutine, per the contract
+			for i := 0; i < 20; i++ {
+				rep, err := r.Simulate(context.Background(), cfg, moved)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rep.TotalCycles != goldenRep.TotalCycles {
+					errs <- fmt.Errorf("concurrent Simulate: %d != %d", rep.TotalCycles, goldenRep.TotalCycles)
+					return
+				}
+				mk, err := r.Makespan(context.Background(), cfg, moved, &arena)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if mk != goldenRep.TotalCycles {
+					errs <- fmt.Errorf("concurrent Makespan: %d != %d", mk, goldenRep.TotalCycles)
+					return
+				}
+				b, err := r.LowerBound(cfg, moved)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if b != goldenBound {
+					errs <- fmt.Errorf("concurrent LowerBound: %d != %d", b, goldenBound)
+					return
+				}
+				lat, err := r.CoarseLatency(moved[0])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if lat != goldenLat {
+					errs <- fmt.Errorf("concurrent CoarseLatency: %d != %d", lat, goldenLat)
+					return
+				}
+				if tx := r.TransferTicks(moved[0], cfg.Ports); tx != goldenTx {
+					errs <- fmt.Errorf("concurrent TransferTicks: %d != %d", tx, goldenTx)
+					return
+				}
+				n := 0
+				r.WalkTrace(func(ir.BlockID) { n++ })
+				if n != r.TraceLen() {
+					errs <- fmt.Errorf("concurrent WalkTrace visited %d, want %d", n, r.TraceLen())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
 	}
 }

@@ -3,8 +3,12 @@ package hybridpart
 import (
 	"context"
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"hybridpart/internal/finegrain"
 	"hybridpart/internal/ir"
@@ -36,19 +40,39 @@ func ParseObjective(s string) (Objective, error) { return partition.ParseObjecti
 // the additive single-frame fast path (an O(trace) reconfiguration walk, no
 // event bookkeeping), and Incremental through the delta update that skips
 // even the walk when the moved kernel's fabric reassignment provably leaves
-// the crossing set unchanged.
+// the crossing set unchanged. Pruned counts candidates the branch-and-bound
+// argmin pass skipped because their admissible lower bound already exceeded
+// a fully scored incumbent; Parallel counts candidates scored on worker-pool
+// goroutines and Workers records the pool width. Pruned and Parallel depend
+// on evaluation scheduling and may vary run to run — the chosen mapping
+// never does.
 type SimScoreStats struct {
 	Scored      int `json:"scored"`
 	Replays     int `json:"replays"`
 	ClosedForm  int `json:"closed_form"`
 	Incremental int `json:"incremental"`
 	MemoHits    int `json:"memo_hits"`
+	Pruned      int `json:"pruned"`
+	Parallel    int `json:"parallel"`
+	Workers     int `json:"workers"`
 }
 
 // debugDisableSimFastPath forces every candidate through the full
 // discrete-event replay. Test hook: the property suite flips it to pin the
 // fast paths to the replay cycle for cycle.
 var debugDisableSimFastPath = false
+
+// debugSerialScoring restores the PR 5 scoring path: no batch argmin, no
+// lower-bound pruning, no arena reuse — every candidate goes through the
+// one-at-a-time SimCost loop with a full-report replay. Test/benchmark hook:
+// the equivalence suite uses it as the reference and BenchmarkObjectiveParallel
+// as the baseline.
+var debugSerialScoring = false
+
+// debugDisablePruning keeps the batch path (pool, arenas, evaluation order)
+// but scores every candidate instead of pruning. Test hook: the
+// admissibility property compares a pruned run against it.
+var debugDisablePruning = false
 
 // simSpecOf materializes the engine-level co-simulation knobs.
 func simSpecOf(o Options) SimSpec {
@@ -79,16 +103,22 @@ type scoredMapping struct {
 // plus the final report never replay the same mapping twice. Single-frame
 // no-prefetch candidates take the additive closed form instead of the event
 // engine, and consecutive trajectory prefixes whose move leaves the crossing
-// set unchanged take a pure delta update. A simScorer is not safe for
-// concurrent use; build one per partitioning run.
+// set unchanged take a pure delta update. Score serializes on the scorer's
+// lock; ScoreBatch scores replay-regime slates on a bounded worker pool
+// (workers wide, 0 = GOMAXPROCS) with per-worker arenas and branch-and-bound
+// pruning, so a simScorer is safe for concurrent use — but build one per
+// partitioning run, its memo is per-(workload, knob) tuple.
 type simScorer struct {
-	rep   *sim.Replayer
-	cfg   sim.Config
-	plat  platform.Platform
-	f     *ir.Function
-	freq  []uint64
-	ratio int64
+	rep     *sim.Replayer
+	cfg     sim.Config
+	plat    platform.Platform
+	f       *ir.Function
+	freq    []uint64
+	ratio   int64
+	workers int
 
+	mu    sync.Mutex
+	arena sim.Arena
 	memo  map[string]int64
 	last  *scoredMapping
 	stats SimScoreStats
@@ -137,8 +167,10 @@ func movedKey(moved []ir.BlockID) string {
 
 // Score returns the simulated makespan (FPGA cycles) of the mapping that
 // moves the given blocks to the coarse-grain data-path. It has the
-// partition.Config.SimCost signature.
+// partition.Config.SimCost signature. Calls serialize on the scorer's lock.
 func (s *simScorer) Score(ctx context.Context, moved []ir.BlockID) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	key := movedKey(moved)
 	if v, ok := s.memo[key]; ok {
 		s.stats.MemoHits++
@@ -153,16 +185,206 @@ func (s *simScorer) Score(ctx context.Context, moved []ir.BlockID) (int64, error
 	return v, nil
 }
 
+// score evaluates one unmemoized mapping. Callers hold s.mu.
 func (s *simScorer) score(ctx context.Context, moved []ir.BlockID) (int64, error) {
-	if s.cfg.Frames == 1 && !s.cfg.Prefetch && !debugDisableSimFastPath {
+	if s.fastRegime() {
 		return s.closedForm(moved)
 	}
-	rep, err := s.rep.Simulate(ctx, s.cfg, moved)
+	if debugSerialScoring {
+		// The PR 5 path: a full-report replay per candidate.
+		rep, err := s.rep.Simulate(ctx, s.cfg, moved)
+		if err != nil {
+			return 0, err
+		}
+		s.stats.Replays++
+		return rep.TotalCycles, nil
+	}
+	v, err := s.rep.Makespan(ctx, s.cfg, moved, &s.arena)
 	if err != nil {
 		return 0, err
 	}
 	s.stats.Replays++
-	return rep.TotalCycles, nil
+	return v, nil
+}
+
+// fastRegime reports whether candidates take the additive closed form
+// instead of the event engine.
+func (s *simScorer) fastRegime() bool {
+	return s.cfg.Frames == 1 && !s.cfg.Prefetch && !debugDisableSimFastPath
+}
+
+// ScoreBatch scores a whole candidate slate for the argmin pass. It has the
+// partition.Config.SimCostBatch signature.
+//
+// In the closed-form regime candidates evaluate serially in slate order —
+// that order is what feeds the incremental delta tier, and the closed form
+// is already cheaper than a lower bound plus scheduling. In the replay
+// regime the slate goes through best-first branch-and-bound: every
+// candidate's admissible lower bound (sim.Replayer.LowerBound) is computed
+// up front, candidates replay in ascending-bound order (ties on slate
+// index) across the worker pool, and any candidate whose bound strictly
+// exceeds the incumbent best makespan is pruned without replaying. Pruning
+// and parallel scheduling never change the selection: scored makespans are
+// exact and deterministic, and a pruned candidate is provably strictly
+// worse than the incumbent, so it can never be the index-ordered argmin —
+// only the Pruned/Parallel counters vary with scheduling.
+func (s *simScorer) ScoreBatch(ctx context.Context, candidates [][]ir.BlockID) ([]partition.SimScore, error) {
+	out := make([]partition.SimScore, len(candidates))
+	if s.fastRegime() {
+		for i, moved := range candidates {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := s.Score(ctx, moved)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = partition.SimScore{Cycles: v}
+		}
+		return out, nil
+	}
+
+	// Memo hits resolve immediately and seed the incumbent: every memoized
+	// value is the exact makespan of a candidate in this slate.
+	incumbent := int64(math.MaxInt64)
+	pending := make([]int, 0, len(candidates))
+	keys := make([]string, len(candidates))
+	s.mu.Lock()
+	for i, moved := range candidates {
+		keys[i] = movedKey(moved)
+		if v, ok := s.memo[keys[i]]; ok {
+			s.stats.MemoHits++
+			out[i] = partition.SimScore{Cycles: v}
+			if v < incumbent {
+				incumbent = v
+			}
+			continue
+		}
+		pending = append(pending, i)
+	}
+	workers := s.workers
+	s.mu.Unlock()
+	if len(pending) == 0 {
+		return out, nil
+	}
+
+	// Admissible lower bounds, then best-first order: the candidate most
+	// likely to be the argmin replays first, which drops the incumbent
+	// early and lets the bound prune the tail. Two tiers: the closed-form
+	// resource floor (O(moved)) and the exact fine-fabric occupancy walk
+	// (O(trace), still far below a full replay) — the walk is exact on
+	// fine-dominated candidates, so once the incumbent is near the optimum
+	// almost every other candidate's bound exceeds it.
+	bounds := make([]int64, len(candidates))
+	for _, i := range pending {
+		b, err := s.rep.LowerBound(s.cfg, candidates[i])
+		if err != nil {
+			return nil, err
+		}
+		if wb, err := s.rep.FineWalkBound(s.cfg, candidates[i], &s.arena); err != nil {
+			return nil, err
+		} else if wb > b {
+			b = wb
+		}
+		bounds[i] = b
+	}
+	sort.SliceStable(pending, func(a, b int) bool { return bounds[pending[a]] < bounds[pending[b]] })
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+
+	var best atomic.Int64
+	best.Store(incumbent)
+	var pruned atomic.Int64
+	// evalOne replays candidate i (unless its bound prunes it) into out[i].
+	evalOne := func(ctx context.Context, i int, arena *sim.Arena, parallel bool) error {
+		if !debugDisablePruning && bounds[i] > best.Load() {
+			out[i] = partition.SimScore{Pruned: true}
+			pruned.Add(1)
+			return nil
+		}
+		v, err := s.rep.Makespan(ctx, s.cfg, candidates[i], arena)
+		if err != nil {
+			return err
+		}
+		for {
+			cur := best.Load()
+			if v >= cur || best.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+		s.mu.Lock()
+		s.stats.Scored++
+		s.stats.Replays++
+		if parallel {
+			s.stats.Parallel++
+		}
+		s.memo[keys[i]] = v
+		s.mu.Unlock()
+		out[i] = partition.SimScore{Cycles: v}
+		return nil
+	}
+
+	var err error
+	if workers <= 1 {
+		for _, i := range pending {
+			if err = ctx.Err(); err != nil {
+				break
+			}
+			if err = evalOne(ctx, i, &s.arena, false); err != nil {
+				break
+			}
+		}
+	} else {
+		poolCtx, cancel := context.WithCancel(ctx)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		var errOnce sync.Once
+		fail := func(e error) {
+			errOnce.Do(func() {
+				err = e
+				cancel()
+			})
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var arena sim.Arena
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= len(pending) {
+						return
+					}
+					if e := poolCtx.Err(); e != nil {
+						fail(e)
+						return
+					}
+					if e := evalOne(poolCtx, pending[k], &arena, true); e != nil {
+						fail(e)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		cancel()
+	}
+	if err == nil {
+		err = ctx.Err()
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.stats.Pruned += int(pruned.Load())
+	s.stats.Workers = workers
+	s.mu.Unlock()
+	return out, nil
 }
 
 // closedForm scores a single-frame no-prefetch candidate without the event

@@ -24,6 +24,13 @@ type SweepOutcome = explore.Outcome
 // order, with JSON/CSV emitters and a speedup-vs-area Pareto summary.
 type SweepResult = explore.ResultSet
 
+// SimObjectiveReplayFactor is the trajectory factor of the cost accounting
+// shared by SweepSpec.SimulationCost and the service's request guards: a
+// simulation-scored run is charged this many whole-trace replays per frame,
+// approximating one replay per trajectory prefix (the prefix count is
+// unknown before profiling).
+const SimObjectiveReplayFactor = explore.SimObjectiveReplayFactor
+
 // PlatformConfig is a named platform variant from the preset registry.
 type PlatformConfig = platform.Config
 
