@@ -10,11 +10,24 @@
 //
 // Endpoints: POST /v1/partition, POST /v1/partition-energy, POST /v1/sweep
 // (SSE progress with Accept: text/event-stream), POST /v1/simulate,
-// GET /healthz, GET /v1/presets, GET /debug/stats. -profile-memo bounds the
-// process-wide benchmark profile memo ((bench, seed) entries; 0 lifts the
-// bound for trusted deployments) and /debug/stats reports its population.
-// SIGINT or SIGTERM drains in-flight requests and shuts the listener down
-// gracefully.
+// GET /healthz, GET /v1/presets, GET /debug/stats, GET /metrics (Prometheus
+// text). -profile-memo bounds the process-wide benchmark profile memo
+// ((bench, seed) entries; 0 lifts the bound for trusted deployments) and
+// /debug/stats reports its population.
+//
+// Fleet and persistence knobs:
+//
+//	-cache-dir DIR       persist results on disk (content-addressed, LRU
+//	                     evicted at -cache-disk-mb) so a restart serves its
+//	                     first repeat request as a hit
+//	-self URL -peers A,B fingerprint-sharded peer routing over a consistent
+//	                     ring: requests another replica owns are forwarded
+//	                     there, so N replicas keep one copy of each result
+//	-max-sim-cost N      admission budget in simulated-cost units per second;
+//	                     sim-scored bursts over it are shed with 429
+//
+// SIGINT or SIGTERM drains in-flight requests (including forwards) and
+// shuts the listener down gracefully. Invalid flags exit 2.
 package main
 
 import (
@@ -25,22 +38,32 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"hybridpart"
+	"hybridpart/internal/cluster"
 	"hybridpart/internal/server"
+	"hybridpart/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address (host:port)")
 	workers := flag.Int("workers", 0, "bound on each sweep's worker pool (0 = no bound, GOMAXPROCS default)")
-	cacheCap := flag.Int("cache", 256, "result-cache capacity in entries")
+	cacheCap := flag.Int("cache", 256, "result-cache capacity in entries (in-memory store)")
+	cacheDir := flag.String("cache-dir", "", "persist results in this directory (disk-backed store; survives restarts)")
+	cacheDiskMB := flag.Int("cache-disk-mb", 64, "disk store bound in MiB (with -cache-dir)")
 	timeout := flag.Duration("timeout", time.Minute, "per-request run timeout (0 = unbounded)")
 	profileMemo := flag.Int("profile-memo", hybridpart.DefaultProfileMemoBound,
 		"benchmark profile memo bound in (bench, seed) entries; 0 = unbounded, for trusted deployments")
+	self := flag.String("self", "", "this replica's base URL as peers reach it (fleet mode, with -peers)")
+	peers := flag.String("peers", "", "comma-separated base URLs of every replica, -self included (fleet mode)")
+	maxSimCost := flag.Int("max-sim-cost", 0, "admission budget in simulated-cost units per second (0 = no admission control)")
 	flag.Parse()
 
 	if *cacheCap <= 0 {
@@ -52,28 +75,65 @@ func main() {
 	if *timeout < 0 {
 		fail(fmt.Sprintf("-timeout must be non-negative, got %v", *timeout))
 	}
+	if *maxSimCost < 0 {
+		fail(fmt.Sprintf("-max-sim-cost must be non-negative, got %d", *maxSimCost))
+	}
 	if err := hybridpart.SetProfileMemoBound(*profileMemo); err != nil {
 		fail(fmt.Sprintf("-profile-memo: %v", err))
 	}
+	peerList, err := validateFleet(*self, *peers)
+	if err != nil {
+		fail(err.Error())
+	}
 
-	// SIGINT/SIGTERM cancel this context; the same plumbing the library uses
-	// for run cancellation drives the server's graceful shutdown.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	handler := server.New(server.Config{
+	cfg := server.Config{
 		CacheCapacity: *cacheCap,
 		Workers:       *workers,
 		Timeout:       *timeout,
-	})
+		Self:          *self,
+		Peers:         peerList,
+		MaxSimCost:    *maxSimCost,
+	}
+	var disk *store.Disk
+	if *cacheDir != "" {
+		if *cacheDiskMB <= 0 {
+			fail(fmt.Sprintf("-cache-disk-mb must be positive, got %d", *cacheDiskMB))
+		}
+		if err := validateCacheDir(*cacheDir); err != nil {
+			fail(err.Error())
+		}
+		if disk, err = store.OpenDisk(*cacheDir, int64(*cacheDiskMB)<<20); err != nil {
+			fail(fmt.Sprintf("-cache-dir: %v", err))
+		}
+		cfg.Store = disk
+	}
+	// closeStore flushes the disk index; it must run on every exit path
+	// that follows OpenDisk, or the next start loses the LRU order.
+	closeStore := func() {
+		if disk == nil {
+			return
+		}
+		if err := disk.Close(); err != nil {
+			log.Printf("hservd: closing disk store: %v", err)
+		}
+	}
+
+	// SIGINT/SIGTERM cancel this context, which starts the graceful drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Request contexts are decoupled from the signal context: cancelling
+	// them at the signal would abort the very in-flight runs (and peer
+	// forwards) the drain below exists to finish. They are cancelled only
+	// when the drain window expires.
+	runCtx, cancelRuns := context.WithCancel(context.Background())
+	defer cancelRuns()
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           handler,
+		Handler:           server.New(cfg),
 		ReadHeaderTimeout: 10 * time.Second,
-		// Tie every request context to the signal context: on shutdown,
-		// in-flight engine runs see cancellation and finish promptly (as
-		// 499s) instead of outliving the drain window below.
-		BaseContext: func(net.Listener) context.Context { return ctx },
+		BaseContext:       func(net.Listener) context.Context { return runCtx },
 	}
 
 	// Listen before announcing, so ":0" logs the real port.
@@ -81,13 +141,24 @@ func main() {
 	if err != nil {
 		fail(err.Error())
 	}
-	log.Printf("hservd: listening on %s (cache %d entries, timeout %v)", ln.Addr(), *cacheCap, *timeout)
+	mode := fmt.Sprintf("cache %d entries", *cacheCap)
+	if disk != nil {
+		mode = fmt.Sprintf("disk cache %s (%d MiB)", *cacheDir, *cacheDiskMB)
+	}
+	if len(peerList) > 0 {
+		mode += fmt.Sprintf(", fleet of %d (self %s)", len(peerList), *self)
+	}
+	if *maxSimCost > 0 {
+		mode += fmt.Sprintf(", admission %d units/s", *maxSimCost)
+	}
+	log.Printf("hservd: listening on %s (%s, timeout %v, metrics at /metrics)", ln.Addr(), mode, *timeout)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
 	select {
 	case err := <-serveErr:
+		closeStore()
 		if !errors.Is(err, http.ErrServerClosed) {
 			fail(err.Error())
 		}
@@ -95,12 +166,87 @@ func main() {
 		log.Printf("hservd: signal received, draining in-flight requests")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
-		if err := srv.Shutdown(shutdownCtx); err != nil {
+		// If the drain window expires, cancel the remaining runs so
+		// Shutdown's error path is reached promptly rather than hanging
+		// on an engine run that ignores the listener closing.
+		stopKill := context.AfterFunc(shutdownCtx, cancelRuns)
+		defer stopKill()
+		err := srv.Shutdown(shutdownCtx)
+		closeStore()
+		if err != nil {
 			log.Printf("hservd: forced shutdown: %v", err)
 			os.Exit(1)
 		}
 		log.Printf("hservd: bye")
 	}
+}
+
+// validateFleet checks the -self/-peers pair and returns the parsed peer
+// list: both flags or neither, every URL well-formed (http/https scheme and
+// a host), and -self a member of -peers.
+func validateFleet(self, peers string) ([]string, error) {
+	if (self == "") != (peers == "") {
+		return nil, errors.New("-self and -peers must be given together")
+	}
+	if self == "" {
+		return nil, nil
+	}
+	if err := validatePeerURL(self); err != nil {
+		return nil, fmt.Errorf("-self: %w", err)
+	}
+	var list []string
+	for _, p := range strings.Split(peers, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if err := validatePeerURL(p); err != nil {
+			return nil, fmt.Errorf("-peers: %w", err)
+		}
+		list = append(list, p)
+	}
+	if len(list) == 0 {
+		return nil, errors.New("-peers names no replicas")
+	}
+	if !cluster.NewRing(list, 0).Contains(self) {
+		return nil, fmt.Errorf("-self %s is not in -peers %s", self, peers)
+	}
+	return list, nil
+}
+
+// validatePeerURL rejects replica URLs the forwarder could not use.
+func validatePeerURL(raw string) error {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return fmt.Errorf("malformed URL %q: %v", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return fmt.Errorf("URL %q must use http or https", raw)
+	}
+	if u.Host == "" {
+		return fmt.Errorf("URL %q has no host", raw)
+	}
+	return nil
+}
+
+// validateCacheDir requires an existing, writable directory — failing at
+// startup with a clear message beats failing on the first eviction.
+func validateCacheDir(dir string) error {
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return fmt.Errorf("-cache-dir: %v", err)
+	}
+	if !fi.IsDir() {
+		return fmt.Errorf("-cache-dir %s is not a directory", dir)
+	}
+	probe := filepath.Join(dir, ".hservd-writable")
+	f, err := os.Create(probe)
+	if err != nil {
+		return fmt.Errorf("-cache-dir %s is not writable: %v", dir, err)
+	}
+	f.Close()
+	os.Remove(probe)
+	return nil
 }
 
 func fail(msg string) {

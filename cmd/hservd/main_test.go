@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestValidateFleet(t *testing.T) {
+	cases := []struct {
+		name    string
+		self    string
+		peers   string
+		wantN   int
+		wantErr bool
+	}{
+		{name: "no fleet", self: "", peers: "", wantN: 0},
+		{name: "two replicas", self: "http://a:8080", peers: "http://a:8080,http://b:8080", wantN: 2},
+		{name: "whitespace and trailing slash", self: "http://a:8080/", peers: " http://a:8080 , http://b:8080 ", wantN: 2},
+		{name: "self without peers", self: "http://a:8080", peers: "", wantErr: true},
+		{name: "peers without self", self: "", peers: "http://a:8080", wantErr: true},
+		{name: "self not a member", self: "http://c:8080", peers: "http://a:8080,http://b:8080", wantErr: true},
+		{name: "malformed peer", self: "http://a:8080", peers: "http://a:8080,:%//bad", wantErr: true},
+		{name: "schemeless peer", self: "http://a:8080", peers: "http://a:8080,b:8080", wantErr: true},
+		{name: "ftp peer", self: "http://a:8080", peers: "http://a:8080,ftp://b:21", wantErr: true},
+		{name: "hostless self", self: "http://", peers: "http://", wantErr: true},
+		{name: "only commas", self: "http://a:8080", peers: ",,,", wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			list, err := validateFleet(tc.self, tc.peers)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("validateFleet(%q, %q) accepted", tc.self, tc.peers)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("validateFleet(%q, %q): %v", tc.self, tc.peers, err)
+			}
+			if len(list) != tc.wantN {
+				t.Fatalf("got %d peers, want %d", len(list), tc.wantN)
+			}
+		})
+	}
+}
+
+func TestValidateCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := validateCacheDir(dir); err != nil {
+		t.Fatalf("writable dir rejected: %v", err)
+	}
+	if err := validateCacheDir(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("nonexistent dir accepted")
+	}
+	file := filepath.Join(dir, "file")
+	if err := os.WriteFile(file, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateCacheDir(file); err == nil {
+		t.Fatal("plain file accepted as cache dir")
+	}
+	if os.Geteuid() != 0 { // root writes anywhere; the probe only means something unprivileged
+		ro := filepath.Join(dir, "ro")
+		if err := os.Mkdir(ro, 0o500); err != nil {
+			t.Fatal(err)
+		}
+		if err := validateCacheDir(ro); err == nil {
+			t.Fatal("read-only dir accepted")
+		}
+	}
+}

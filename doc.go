@@ -17,7 +17,9 @@
 //	explore      — design-space-exploration engine (grid sweeps)
 //	platform     — platform characterization and the preset registry
 //	apps         — the OFDM transmitter and JPEG encoder benchmarks
-//	cache        — bounded content-addressed result store + singleflight
+//	cache        — content-addressed result caching + singleflight
+//	store        — pluggable cache backends: in-memory LRU, disk store
+//	cluster      — consistent-hash ring for fingerprint-sharded fleets
 //	server       — partitioning-as-a-service HTTP front end (cmd/hservd)
 //	sim          — discrete-event co-simulator of the hybrid platform
 //
@@ -127,4 +129,16 @@
 // full knob set — and sweep progress streams to clients as server-sent
 // events via WriteSSE. POST /v1/simulate serves the co-simulator through
 // the same cache. See the README's "Running as a service" section.
+//
+// The store behind the cache is pluggable (internal/store): the default
+// in-memory LRU, or a disk-backed content-addressed store (-cache-dir) so
+// a restarted replica serves its first repeat request as a hit. Several
+// replicas form a fleet (-self/-peers): cache keys are sharded over a
+// consistent-hash ring (internal/cluster) and non-owned requests are
+// forwarded to the owning replica, so the fleet stores one copy of each
+// result and coalesces identical requests globally. GET /metrics exports
+// every counter in Prometheus text form, and -max-sim-cost arms cost-based
+// admission control — sim-scored bursts over the budget are shed with 429 +
+// Retry-After instead of piling up. See the README's "Running a fleet"
+// section.
 package hybridpart

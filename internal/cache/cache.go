@@ -1,91 +1,68 @@
-// Package cache provides the bounded, concurrency-safe, content-addressed
-// result store behind the partitioning service. The methodology is a pure
+// Package cache provides the concurrency-safe, content-addressed result
+// cache behind the partitioning service. The methodology is a pure
 // function from (source hash, entry, profiling inputs, Options) to a
 // partition, so results can be keyed by a canonical fingerprint of those
-// inputs and shared across clients: a Cache maps such fingerprints to
-// values, evicts least-recently-used entries once a capacity is exceeded,
-// and coalesces concurrent misses on the same key into a single computation
-// (singleflight), so N identical in-flight requests cost one
-// compile+profile+partition instead of N.
+// inputs and shared across clients.
 //
-// The cache is value-generic. The service instantiates it with the encoded
-// response bytes, which makes cache hits byte-identical to the miss that
-// populated them by construction.
+// The package is the coalescing layer: it owns singleflight — N identical
+// in-flight requests cost one compile+profile+partition — and the
+// hit/miss accounting, while the entry storage itself is a pluggable
+// store.Backend beneath it (the bounded in-memory LRU by default, or the
+// disk-backed store so a restarted replica comes back warm). The service
+// instantiates the cache with encoded response bytes, which makes cache
+// hits byte-identical to the miss that populated them by construction.
 package cache
 
 import (
-	"container/list"
 	"context"
 	"errors"
 	"fmt"
 	"sync"
+
+	"hybridpart/internal/store"
 )
 
-// Stats is a point-in-time snapshot of a Cache's counters.
-type Stats struct {
-	// Hits counts lookups served from a stored entry; Misses counts
-	// lookups that triggered a computation.
-	Hits   uint64 `json:"hits"`
-	Misses uint64 `json:"misses"`
-	// Coalesced counts lookups that joined an in-flight computation
-	// instead of starting their own (the singleflight savings).
-	Coalesced uint64 `json:"coalesced"`
-	// Evictions counts entries dropped to enforce the capacity bound.
-	Evictions uint64 `json:"evictions"`
-	// Size is the current number of stored entries; Capacity the bound.
-	Size     int `json:"size"`
-	Capacity int `json:"capacity"`
-}
+// Stats is a point-in-time snapshot of the cache counters: the coalescing
+// layer's hits/misses/coalesced merged with the backend's size, capacity
+// and eviction counts.
+type Stats = store.Stats
 
-// Cache is a bounded, concurrency-safe, content-addressed store with
-// request coalescing. The zero value is not usable; construct with New.
-type Cache[V any] struct {
+// Cache is a coalescing front over a store.Backend. The zero value is not
+// usable; construct with New or NewBacked.
+type Cache struct {
+	be       store.Backend
 	mu       sync.Mutex
-	capacity int
-	lru      *list.List               // front = most recently used
-	byKey    map[string]*list.Element // key -> element holding *entry[V]
-	inflight map[string]*call[V]
-	stats    Stats
-}
-
-type entry[V any] struct {
-	key string
-	val V
+	inflight map[string]*call
+	stats    Stats // only the Hits/Misses/Coalesced fields are maintained here
 }
 
 // call is one in-flight computation; waiters block on done.
-type call[V any] struct {
+type call struct {
 	done chan struct{}
-	val  V
+	val  []byte
 	err  error
 }
 
-// New returns a Cache bounded to capacity entries (minimum 1).
-func New[V any](capacity int) *Cache[V] {
-	if capacity < 1 {
-		capacity = 1
-	}
-	return &Cache[V]{
-		capacity: capacity,
-		lru:      list.New(),
-		byKey:    make(map[string]*list.Element),
-		inflight: make(map[string]*call[V]),
+// New returns a Cache over an in-memory LRU bounded to capacity entries
+// (minimum 1) — the configuration the service has always defaulted to.
+func New(capacity int) *Cache {
+	return NewBacked(store.NewMemory(capacity))
+}
+
+// NewBacked returns a Cache over an explicit backend (e.g. a store.Disk
+// so results survive restarts). The cache assumes sole ownership of the
+// backend's keyspace; closing the backend remains the caller's job.
+func NewBacked(be store.Backend) *Cache {
+	return &Cache{
+		be:       be,
+		inflight: make(map[string]*call),
 	}
 }
 
 // Get returns the stored value for key, marking it most recently used.
 // It counts as neither hit nor miss: use GetOrCompute for the instrumented
 // read path.
-func (c *Cache[V]) Get(key string) (V, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.byKey[key]; ok {
-		c.lru.MoveToFront(el)
-		return el.Value.(*entry[V]).val, true
-	}
-	var zero V
-	return zero, false
-}
+func (c *Cache) Get(key string) ([]byte, bool) { return c.be.Get(key) }
 
 // GetOrCompute returns the value for key, computing and storing it on a
 // miss. Concurrent callers for the same key are coalesced: exactly one runs
@@ -102,25 +79,32 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 // error, becoming — or joining — the next leader. The leader's compute
 // decides its own cancellation, so callers that must abort pass a compute
 // closed over the same ctx.
-func (c *Cache[V]) GetOrCompute(ctx context.Context, key string, compute func() (V, error)) (v V, hit bool, err error) {
+func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]byte, error)) (v []byte, hit bool, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	var cl *call[V]
+	var cl *call
 	coalesced := false // count each caller at most once, however often it retries
 	for {
 		c.mu.Lock()
-		if el, ok := c.byKey[key]; ok {
-			c.lru.MoveToFront(el)
-			c.stats.Hits++
-			v := el.Value.(*entry[V]).val
-			c.mu.Unlock()
-			return v, true, nil
-		}
 		waiting, ok := c.inflight[key]
 		if !ok {
-			cl = &call[V]{done: make(chan struct{})}
+			// We lead for this key. Register before probing the backend so
+			// concurrent callers coalesce onto us whichever way the probe
+			// goes; probe outside the map lock so backend I/O (a disk read)
+			// never serializes unrelated keys.
+			cl = &call{done: make(chan struct{})}
 			c.inflight[key] = cl
+			c.mu.Unlock()
+			if val, ok := c.be.Get(key); ok {
+				c.mu.Lock()
+				c.stats.Hits++
+				c.mu.Unlock()
+				cl.val = val
+				c.finish(key, cl, false) // already stored
+				return val, true, nil
+			}
+			c.mu.Lock()
 			c.stats.Misses++
 			c.mu.Unlock()
 			break
@@ -137,8 +121,7 @@ func (c *Cache[V]) GetOrCompute(ctx context.Context, key string, compute func() 
 			}
 			return waiting.val, true, waiting.err
 		case <-ctx.Done():
-			var zero V
-			return zero, false, ctx.Err()
+			return nil, false, ctx.Err()
 		}
 	}
 
@@ -165,46 +148,30 @@ func isContextErr(err error) bool {
 }
 
 // finish publishes a completed call: stores the value on success, removes
-// the in-flight marker and releases the waiters.
-func (c *Cache[V]) finish(key string, cl *call[V], store bool) {
+// the in-flight marker and releases the waiters. The value lands in the
+// backend before the in-flight marker goes, so no caller can observe
+// neither.
+func (c *Cache) finish(key string, cl *call, storeVal bool) {
+	if storeVal {
+		c.be.Put(key, cl.val)
+	}
 	c.mu.Lock()
 	delete(c.inflight, key)
-	if store {
-		c.addLocked(key, cl.val)
-	}
 	c.mu.Unlock()
 	close(cl.done)
 }
 
-// addLocked inserts (or refreshes) key and enforces the capacity bound.
-func (c *Cache[V]) addLocked(key string, val V) {
-	if el, ok := c.byKey[key]; ok {
-		el.Value.(*entry[V]).val = val
-		c.lru.MoveToFront(el)
-		return
-	}
-	c.byKey[key] = c.lru.PushFront(&entry[V]{key: key, val: val})
-	for c.lru.Len() > c.capacity {
-		oldest := c.lru.Back()
-		c.lru.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*entry[V]).key)
-		c.stats.Evictions++
-	}
-}
-
 // Len returns the current number of stored entries.
-func (c *Cache[V]) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
-}
+func (c *Cache) Len() int { return c.be.Len() }
 
-// Stats returns a snapshot of the cache counters.
-func (c *Cache[V]) Stats() Stats {
+// Stats returns a snapshot of the cache counters: the backend's
+// size/capacity/evictions merged with this layer's hits/misses/coalesced.
+func (c *Cache) Stats() Stats {
+	s := c.be.Stats()
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Size = c.lru.Len()
-	s.Capacity = c.capacity
+	s.Hits = c.stats.Hits
+	s.Misses = c.stats.Misses
+	s.Coalesced = c.stats.Coalesced
+	c.mu.Unlock()
 	return s
 }

@@ -1,0 +1,117 @@
+// Package cluster implements the fingerprint-sharded peer routing behind
+// hservd's fleet mode. The service's cache keys are canonical request
+// fingerprints — content addresses — so a consistent-hash ring over the
+// replica set assigns every key exactly one owning replica: requests for
+// non-owned keys forward to the owner, and N replicas coalesce globally
+// instead of each computing (and caching) its own copy.
+//
+// The ring is the classic virtual-node construction: each node is hashed
+// onto the ring at VirtualNodes points, a key is owned by the first node
+// point at or clockwise-after the key's hash, and membership changes move
+// only the keys adjacent to the added or removed node's points — adding a
+// node to an n-node ring remaps roughly 1/(n+1) of the keyspace, all of it
+// onto the new node, and removing one remaps only the keys it owned.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultVirtualNodes is the per-node point count used when NewRing is
+// given a non-positive count: enough for <3% keyspace imbalance across the
+// 2–8 replica fleets the service targets, small enough that ring
+// construction stays microseconds.
+const DefaultVirtualNodes = 128
+
+// Ring is an immutable consistent-hash ring over a set of node names
+// (replica base URLs, in the service). Construct with NewRing; membership
+// changes build a new Ring, which keeps every lookup lock-free.
+type Ring struct {
+	vnodes int
+	nodes  []string // deduplicated, sorted
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// NewRing builds a ring over nodes with vnodes virtual points per node
+// (DefaultVirtualNodes when vnodes <= 0). Node names are normalized with
+// NormalizeNode, deduplicated and sorted, so any permutation of the same
+// membership yields an identical ring on every replica.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := map[string]bool{}
+	var uniq []string
+	for _, n := range nodes {
+		n = NormalizeNode(n)
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		uniq = append(uniq, n)
+	}
+	sort.Strings(uniq)
+	r := &Ring{vnodes: vnodes, nodes: uniq}
+	r.points = make([]ringPoint, 0, len(uniq)*vnodes)
+	for _, n := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", n, i)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node // deterministic on collision
+	})
+	return r
+}
+
+// Owner returns the node owning key: the first ring point at or after the
+// key's hash, wrapping at the top. An empty ring owns nothing ("").
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the ring's membership, normalized and sorted. The slice
+// is shared: callers must not mutate it.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Contains reports whether node (after normalization) is a ring member.
+func (r *Ring) Contains(node string) bool {
+	node = NormalizeNode(node)
+	i := sort.SearchStrings(r.nodes, node)
+	return i < len(r.nodes) && r.nodes[i] == node
+}
+
+// NormalizeNode canonicalizes a node name so that textual variants of the
+// same replica URL ("http://a:8080" vs "http://a:8080/") land on the same
+// ring points everywhere.
+func NormalizeNode(node string) string {
+	return strings.TrimRight(strings.TrimSpace(node), "/")
+}
+
+// hash64 maps a string onto the ring: the first 8 bytes of its SHA-256,
+// big-endian. SHA-256 keeps point placement uniform (the balance property
+// the vnode count is sized for) and identical across architectures.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// testKeys returns n fingerprint-shaped keys (hex SHA-256 strings, exactly
+// what the service hands the ring).
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("request-%d", i)))
+		keys[i] = hex.EncodeToString(sum[:])
+	}
+	return keys
+}
+
+func nodeNames(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://replica-%d:8080", i)
+	}
+	return nodes
+}
+
+// TestRingBalance: across 2–8 nodes, every node owns a reasonable share of
+// a large keyspace — no node starves and no node hoards.
+func TestRingBalance(t *testing.T) {
+	keys := testKeys(20000)
+	for n := 2; n <= 8; n++ {
+		r := NewRing(nodeNames(n), 0)
+		counts := map[string]int{}
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("%d nodes: only %d received keys", n, len(counts))
+		}
+		fair := len(keys) / n
+		for node, c := range counts {
+			if c < fair/2 || c > fair*2 {
+				t.Errorf("%d nodes: %s owns %d keys, fair share is %d", n, node, c, fair)
+			}
+		}
+	}
+}
+
+// TestRingDeterminism: membership order must not matter — every replica
+// builds the identical ring from its -peers list however it is written.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	b := NewRing([]string{"http://c/", " http://a", "http://b", "http://b/"}, 0)
+	for _, k := range testKeys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("permuted membership changed ownership of %s: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingMinimalRemappingOnAdd: growing the fleet by one node moves keys
+// only onto the new node — a key's owner either stays put or becomes the
+// newcomer — and the moved fraction is near 1/(n+1).
+func TestRingMinimalRemappingOnAdd(t *testing.T) {
+	keys := testKeys(20000)
+	for n := 2; n <= 6; n++ {
+		old := NewRing(nodeNames(n), 0)
+		grown := NewRing(nodeNames(n+1), 0) // adds replica-n
+		added := NormalizeNode(nodeNames(n + 1)[n])
+		moved := 0
+		for _, k := range keys {
+			before, after := old.Owner(k), grown.Owner(k)
+			if before == after {
+				continue
+			}
+			if after != added {
+				t.Fatalf("%d->%d nodes: key moved %s -> %s, not to the added node", n, n+1, before, after)
+			}
+			moved++
+		}
+		want := len(keys) / (n + 1)
+		if moved < want/2 || moved > want*2 {
+			t.Errorf("%d->%d nodes: %d keys moved, expected about %d", n, n+1, moved, want)
+		}
+	}
+}
+
+// TestRingMinimalRemappingOnRemove: removing a node reassigns only the
+// keys it owned; everything else stays put.
+func TestRingMinimalRemappingOnRemove(t *testing.T) {
+	keys := testKeys(20000)
+	nodes := nodeNames(5)
+	full := NewRing(nodes, 0)
+	removed := NormalizeNode(nodes[2])
+	shrunk := NewRing(append(append([]string{}, nodes[:2]...), nodes[3:]...), 0)
+	for _, k := range keys {
+		before, after := full.Owner(k), shrunk.Owner(k)
+		if before == removed {
+			if after == removed {
+				t.Fatalf("key %s still owned by the removed node", k)
+			}
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %s moved %s -> %s though its owner stayed in the ring", k, before, after)
+		}
+	}
+}
+
+// TestRingEdgeCases: empty ring, single node, Contains normalization.
+func TestRingEdgeCases(t *testing.T) {
+	if owner := NewRing(nil, 0).Owner("k"); owner != "" {
+		t.Fatalf("empty ring owns %q", owner)
+	}
+	one := NewRing([]string{"http://solo:1"}, 0)
+	for _, k := range testKeys(50) {
+		if one.Owner(k) != "http://solo:1" {
+			t.Fatal("single-node ring split ownership")
+		}
+	}
+	r := NewRing([]string{"http://a:8080/", "http://b:8080"}, 0)
+	if !r.Contains("http://a:8080") || !r.Contains("http://a:8080/") {
+		t.Fatal("Contains must normalize")
+	}
+	if r.Contains("http://c:8080") {
+		t.Fatal("Contains invented a member")
+	}
+	if got := len(r.Nodes()); got != 2 {
+		t.Fatalf("Nodes: %d", got)
+	}
+}

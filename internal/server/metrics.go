@@ -1,0 +1,173 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// GET /metrics — Prometheus text exposition (format version 0.0.4),
+// rendered without any dependency: the same counters /debug/stats reports,
+// shaped for a scraper. Cache hit/miss/coalesce/eviction counters, entry
+// and byte gauges, per-endpoint request/error/in-flight series and latency
+// histograms, cluster forward/fallback counters and admission shed/token
+// series.
+
+// latencyBuckets are the histogram upper bounds in seconds. The spread
+// covers both regimes the service sees: microsecond cache hits and
+// multi-second sim-objective misses. +Inf is implicit (the overflow slot
+// in endpointMetrics).
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// bucketIndex maps one observation to its latencyBucket slot: the first
+// bound >= secs, or the trailing +Inf slot. The endpointMetrics array is
+// sized len(latencyBuckets)+1 for exactly this.
+func bucketIndex(secs float64) int {
+	return sort.SearchFloat64s(latencyBuckets, secs)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}
+
+// promFloat renders a sample value the way Prometheus expects.
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// promMetric emits one full metric family: HELP, TYPE, then each
+// (labels, value) sample. Labels render in the order given.
+func promMetric(w io.Writer, name, typ, help string, samples []promSample) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	for _, s := range samples {
+		if s.labels == "" {
+			fmt.Fprintf(w, "%s %s\n", name+s.suffix, s.value)
+		} else {
+			fmt.Fprintf(w, "%s{%s} %s\n", name+s.suffix, s.labels, s.value)
+		}
+	}
+}
+
+type promSample struct {
+	suffix string // "", "_bucket", "_sum", "_count"
+	labels string // rendered label pairs, no braces
+	value  string
+}
+
+func one(value string) []promSample { return []promSample{{value: value}} }
+
+func (s *Server) writeMetrics(w io.Writer) {
+	cs := s.results.Stats()
+	promMetric(w, "hservd_cache_hits_total", "counter",
+		"Result-cache lookups served from a stored entry.", one(fmt.Sprint(cs.Hits)))
+	promMetric(w, "hservd_cache_misses_total", "counter",
+		"Result-cache lookups that ran the engine.", one(fmt.Sprint(cs.Misses)))
+	promMetric(w, "hservd_cache_coalesced_total", "counter",
+		"Lookups that joined an in-flight computation (singleflight savings).", one(fmt.Sprint(cs.Coalesced)))
+	promMetric(w, "hservd_cache_evictions_total", "counter",
+		"Entries dropped to enforce the store's capacity bound.", one(fmt.Sprint(cs.Evictions)))
+	promMetric(w, "hservd_cache_entries", "gauge",
+		"Entries currently stored.", one(fmt.Sprint(cs.Size)))
+	if cs.Capacity > 0 {
+		promMetric(w, "hservd_cache_capacity_entries", "gauge",
+			"Entry-count bound of the store (entry-bounded stores only).", one(fmt.Sprint(cs.Capacity)))
+	}
+	if cs.CapacityBytes > 0 {
+		promMetric(w, "hservd_store_size_bytes", "gauge",
+			"Bytes currently stored (byte-bounded stores only).", one(fmt.Sprint(cs.SizeBytes)))
+		promMetric(w, "hservd_store_capacity_bytes", "gauge",
+			"Byte bound of the store (byte-bounded stores only).", one(fmt.Sprint(cs.CapacityBytes)))
+		promMetric(w, "hservd_store_corrupt_total", "counter",
+			"Stored entries dropped after failing verification on read.", one(fmt.Sprint(cs.Corrupt)))
+	}
+
+	// Per-endpoint series, endpoints in sorted order so scrapes are
+	// deterministic and diffable.
+	names := make([]string, 0, len(s.metrics))
+	for name := range s.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	row := func(get func(m *endpointMetrics) string) []promSample {
+		out := make([]promSample, 0, len(names))
+		for _, name := range names {
+			out = append(out, promSample{labels: `endpoint="` + name + `"`, value: get(s.metrics[name])})
+		}
+		return out
+	}
+	promMetric(w, "hservd_requests_total", "counter", "Requests received, by endpoint.",
+		row(func(m *endpointMetrics) string { return fmt.Sprint(m.requests.Load()) }))
+	promMetric(w, "hservd_errors_total", "counter", "Non-2xx/3xx responses, by endpoint.",
+		row(func(m *endpointMetrics) string { return fmt.Sprint(m.errors.Load()) }))
+	promMetric(w, "hservd_in_flight", "gauge", "Requests currently being served, by endpoint.",
+		row(func(m *endpointMetrics) string { return fmt.Sprint(m.inFlight.Load()) }))
+	promMetric(w, "hservd_endpoint_cache_hits_total", "counter",
+		"Requests served from the result cache, by endpoint.",
+		row(func(m *endpointMetrics) string { return fmt.Sprint(m.cacheHits.Load()) }))
+	promMetric(w, "hservd_endpoint_cache_misses_total", "counter",
+		"Requests that ran the engine, by endpoint.",
+		row(func(m *endpointMetrics) string { return fmt.Sprint(m.cacheMisses.Load()) }))
+
+	var hist []promSample
+	for _, name := range names {
+		m := s.metrics[name]
+		cum := int64(0)
+		for i, le := range latencyBuckets {
+			cum += m.latencyBucket[i].Load()
+			hist = append(hist, promSample{
+				suffix: "_bucket",
+				labels: fmt.Sprintf(`endpoint=%q,le=%q`, name, promFloat(le)),
+				value:  fmt.Sprint(cum),
+			})
+		}
+		cum += m.latencyBucket[len(latencyBuckets)].Load()
+		hist = append(hist,
+			promSample{suffix: "_bucket", labels: fmt.Sprintf(`endpoint=%q,le="+Inf"`, name), value: fmt.Sprint(cum)},
+			promSample{suffix: "_sum", labels: fmt.Sprintf(`endpoint=%q`, name),
+				value: promFloat(float64(m.latencySum.Load()) / 1e6)},
+			promSample{suffix: "_count", labels: fmt.Sprintf(`endpoint=%q`, name), value: fmt.Sprint(cum)},
+		)
+	}
+	promMetric(w, "hservd_request_duration_seconds", "histogram",
+		"Request latency, by endpoint.", hist)
+
+	if cl := s.cluster; cl != nil {
+		promMetric(w, "hservd_cluster_peers", "gauge",
+			"Replicas in the consistent-hash ring.", one(fmt.Sprint(len(cl.ring.Nodes()))))
+		promMetric(w, "hservd_cluster_forwards_total", "counter",
+			"Requests forwarded to their owning replica.", one(fmt.Sprint(cl.forwards.Load())))
+		promMetric(w, "hservd_cluster_forward_fallbacks_total", "counter",
+			"Forwards that failed over to local computation (owner unreachable).", one(fmt.Sprint(cl.fallbacks.Load())))
+		promMetric(w, "hservd_cluster_forwarded_received_total", "counter",
+			"Forwarded requests served here as the owner.", one(fmt.Sprint(cl.received.Load())))
+	}
+	if b := s.admit; b != nil {
+		promMetric(w, "hservd_admission_shed_total", "counter",
+			"Requests shed with 429 by cost-based admission control.", one(fmt.Sprint(b.shed.Load())))
+		promMetric(w, "hservd_admission_tokens", "gauge",
+			"Simulated-cost units currently available.", one(promFloat(b.level())))
+		promMetric(w, "hservd_admission_budget_units", "gauge",
+			"Configured simulated-cost units per second (bucket capacity).", one(promFloat(b.burst)))
+	}
+
+	sim := []struct {
+		name string
+		v    int64
+	}{
+		{"scored", s.simScoring.scored.Load()},
+		{"replays", s.simScoring.replays.Load()},
+		{"pruned", s.simScoring.pruned.Load()},
+		{"parallel", s.simScoring.parallel.Load()},
+		{"memo_hits", s.simScoring.memoHits.Load()},
+	}
+	samples := make([]promSample, 0, len(sim))
+	for _, v := range sim {
+		samples = append(samples, promSample{labels: `kind="` + v.name + `"`, value: fmt.Sprint(v.v)})
+	}
+	promMetric(w, "hservd_sim_scoring_total", "counter",
+		"Simulated-objective candidate-scoring counters, summed over engine runs.", samples)
+}

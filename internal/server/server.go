@@ -19,11 +19,23 @@
 //	GET  /healthz              liveness probe
 //	GET  /v1/presets           registered platform variants
 //	GET  /debug/stats          per-endpoint counters + cache statistics
+//	GET  /metrics              Prometheus text exposition of the same
+//
+// The result store behind the cache is pluggable (internal/store): the
+// bounded in-memory LRU by default, or a disk-backed store so a restarted
+// replica serves its first repeat request as a hit. With Config.Self and
+// Config.Peers set the server runs in fleet mode (internal/cluster):
+// fingerprint-keyed requests are routed over a consistent-hash ring and
+// forwarded to the owning replica, with a loop-guard header and local
+// fallback when the owner is unreachable. Config.MaxSimCost arms
+// cost-based admission control: sim-scored cache misses draw from a
+// token bucket and bursts over the budget are shed with 429 + Retry-After.
 //
 // Error contract: malformed bodies are 400, unknown presets/benchmarks 404,
-// workloads that fail to compile/profile/partition 422, client-cancelled
-// runs 499 (nginx convention), deadline-exceeded runs 504. Every non-2xx
-// body is ErrorJSON.
+// workloads that fail to compile/profile/partition 422, admission-shed
+// requests 429 (with Retry-After), client-cancelled runs 499 (nginx
+// convention), deadline-exceeded runs 504. Every non-2xx body is
+// ErrorJSON.
 package server
 
 import (
@@ -41,6 +53,7 @@ import (
 	"hybridpart"
 	"hybridpart/internal/cache"
 	"hybridpart/internal/platform"
+	"hybridpart/internal/store"
 )
 
 // StatusClientClosedRequest is the 499 status (nginx convention) returned
@@ -59,6 +72,7 @@ const maxSweepCost = maxSweepPoints
 // Config parameterizes a Server.
 type Config struct {
 	// CacheCapacity bounds the result cache in entries (default 256).
+	// Ignored when Store is set.
 	CacheCapacity int
 	// Workers bounds each sweep's worker pool: client-requested pools are
 	// clamped to it, and it is the default when a request names none
@@ -66,15 +80,33 @@ type Config struct {
 	Workers int
 	// Timeout bounds each partition/sweep run (0 = unbounded).
 	Timeout time.Duration
+	// Store overrides the default in-memory LRU result store — e.g. a
+	// store.Disk so the replica restarts warm. The caller keeps ownership:
+	// closing it (to flush the on-disk index) is the caller's job.
+	Store store.Backend
+	// Self and Peers enable fingerprint-sharded peer routing: Peers is the
+	// full replica set (base URLs, Self included) hashed onto a consistent
+	// ring, and requests whose cache key another replica owns are
+	// forwarded there. Self must be a ring member; validation is the
+	// operator frontend's job (hservd exits 2 on a malformed fleet).
+	Self  string
+	Peers []string
+	// MaxSimCost arms cost-based admission control: the budget of
+	// simulated-cost units (trace replays, the sweep grid's accounting)
+	// this replica spends per second on sim-scored cache misses. 0
+	// disables admission control.
+	MaxSimCost int
 }
 
 // Server is the HTTP front end. Construct with New; it implements
 // http.Handler and is safe for concurrent use.
 type Server struct {
 	cfg     Config
-	results *cache.Cache[[]byte]
+	results *cache.Cache
 	mux     *http.ServeMux
 	metrics map[string]*endpointMetrics
+	cluster *clusterState // nil outside fleet mode
+	admit   *tokenBucket  // nil without an admission budget
 
 	// simScoring aggregates the engine's SimScoreStats over every
 	// /v1/partition run that consulted the co-simulator. Only cache misses
@@ -109,15 +141,26 @@ func New(cfg Config) *Server {
 	if cfg.CacheCapacity <= 0 {
 		cfg.CacheCapacity = 256
 	}
+	be := cfg.Store
+	if be == nil {
+		be = store.NewMemory(cfg.CacheCapacity)
+	}
 	s := &Server{
 		cfg:     cfg,
-		results: cache.New[[]byte](cfg.CacheCapacity),
+		results: cache.NewBacked(be),
 		mux:     http.NewServeMux(),
 		metrics: map[string]*endpointMetrics{},
+	}
+	if len(cfg.Peers) > 0 {
+		s.cluster = newClusterState(cfg.Self, cfg.Peers)
+	}
+	if cfg.MaxSimCost > 0 {
+		s.admit = newTokenBucket(float64(cfg.MaxSimCost))
 	}
 	s.route("GET /healthz", "/healthz", s.handleHealthz)
 	s.route("GET /v1/presets", "/v1/presets", s.handlePresets)
 	s.route("GET /debug/stats", "/debug/stats", s.handleStats)
+	s.route("GET /metrics", "/metrics", s.handleMetrics)
 	s.route("POST /v1/partition", "/v1/partition", s.handlePartition)
 	s.route("POST /v1/partition-energy", "/v1/partition-energy", s.handlePartitionEnergy)
 	s.route("POST /v1/sweep", "/v1/sweep", s.handleSweep)
@@ -132,15 +175,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // operational tooling; /debug/stats serves the same numbers).
 func (s *Server) CacheStats() cache.Stats { return s.results.Stats() }
 
-// endpointMetrics is the per-endpoint counter set behind /debug/stats.
+// endpointMetrics is the per-endpoint counter set behind /debug/stats and
+// /metrics. latencyBucket holds per-bucket (non-cumulative) observation
+// counts for the /metrics histogram, one slot per latencyBuckets bound
+// plus the +Inf overflow slot; /metrics renders them cumulatively.
 type endpointMetrics struct {
-	requests    atomic.Int64
-	errors      atomic.Int64
-	inFlight    atomic.Int64
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	latencySum  atomic.Int64 // microseconds
-	latencyMax  atomic.Int64 // microseconds
+	requests      atomic.Int64
+	errors        atomic.Int64
+	inFlight      atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	latencySum    atomic.Int64 // microseconds
+	latencyMax    atomic.Int64 // microseconds
+	latencyBucket [16]atomic.Int64
 }
 
 // EndpointStatsJSON is one endpoint's row of GET /debug/stats.
@@ -172,11 +219,31 @@ type SimScoringStatsJSON struct {
 	MemoHits int64 `json:"memo_hits"`
 }
 
+// ClusterStatsJSON is the fleet section of GET /debug/stats, present only
+// in peer mode.
+type ClusterStatsJSON struct {
+	Self      string `json:"self"`
+	Peers     int    `json:"peers"`
+	Forwards  int64  `json:"forwards"`
+	Fallbacks int64  `json:"fallbacks"`
+	Received  int64  `json:"received"`
+}
+
+// AdmissionStatsJSON is the admission-control section of GET /debug/stats,
+// present only when a cost budget is configured.
+type AdmissionStatsJSON struct {
+	Budget int     `json:"budget"`
+	Tokens float64 `json:"tokens"`
+	Shed   int64   `json:"shed"`
+}
+
 // StatsJSON is the body of GET /debug/stats.
 type StatsJSON struct {
 	Cache         cache.Stats                  `json:"cache"`
 	BenchProfiles ProfileMemoJSON              `json:"bench_profiles"`
 	SimScoring    SimScoringStatsJSON          `json:"sim_scoring"`
+	Cluster       *ClusterStatsJSON            `json:"cluster,omitempty"`
+	Admission     *AdmissionStatsJSON          `json:"admission,omitempty"`
 	Endpoints     map[string]EndpointStatsJSON `json:"endpoints"`
 }
 
@@ -194,6 +261,7 @@ func (s *Server) route(pattern, name string, h http.HandlerFunc) {
 		h(sw, r)
 		us := time.Since(start).Microseconds()
 		m.latencySum.Add(us)
+		m.latencyBucket[bucketIndex(float64(us)/1e6)].Add(1)
 		for {
 			prev := m.latencyMax.Load()
 			if us <= prev || m.latencyMax.CompareAndSwap(prev, us) {
@@ -234,9 +302,12 @@ func (w *statusWriter) Flush() {
 }
 
 // httpError pairs a status code with a client-facing message.
+// retryAfter, when positive, becomes a Retry-After header (admission
+// sheds).
 type httpError struct {
-	status int
-	msg    string
+	status     int
+	msg        string
+	retryAfter time.Duration
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -245,10 +316,14 @@ func badRequest(msg string) *httpError { return &httpError{status: http.StatusBa
 func notFound(msg string) *httpError   { return &httpError{status: http.StatusNotFound, msg: msg} }
 
 // runError maps an engine failure to its transport status: cancellation is
-// the client's doing (499), deadline expiry the server's bound (504),
-// everything else is a workload the engine cannot process (422).
+// the client's doing (499), deadline expiry the server's bound (504), an
+// admission shed is overload (429 + Retry-After), everything else is a
+// workload the engine cannot process (422).
 func runError(err error) *httpError {
+	var shed *admissionError
 	switch {
+	case errors.As(err, &shed):
+		return &httpError{status: http.StatusTooManyRequests, msg: shed.Error(), retryAfter: shed.retryAfter}
 	case errors.Is(err, context.Canceled):
 		return &httpError{status: StatusClientClosedRequest, msg: "request cancelled: " + err.Error()}
 	case errors.Is(err, context.DeadlineExceeded):
@@ -260,6 +335,13 @@ func runError(err error) *httpError {
 
 func (s *Server) writeError(w http.ResponseWriter, e *httpError) {
 	w.Header().Set("Content-Type", "application/json")
+	if e.retryAfter > 0 {
+		secs := int64(e.retryAfter / time.Second)
+		if e.retryAfter%time.Second != 0 {
+			secs++
+		}
+		w.Header().Set("Retry-After", fmt.Sprint(secs))
+	}
 	w.WriteHeader(e.status)
 	json.NewEncoder(w).Encode(ErrorJSON{Error: e.msg})
 }
@@ -307,6 +389,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Pruned:   s.simScoring.pruned.Load(),
 		Parallel: s.simScoring.parallel.Load(),
 		MemoHits: s.simScoring.memoHits.Load(),
+	}
+	if cl := s.cluster; cl != nil {
+		out.Cluster = &ClusterStatsJSON{
+			Self:      cl.self,
+			Peers:     len(cl.ring.Nodes()),
+			Forwards:  cl.forwards.Load(),
+			Fallbacks: cl.fallbacks.Load(),
+			Received:  cl.received.Load(),
+		}
+	}
+	if b := s.admit; b != nil {
+		out.Admission = &AdmissionStatsJSON{
+			Budget: s.cfg.MaxSimCost,
+			Tokens: b.level(),
+			Shed:   b.shed.Load(),
+		}
 	}
 	for name, m := range s.metrics {
 		row := EndpointStatsJSON{
@@ -369,11 +467,27 @@ func buildSourceWorkload(req *PartitionRequest) (*hybridpart.Workload, error) {
 // endpoint: serve the stored bytes for key, or compute-and-store them under
 // singleflight, with hit/miss counters, X-Cache headers and the
 // cancellation/timeout error contract applied uniformly.
+//
+// In fleet mode the key is routed first: a key another replica owns is
+// forwarded there (fwdReq re-marshals as the forwarded body) and the
+// owner's response relayed verbatim, so the fleet keeps one copy of each
+// result and coalesces identical requests globally. An unreachable owner
+// degrades to local computation. cost is the request's admission price in
+// simulated-cost units, charged only when the engine actually runs here.
 func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, key string,
-	compute func(ctx context.Context) ([]byte, error)) {
+	fwdReq any, cost int, compute func(ctx context.Context) ([]byte, error)) {
+	if owner := s.routeOwner(r, key); owner != "" {
+		if s.tryForward(w, r, endpoint, owner, fwdReq) {
+			return
+		}
+		s.cluster.fallbacks.Add(1) // owner unreachable: serve locally
+	}
 	ctx, cancel := s.runCtx(r)
 	defer cancel()
 	body, hit, err := s.results.GetOrCompute(ctx, key, func() ([]byte, error) {
+		if err := s.admitCost(cost); err != nil {
+			return nil, err
+		}
 		return compute(ctx)
 	})
 	// hit means "served without running the engine here" — a stored entry
@@ -422,9 +536,10 @@ func (s *Server) servePartition(w http.ResponseWriter, r *http.Request, energy b
 				httpErr = checkScoringCost(opts)
 			}
 			if httpErr == nil {
-				s.serveCached(w, r, endpoint, req.fingerprint(kind, opts), func(ctx context.Context) ([]byte, error) {
-					return run(ctx, req, opts)
-				})
+				s.serveCached(w, r, endpoint, req.fingerprint(kind, opts), req, simCost(kind, opts),
+					func(ctx context.Context) ([]byte, error) {
+						return run(ctx, req, opts)
+					})
 				return
 			}
 		}
@@ -529,35 +644,36 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, httpErr)
 		return
 	}
-	s.serveCached(w, r, "/v1/simulate", req.fingerprint(opts), func(ctx context.Context) ([]byte, error) {
-		eng, err := hybridpart.NewEngine(
-			hybridpart.WithOptions(opts),
-			hybridpart.WithWorkers(s.cfg.Workers),
-		)
-		if err != nil {
-			return nil, err
-		}
-		var rep *hybridpart.SimReport
-		if req.Benchmark != "" {
-			app, prof, err := hybridpart.ProfileBenchmarkCached(req.Benchmark, req.Seed)
+	s.serveCached(w, r, "/v1/simulate", req.fingerprint(opts), &req, simCost("simulate", opts),
+		func(ctx context.Context) ([]byte, error) {
+			eng, err := hybridpart.NewEngine(
+				hybridpart.WithOptions(opts),
+				hybridpart.WithWorkers(s.cfg.Workers),
+			)
 			if err != nil {
 				return nil, err
 			}
-			rep, err = eng.SimulateProfiled(ctx, app, prof)
-			if err != nil {
-				return nil, err
+			var rep *hybridpart.SimReport
+			if req.Benchmark != "" {
+				app, prof, err := hybridpart.ProfileBenchmarkCached(req.Benchmark, req.Seed)
+				if err != nil {
+					return nil, err
+				}
+				rep, err = eng.SimulateProfiled(ctx, app, prof)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				wl, err := buildSourceWorkload(&req.PartitionRequest)
+				if err != nil {
+					return nil, err
+				}
+				if rep, err = eng.Simulate(ctx, wl); err != nil {
+					return nil, err
+				}
 			}
-		} else {
-			wl, err := buildSourceWorkload(&req.PartitionRequest)
-			if err != nil {
-				return nil, err
-			}
-			if rep, err = eng.Simulate(ctx, wl); err != nil {
-				return nil, err
-			}
-		}
-		return MarshalSimReport(rep)
-	})
+			return MarshalSimReport(rep)
+		})
 }
 
 // handleSweep evaluates a design-space sweep. The plain path runs the grid

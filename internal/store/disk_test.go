@@ -1,0 +1,271 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func diskEntryFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), diskEntryExt) {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	return names
+}
+
+// TestDiskRestartWarm is the restart-warm acceptance test: populate,
+// close, reopen the same directory, and the first Get must return the
+// byte-identical payload.
+func TestDiskRestartWarm(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte(`{"final_cycles":12345,"objective":"sim"}` + "\n")
+	d.Put("fingerprint-a", want)
+	d.Put("fingerprint-b", []byte("other"))
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Len() != 2 {
+		t.Fatalf("reopened store has %d entries, want 2", d2.Len())
+	}
+	got, ok := d2.Get("fingerprint-a")
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("warm hit: (%q, %v), want %q", got, ok, want)
+	}
+	if s := d2.Stats(); s.SizeBytes <= 0 || s.CapacityBytes != 1<<20 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestDiskEvictionOrder: the byte bound evicts in least-recently-used
+// order, and the order survives a restart via the on-disk index.
+func TestDiskEvictionOrder(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte("x"), 256)
+	d.Put("a", val)
+	d.Put("b", val)
+	d.Put("c", val)
+	// Touch "a": LRU order is now b < c < a.
+	if _, ok := d.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a bound that fits only two entries: "b" (coldest per the
+	// persisted order) must be the one evicted at load.
+	perEntry := d.Stats().SizeBytes / 3
+	d2, err := OpenDisk(dir, perEntry*2+perEntry/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if _, ok := d2.Get("b"); ok {
+		t.Fatal("LRU entry b survived the shrunken bound")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := d2.Get(k); !ok {
+			t.Fatalf("recently-used entry %s evicted", k)
+		}
+	}
+	if s := d2.Stats(); s.Evictions != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+
+	// Online eviction: inserting a fourth entry over the bound drops the
+	// current LRU ("c" was refreshed above... order is c < a < new).
+	d2.Get("a")
+	d2.Put("d", val)
+	if _, ok := d2.Get("c"); ok {
+		t.Fatal("online eviction dropped the wrong entry")
+	}
+	if _, ok := d2.Get("d"); !ok {
+		t.Fatal("just-inserted entry evicted")
+	}
+}
+
+// TestDiskKeepsNewestOversized: an entry larger than the whole bound
+// still stores (evicting everything else) rather than thrashing.
+func TestDiskKeepsNewestOversized(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.Put("small", []byte("s"))
+	big := bytes.Repeat([]byte("y"), 1024)
+	d.Put("big", big)
+	if v, ok := d.Get("big"); !ok || !bytes.Equal(v, big) {
+		t.Fatal("oversized newest entry not kept")
+	}
+	if _, ok := d.Get("small"); ok {
+		t.Fatal("older entry survived the byte bound")
+	}
+}
+
+// TestDiskCorruptEntriesAreMisses: every damage mode — truncation, payload
+// bit-flip, header garbage, wrong length — must read as a miss (and heal
+// by deletion), never as an error or as wrong bytes.
+func TestDiskCorruptEntriesAreMisses(t *testing.T) {
+	damage := map[string]func([]byte) []byte{
+		"truncated":  func(b []byte) []byte { return b[:len(b)-3] },
+		"bitflip":    func(b []byte) []byte { c := append([]byte(nil), b...); c[len(c)-1] ^= 0x40; return c },
+		"bad_magic":  func(b []byte) []byte { c := append([]byte(nil), b...); c[0] = '!'; return c },
+		"trailing":   func(b []byte) []byte { return append(append([]byte(nil), b...), "extra"...) },
+		"empty_file": func([]byte) []byte { return nil },
+	}
+	for name, mutate := range damage {
+		mutate := mutate
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			d, err := OpenDisk(dir, 1<<20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d.Put("k", []byte("precious payload"))
+			files := diskEntryFiles(t, dir)
+			if len(files) != 1 {
+				t.Fatalf("entry files: %v", files)
+			}
+			raw, err := os.ReadFile(files[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(files[0], mutate(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok := d.Get("k"); ok {
+				t.Fatalf("corrupt entry served as a hit: %q", v)
+			}
+			if s := d.Stats(); s.Corrupt != 1 || s.Size != 0 {
+				t.Fatalf("stats after corruption: %+v", s)
+			}
+			if files := diskEntryFiles(t, dir); len(files) != 0 {
+				t.Fatalf("corrupt entry file not healed away: %v", files)
+			}
+			// The key is writable again.
+			d.Put("k", []byte("fresh"))
+			if v, ok := d.Get("k"); !ok || string(v) != "fresh" {
+				t.Fatalf("store did not heal: (%q, %v)", v, ok)
+			}
+			d.Close()
+		})
+	}
+}
+
+// TestDiskCorruptIndexRecovers: a mangled index.json must not lose the
+// entries — they are re-adopted from their self-describing files.
+func TestDiskCorruptIndexRecovers(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("a", []byte("va"))
+	d.Put("b", []byte("vb"))
+	d.Close()
+	if err := os.WriteFile(filepath.Join(dir, diskIndexName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	for k, want := range map[string]string{"a": "va", "b": "vb"} {
+		if v, ok := d2.Get(k); !ok || string(v) != want {
+			t.Fatalf("%s after index loss: (%q, %v)", k, v, ok)
+		}
+	}
+}
+
+// TestDiskSweepsTempFiles: stale temp files from a crash mid-write are
+// removed at Open and never surface as entries.
+func TestDiskSweepsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, diskTmpPrefix+"entry-123"), []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Len() != 0 {
+		t.Fatalf("temp file adopted as entry: %d", d.Len())
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), diskTmpPrefix) {
+			t.Fatalf("temp file survived open: %s", e.Name())
+		}
+	}
+}
+
+// TestDiskOpenErrors: a missing path or a plain file must fail Open — the
+// caller (hservd flag validation) owns directory-creation policy.
+func TestDiskOpenErrors(t *testing.T) {
+	if _, err := OpenDisk(filepath.Join(t.TempDir(), "nope"), 1<<20); err == nil {
+		t.Fatal("OpenDisk accepted a nonexistent directory")
+	}
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDisk(f, 1<<20); err == nil {
+		t.Fatal("OpenDisk accepted a plain file")
+	}
+}
+
+// TestDiskManyEntries exercises index round-tripping at a size where
+// ordering bugs would show: 50 entries, touch a prefix, reopen, verify.
+func TestDiskManyEntries(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		d.Put(fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("v%02d", i)))
+	}
+	d.Close()
+	d2, err := OpenDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Len() != 50 {
+		t.Fatalf("reopened %d entries, want 50", d2.Len())
+	}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		if v, ok := d2.Get(k); !ok || string(v) != fmt.Sprintf("v%02d", i) {
+			t.Fatalf("%s: (%q, %v)", k, v, ok)
+		}
+	}
+}

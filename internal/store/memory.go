@@ -1,0 +1,85 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Memory is the bounded in-process LRU backend — the store the service has
+// used since the cache was introduced, extracted behind the Backend
+// interface. The zero value is not usable; construct with NewMemory.
+type Memory struct {
+	mu        sync.Mutex
+	capacity  int
+	lru       *list.List               // front = most recently used
+	byKey     map[string]*list.Element // key -> element holding *memEntry
+	evictions uint64
+}
+
+type memEntry struct {
+	key string
+	val []byte
+}
+
+// NewMemory returns a Memory backend bounded to capacity entries
+// (minimum 1).
+func NewMemory(capacity int) *Memory {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Memory{
+		capacity: capacity,
+		lru:      list.New(),
+		byKey:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the stored bytes for key, marking it most recently used.
+func (m *Memory) Get(key string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.byKey[key]; ok {
+		m.lru.MoveToFront(el)
+		return el.Value.(*memEntry).val, true
+	}
+	return nil, false
+}
+
+// Put inserts (or refreshes) key and enforces the capacity bound.
+func (m *Memory) Put(key string, val []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.byKey[key]; ok {
+		el.Value.(*memEntry).val = val
+		m.lru.MoveToFront(el)
+		return
+	}
+	m.byKey[key] = m.lru.PushFront(&memEntry{key: key, val: val})
+	for m.lru.Len() > m.capacity {
+		oldest := m.lru.Back()
+		m.lru.Remove(oldest)
+		delete(m.byKey, oldest.Value.(*memEntry).key)
+		m.evictions++
+	}
+}
+
+// Len returns the current number of stored entries.
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lru.Len()
+}
+
+// Stats reports the backend-owned counters.
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Evictions: m.evictions,
+		Size:      m.lru.Len(),
+		Capacity:  m.capacity,
+	}
+}
+
+// Close is a no-op: Memory holds no persistent state.
+func (m *Memory) Close() error { return nil }

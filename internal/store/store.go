@@ -1,0 +1,51 @@
+// Package store holds the storage backends under the service result cache.
+// The cache layer (internal/cache) owns request coalescing and the
+// hit/miss accounting; a Backend owns only the mapping from fingerprint
+// keys to encoded response bytes, its recency order and its capacity
+// bound. Two implementations ship: Memory, the bounded in-process LRU the
+// service has always used, and Disk, a content-addressed on-disk store
+// that survives restarts so a replica comes back warm.
+package store
+
+// Stats is a point-in-time snapshot of a store's counters. The Hits,
+// Misses and Coalesced fields belong to the coalescing layer above the
+// backend (internal/cache fills them in); a Backend reports only the
+// fields it owns — entry counts, capacity, evictions and, for byte-bounded
+// stores, the byte totals.
+type Stats struct {
+	// Hits counts lookups served from a stored entry; Misses counts
+	// lookups that triggered a computation. Filled by the cache layer.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Coalesced counts lookups that joined an in-flight computation
+	// instead of starting their own. Filled by the cache layer.
+	Coalesced uint64 `json:"coalesced"`
+	// Evictions counts entries dropped to enforce the capacity bound.
+	Evictions uint64 `json:"evictions"`
+	// Size is the current number of stored entries; Capacity the bound in
+	// entries (0 when the store is bounded by bytes instead).
+	Size     int `json:"size"`
+	Capacity int `json:"capacity"`
+	// SizeBytes/CapacityBytes are the byte totals of byte-bounded stores
+	// (the disk store); entry-bounded stores leave them zero.
+	SizeBytes     int64 `json:"size_bytes,omitempty"`
+	CapacityBytes int64 `json:"capacity_bytes,omitempty"`
+	// Corrupt counts stored entries that failed verification on read and
+	// were dropped (treated as misses, never as errors).
+	Corrupt uint64 `json:"corrupt,omitempty"`
+}
+
+// Backend is a pluggable store of encoded response bytes keyed by request
+// fingerprints. Implementations are safe for concurrent use. Get returns
+// the stored bytes and marks the entry most recently used; callers must
+// not mutate the returned slice. Put stores (or refreshes) an entry,
+// evicting least-recently-used entries as needed to keep the store within
+// its bound; it is best-effort and never fails the caller. Close releases
+// resources and flushes any persistent state (a no-op for Memory).
+type Backend interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, val []byte)
+	Len() int
+	Stats() Stats
+	Close() error
+}

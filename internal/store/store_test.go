@@ -1,0 +1,87 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestMemoryLRU pins the extracted in-memory backend's contract: recency
+// on Get, eviction order, eviction/size/capacity counters.
+func TestMemoryLRU(t *testing.T) {
+	m := NewMemory(2)
+	m.Put("a", []byte("va"))
+	m.Put("b", []byte("vb"))
+	if v, ok := m.Get("a"); !ok || string(v) != "va" {
+		t.Fatalf("a: (%q, %v)", v, ok)
+	}
+	m.Put("c", []byte("vc")) // "b" is LRU now
+	if _, ok := m.Get("b"); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := m.Get("a"); !ok {
+		t.Fatal("recently-used entry evicted")
+	}
+	if s := m.Stats(); s.Evictions != 1 || s.Size != 2 || s.Capacity != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+	// Refreshing an existing key replaces the value without growing.
+	m.Put("a", []byte("va2"))
+	if v, _ := m.Get("a"); string(v) != "va2" {
+		t.Fatalf("refresh lost: %q", v)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("len: %d", m.Len())
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryMinimumCapacity(t *testing.T) {
+	m := NewMemory(0)
+	m.Put("a", []byte("x"))
+	if s := m.Stats(); s.Capacity != 1 || s.Size != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestBackendsConcurrent hammers both backends from many goroutines under
+// -race: overlapping Put/Get/Stats on a shared key set.
+func TestBackendsConcurrent(t *testing.T) {
+	backends := map[string]Backend{
+		"memory": NewMemory(16),
+	}
+	d, err := OpenDisk(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends["disk"] = d
+	for name, be := range backends {
+		be := be
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 50; i++ {
+						k := fmt.Sprintf("key-%d", (g+i)%12)
+						want := []byte(fmt.Sprintf("val-%d", (g+i)%12))
+						be.Put(k, want)
+						if v, ok := be.Get(k); ok && !bytes.Equal(v, want) {
+							t.Errorf("%s: got %q want %q", k, v, want)
+							return
+						}
+						be.Stats()
+					}
+				}(g)
+			}
+			wg.Wait()
+			if err := be.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
