@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"hybridpart/internal/coarsegrain"
 	"hybridpart/internal/finegrain"
 	"hybridpart/internal/ir"
+	"hybridpart/internal/obs"
 	"hybridpart/internal/platform"
 )
 
@@ -491,4 +493,79 @@ func BenchmarkObjectiveParallel(b *testing.B) {
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) { run(b, w, false) })
 	}
+}
+
+// BenchmarkTraceOverhead gates the cost of the tracing instrumentation.
+// With tracing disabled every instrumented call site pays exactly one
+// obs.Start on a span-less context — a context lookup returning nil — so
+// the disabled-tracer regression versus uninstrumented code is (span
+// starts per run) x (nil-path cost per start) over the run's wall time.
+// The benchmark prices the nil path directly, counts a real run's span
+// starts from a traced execution, and reports that model as overhead_pct
+// on the span-heaviest workload, the simulation-scored move loop.
+// enabled-pct additionally reports the measured slowdown of FULL tracing
+// (interleaved disabled/enabled pairs, cancelling cache-warming drift) for
+// the trajectory record. cmd/benchjson publishes both as BENCH_trace.json;
+// CI gates overhead_pct < 2.
+func BenchmarkTraceOverhead(b *testing.B) {
+	app, prof, _, _ := benchSetup(b)
+	eng, err := NewEngine(WithConstraint(60000), WithSimFrames(8),
+		WithObjective(ObjectiveSimulated))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One untimed warmup so neither arm of the first timed pair pays
+	// one-time costs the other does not.
+	if _, err := eng.PartitionProfiled(context.Background(), app, prof); err != nil {
+		b.Fatal(err)
+	}
+
+	// Span-start volume of one run, counted by actually tracing one.
+	tracer := obs.New(obs.Config{Service: "bench", RingSize: 1})
+	ctx, root := tracer.StartRoot(context.Background(), "bench", obs.SpanContext{})
+	if _, err := eng.PartitionProfiled(ctx, app, prof); err != nil {
+		b.Fatal(err)
+	}
+	root.End()
+	traces := tracer.Traces()
+	if len(traces) == 0 || len(traces[0].Spans) < 3 {
+		b.Fatal("traced run recorded no spans; the benchmark is not measuring tracing")
+	}
+	spansPerOp := float64(len(traces[0].Spans)) + float64(traces[0].DroppedSpans)
+
+	// Price of one disabled call site: Start on a bare context.
+	bare := context.Background()
+	const nilIters = 1 << 20
+	t0 := time.Now()
+	for i := 0; i < nilIters; i++ {
+		if _, sp := obs.Start(bare, "x"); sp != nil {
+			b.Fatal("bare context produced a span")
+		}
+	}
+	nilStartNs := float64(time.Since(t0).Nanoseconds()) / nilIters
+
+	var offNs, onNs time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if _, err := eng.PartitionProfiled(context.Background(), app, prof); err != nil {
+			b.Fatal(err)
+		}
+		offNs += time.Since(start)
+
+		ctx, root := tracer.StartRoot(context.Background(), "bench", obs.SpanContext{})
+		start = time.Now()
+		if _, err := eng.PartitionProfiled(ctx, app, prof); err != nil {
+			b.Fatal(err)
+		}
+		onNs += time.Since(start)
+		root.End()
+	}
+	b.StopTimer()
+	disabledNs := float64(offNs.Nanoseconds()) / float64(b.N)
+	b.ReportMetric(spansPerOp*nilStartNs/disabledNs*100, "overhead_pct")
+	b.ReportMetric(float64(onNs-offNs)/float64(offNs)*100, "enabled-pct")
+	b.ReportMetric(spansPerOp, "spans/op")
+	b.ReportMetric(nilStartNs, "nilstart-ns")
+	b.ReportMetric(disabledNs, "disabled-ns/op")
 }

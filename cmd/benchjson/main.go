@@ -73,6 +73,17 @@ type objectiveParallelBench struct {
 	SpeedupOverSerial float64 `json:"speedup_over_serial,omitempty"`
 }
 
+// traceBench is the BenchmarkTraceOverhead summary: the modelled cost of
+// the instrumentation with tracing disabled (the CI-gated number) and the
+// measured slowdown with tracing fully enabled.
+type traceBench struct {
+	OverheadPct     float64 `json:"overhead_pct"`
+	EnabledPct      float64 `json:"enabled_pct"`
+	SpansPerOp      float64 `json:"spans_per_op,omitempty"`
+	NilStartNs      float64 `json:"nil_start_ns,omitempty"`
+	DisabledNsPerOp float64 `json:"disabled_ns_per_op,omitempty"`
+}
+
 type report struct {
 	Benchmarks []benchResult `json:"benchmarks"`
 	Sweep      *sweepReport  `json:"sweep,omitempty"`
@@ -86,6 +97,8 @@ type report struct {
 	// by scoring configuration ("serial", "w1".."w8"), each with its speedup
 	// over the full-replay serial baseline.
 	ObjectiveParallel map[string]objectiveParallelBench `json:"objective_parallel,omitempty"`
+	// Trace summarizes BenchmarkTraceOverhead (CI gates overhead_pct < 2).
+	Trace *traceBench `json:"trace,omitempty"`
 }
 
 func main() {
@@ -147,6 +160,24 @@ func main() {
 				}
 			}
 			rep.ObjectiveParallel[b.Name[i+len("ObjectiveParallel/"):]] = row
+		}
+		if b.Name == "BenchmarkTraceOverhead" {
+			row := &traceBench{}
+			for _, m := range b.Metrics {
+				switch m.Name {
+				case "overhead_pct":
+					row.OverheadPct = m.Value
+				case "enabled-pct":
+					row.EnabledPct = m.Value
+				case "spans/op":
+					row.SpansPerOp = m.Value
+				case "nilstart-ns":
+					row.NilStartNs = m.Value
+				case "disabled-ns/op":
+					row.DisabledNsPerOp = m.Value
+				}
+			}
+			rep.Trace = row
 		}
 		if i := strings.Index(b.Name, "Objective/"); i >= 0 {
 			if rep.Objective == nil {

@@ -12,7 +12,9 @@
 // individual fields of it when given explicitly. -trace streams the
 // move-by-move partitioning trajectory to stderr. -json replaces the table
 // with the full result as machine-readable JSON — the same wire shape the
-// hservd service returns from POST /v1/partition.
+// hservd service returns from POST /v1/partition. -trace-out file.json
+// records the run as a span trace (move loop, sim.ScoreBatch batches,
+// replays) in Chrome trace-event format, loadable in Perfetto.
 //
 // Feedback-directed partitioning: -objective sim makes the move loop
 // optimize the simulated makespan (replaying the profiled trace through the
@@ -42,6 +44,7 @@ import (
 
 	"hybridpart"
 	"hybridpart/internal/cliutil"
+	"hybridpart/internal/obs"
 	"hybridpart/internal/server"
 )
 
@@ -64,6 +67,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker budget for simulation-scored candidate slates (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit the full result as JSON (the service wire format) instead of the table")
 	pipelineN := flag.Int("pipeline-frames", 0, "if >0, also report frame pipelining over N frames")
+	traceOut := flag.String("trace-out", "", "write the run's span trace to this file as Chrome trace-event JSON (Perfetto-loadable)")
 	flag.Parse()
 
 	// Validate every flag up front so bad input dies with one clear line
@@ -147,7 +151,25 @@ func main() {
 	if !*jsonOut {
 		fmt.Printf("application: %s (%d basic blocks)\n", w.Entry(), w.NumBlocks())
 	}
-	res, err := eng.Partition(context.Background(), w)
+	// With -trace-out the run is traced exactly like a service request —
+	// same span names, same export format — into a single-trace ring whose
+	// contents are written out after the run.
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	var root *obs.Span
+	if *traceOut != "" {
+		tracer = obs.New(obs.Config{Service: "hpart", RingSize: 1})
+		ctx, root = tracer.StartRoot(ctx, "hpart partition", obs.SpanContext{},
+			obs.String("workload", w.Entry()))
+	}
+	res, err := eng.Partition(ctx, w)
+	if root != nil {
+		root.End()
+		if werr := os.WriteFile(*traceOut, obs.ChromeTrace(tracer.Traces()), 0o644); werr != nil {
+			fmt.Fprintf(os.Stderr, "hpart: -trace-out: %v\n", werr)
+			os.Exit(1)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hpart: %v\n", err)
 		os.Exit(1)

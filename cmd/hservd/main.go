@@ -26,6 +26,19 @@
 //	-max-sim-cost N      admission budget in simulated-cost units per second;
 //	                     sim-scored bursts over it are shed with 429
 //
+// Observability knobs:
+//
+//	-trace-ring N        keep the last N request traces in memory, served by
+//	                     GET /debug/traces and /debug/traces/{id} (Chrome
+//	                     trace-event JSON, Perfetto-loadable); 0 disables
+//	                     tracing entirely
+//	-slow-ms N           log one structured summary line for every request
+//	                     slower than N milliseconds (0 = off)
+//	-debug-addr ADDR     serve net/http/pprof on a second listener, never on
+//	                     the serving mux (e.g. -debug-addr 127.0.0.1:6060)
+//
+// Logs are structured (log/slog, text format, one line per event).
+//
 // SIGINT or SIGTERM drains in-flight requests (including forwards) and
 // shuts the listener down gracefully. Invalid flags exit 2.
 package main
@@ -35,9 +48,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"os"
 	"os/signal"
@@ -48,6 +62,7 @@ import (
 
 	"hybridpart"
 	"hybridpart/internal/cluster"
+	"hybridpart/internal/obs"
 	"hybridpart/internal/server"
 	"hybridpart/internal/store"
 )
@@ -64,7 +79,12 @@ func main() {
 	self := flag.String("self", "", "this replica's base URL as peers reach it (fleet mode, with -peers)")
 	peers := flag.String("peers", "", "comma-separated base URLs of every replica, -self included (fleet mode)")
 	maxSimCost := flag.Int("max-sim-cost", 0, "admission budget in simulated-cost units per second (0 = no admission control)")
+	traceRing := flag.Int("trace-ring", 256, "finished request traces kept for GET /debug/traces (0 = tracing off)")
+	slowMS := flag.Int("slow-ms", 0, "log a structured summary line for requests slower than this many milliseconds (0 = off)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this second listener (empty = off; never on the serving mux)")
 	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	if *cacheCap <= 0 {
 		fail(fmt.Sprintf("-cache must be positive, got %d", *cacheCap))
@@ -77,6 +97,15 @@ func main() {
 	}
 	if *maxSimCost < 0 {
 		fail(fmt.Sprintf("-max-sim-cost must be non-negative, got %d", *maxSimCost))
+	}
+	if *traceRing < 0 {
+		fail(fmt.Sprintf("-trace-ring must be non-negative, got %d", *traceRing))
+	}
+	if *slowMS < 0 {
+		fail(fmt.Sprintf("-slow-ms must be non-negative, got %d", *slowMS))
+	}
+	if *debugAddr != "" && *debugAddr == *addr {
+		fail("-debug-addr must differ from -addr: pprof never rides the serving mux")
 	}
 	if err := hybridpart.SetProfileMemoBound(*profileMemo); err != nil {
 		fail(fmt.Sprintf("-profile-memo: %v", err))
@@ -93,6 +122,17 @@ func main() {
 		Self:          *self,
 		Peers:         peerList,
 		MaxSimCost:    *maxSimCost,
+		Logger:        logger,
+		SlowThreshold: time.Duration(*slowMS) * time.Millisecond,
+	}
+	if *traceRing > 0 {
+		// The service name labels this replica's process row in merged
+		// Perfetto traces; the self URL is the only fleet-unique name.
+		service := *self
+		if service == "" {
+			service = "hservd"
+		}
+		cfg.Tracer = obs.New(obs.Config{Service: service, RingSize: *traceRing})
 	}
 	var disk *store.Disk
 	if *cacheDir != "" {
@@ -114,7 +154,7 @@ func main() {
 			return
 		}
 		if err := disk.Close(); err != nil {
-			log.Printf("hservd: closing disk store: %v", err)
+			logger.Error("closing disk store", "error", err)
 		}
 	}
 
@@ -151,19 +191,51 @@ func main() {
 	if *maxSimCost > 0 {
 		mode += fmt.Sprintf(", admission %d units/s", *maxSimCost)
 	}
-	log.Printf("hservd: listening on %s (%s, timeout %v, metrics at /metrics)", ln.Addr(), mode, *timeout)
+	logger.Info("listening", "addr", ln.Addr().String(), "mode", mode,
+		"timeout", timeout.String(), "trace_ring", *traceRing, "slow_ms", *slowMS)
+
+	// The pprof listener is opt-in and always separate from the serving
+	// mux: profiling endpoints on a public address are an information leak
+	// and a DoS lever, so they bind to their own (typically loopback)
+	// address with an explicit mux that carries nothing else.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fail(fmt.Sprintf("-debug-addr: %v", err))
+		}
+		debugSrv = &http.Server{Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		logger.Info("pprof listening", "addr", dln.Addr().String())
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "error", err)
+			}
+		}()
+	}
+	closeDebug := func() {
+		if debugSrv != nil {
+			debugSrv.Close()
+		}
+	}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
 	select {
 	case err := <-serveErr:
+		closeDebug()
 		closeStore()
 		if !errors.Is(err, http.ErrServerClosed) {
 			fail(err.Error())
 		}
 	case <-ctx.Done():
-		log.Printf("hservd: signal received, draining in-flight requests")
+		logger.Info("signal received, draining in-flight requests")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		// If the drain window expires, cancel the remaining runs so
@@ -172,12 +244,13 @@ func main() {
 		stopKill := context.AfterFunc(shutdownCtx, cancelRuns)
 		defer stopKill()
 		err := srv.Shutdown(shutdownCtx)
+		closeDebug()
 		closeStore()
 		if err != nil {
-			log.Printf("hservd: forced shutdown: %v", err)
+			logger.Error("forced shutdown", "error", err)
 			os.Exit(1)
 		}
-		log.Printf("hservd: bye")
+		logger.Info("bye")
 	}
 }
 

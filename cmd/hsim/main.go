@@ -17,7 +17,9 @@
 // individual fields of it when given explicitly. -constraint defaults to
 // the benchmark's paper evaluation constraint (and is required for -src).
 // -trace streams per-frame progress events to stderr. -json replaces the
-// table with the service wire format of POST /v1/simulate.
+// table with the service wire format of POST /v1/simulate. -trace-out
+// file.json records the run as a span trace (partitioning, baseline and
+// partitioned replays) in Chrome trace-event format, loadable in Perfetto.
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 
 	"hybridpart"
 	"hybridpart/internal/cliutil"
+	"hybridpart/internal/obs"
 	"hybridpart/internal/server"
 )
 
@@ -49,6 +52,7 @@ func main() {
 	rerank := flag.Int("rerank", 0, "re-score the top-k model trajectories by simulation (0 = off, -1 = all)")
 	trace := flag.Bool("trace", false, "stream per-frame simulation events to stderr")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON (the service wire format) instead of the table")
+	traceOut := flag.String("trace-out", "", "write the run's span trace to this file as Chrome trace-event JSON (Perfetto-loadable)")
 	flag.Parse()
 
 	// Validate every flag up front so bad input dies with one clear line
@@ -131,7 +135,25 @@ func main() {
 		os.Exit(1)
 	}
 
-	rep, err := eng.Simulate(context.Background(), w)
+	// With -trace-out the run is traced exactly like a service request —
+	// same span names, same export format — into a single-trace ring whose
+	// contents are written out after the run.
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	var root *obs.Span
+	if *traceOut != "" {
+		tracer = obs.New(obs.Config{Service: "hsim", RingSize: 1})
+		ctx, root = tracer.StartRoot(ctx, "hsim simulate", obs.SpanContext{},
+			obs.String("workload", w.Entry()))
+	}
+	rep, err := eng.Simulate(ctx, w)
+	if root != nil {
+		root.End()
+		if werr := os.WriteFile(*traceOut, obs.ChromeTrace(tracer.Traces()), 0o644); werr != nil {
+			fmt.Fprintf(os.Stderr, "hsim: -trace-out: %v\n", werr)
+			os.Exit(1)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hsim: %v\n", err)
 		os.Exit(1)

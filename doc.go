@@ -141,4 +141,16 @@
 // admission control — sim-scored bursts over the budget are shed with 429 +
 // Retry-After instead of piling up. See the README's "Running a fleet"
 // section.
+//
+// Every request is traced end to end (internal/obs, dependency-free): a
+// root span per /v1/* request, propagated across fleet forwards via the
+// W3C traceparent header and threaded by context through compile, profile,
+// cache probe, admission, each move-loop iteration and each sim.ScoreBatch
+// — so one forwarded request is one distributed trace. Finished traces
+// land in a bounded ring served by GET /debug/traces (list) and GET
+// /debug/traces/{id} (Chrome trace-event JSON, loadable in Perfetto; fleet
+// reads merge every replica's spans). hpart/hsim emit the same format via
+// -trace-out, -slow-ms logs over-threshold requests through log/slog, and
+// -debug-addr serves net/http/pprof on a separate listener. See the
+// README's "Observability" section.
 package hybridpart

@@ -7,6 +7,7 @@ import (
 
 	"hybridpart/internal/energy"
 	"hybridpart/internal/explore"
+	"hybridpart/internal/obs"
 	"hybridpart/internal/partition"
 	"hybridpart/internal/platform"
 )
@@ -540,6 +541,9 @@ func (e *Engine) partitionScored(ctx context.Context, a *App, p *RunProfile, opt
 		out.Skipped = append(out.Skipped, int(b))
 	}
 	if scorer != nil && report {
+		repCtx, repSpan := obs.Start(ctx, "sim.report")
+		defer repSpan.End()
+		ctx = repCtx
 		// Both calls are memo hits when the objective already scored them.
 		total, err := scorer.Score(ctx, res.Moved)
 		if err != nil {

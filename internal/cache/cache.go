@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sync"
 
+	"hybridpart/internal/obs"
 	"hybridpart/internal/store"
 )
 
@@ -83,6 +84,9 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// One span covers the whole lookup whatever singleflight role this
+	// caller ends up playing; the role lands as an attribute at the exit.
+	ctx, span := obs.Start(ctx, "cache.lookup")
 	var cl *call
 	coalesced := false // count each caller at most once, however often it retries
 	for {
@@ -96,12 +100,18 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]
 			cl = &call{done: make(chan struct{})}
 			c.inflight[key] = cl
 			c.mu.Unlock()
-			if val, ok := c.be.Get(key); ok {
+			_, gs := obs.Start(ctx, "store.get")
+			val, ok := c.be.Get(key)
+			gs.Set(obs.Bool("hit", ok))
+			gs.End()
+			if ok {
 				c.mu.Lock()
 				c.stats.Hits++
 				c.mu.Unlock()
 				cl.val = val
-				c.finish(key, cl, false) // already stored
+				c.finish(ctx, key, cl, false) // already stored
+				span.Set(obs.String("role", "stored"), obs.Bool("hit", true))
+				span.End()
 				return val, true, nil
 			}
 			c.mu.Lock()
@@ -119,8 +129,12 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]
 			if isContextErr(waiting.err) && ctx.Err() == nil {
 				continue // the leader's cancellation, not ours: retry
 			}
+			span.Set(obs.String("role", "waiter"), obs.Bool("hit", true))
+			span.End()
 			return waiting.val, true, waiting.err
 		case <-ctx.Done():
+			span.Set(obs.String("role", "waiter"), obs.Bool("hit", false), obs.String("error", ctx.Err().Error()))
+			span.End()
 			return nil, false, ctx.Err()
 		}
 	}
@@ -131,12 +145,16 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]
 	defer func() {
 		if !completed {
 			cl.err = fmt.Errorf("cache: compute for %q panicked", key)
-			c.finish(key, cl, false)
+			c.finish(ctx, key, cl, false)
+			span.Set(obs.String("role", "leader"), obs.Bool("hit", false))
+			span.End()
 		}
 	}()
 	cl.val, cl.err = compute()
 	completed = true
-	c.finish(key, cl, cl.err == nil)
+	c.finish(ctx, key, cl, cl.err == nil)
+	span.Set(obs.String("role", "leader"), obs.Bool("hit", false))
+	span.End()
 	return cl.val, false, cl.err
 }
 
@@ -150,10 +168,13 @@ func isContextErr(err error) bool {
 // finish publishes a completed call: stores the value on success, removes
 // the in-flight marker and releases the waiters. The value lands in the
 // backend before the in-flight marker goes, so no caller can observe
-// neither.
-func (c *Cache) finish(key string, cl *call, storeVal bool) {
+// neither. ctx is for tracing only — the publish itself must not be
+// cancellable.
+func (c *Cache) finish(ctx context.Context, key string, cl *call, storeVal bool) {
 	if storeVal {
+		_, ps := obs.Start(ctx, "store.put", obs.Int("bytes", len(cl.val)))
 		c.be.Put(key, cl.val)
+		ps.End()
 	}
 	c.mu.Lock()
 	delete(c.inflight, key)

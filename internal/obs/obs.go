@@ -1,0 +1,431 @@
+// Package obs is a dependency-free tracing subsystem: request-scoped span
+// trees with monotonic timestamps and attributes, carried via
+// context.Context so call signatures below the instrumented facade do not
+// change. Finished traces land in a bounded in-memory ring; export.go
+// renders them as Chrome trace-event JSON loadable in Perfetto.
+//
+// The design keeps the disabled path near-free: obs.Start on a context
+// without a span is one context.Value lookup returning a nil *Span, and
+// every *Span method is nil-safe, so instrumented code never branches on
+// "is tracing on". W3C traceparent parsing/formatting lets a fleet of
+// replicas stitch one request's spans into a single distributed trace.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one end-to-end request across services (16 bytes,
+// rendered as 32 lowercase hex digits per W3C trace-context).
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace (8 bytes, 16 hex digits).
+type SpanID [8]byte
+
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+func (id TraceID) IsZero() bool   { return id == TraceID{} }
+func (id SpanID) String() string  { return hex.EncodeToString(id[:]) }
+func (id SpanID) IsZero() bool    { return id == SpanID{} }
+
+// ParseTraceID decodes 32 lowercase hex digits (uppercase is invalid per
+// W3C trace-context); ok is false for anything else or for the all-zero ID.
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if len(s) != 32 || !isHex(s) {
+		return id, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return TraceID{}, false
+	}
+	return id, !id.IsZero()
+}
+
+// ParseSpanID decodes 16 lowercase hex digits; ok is false otherwise or
+// for all-zero.
+func ParseSpanID(s string) (SpanID, bool) {
+	var id SpanID
+	if len(s) != 16 || !isHex(s) {
+		return id, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return SpanID{}, false
+	}
+	return id, !id.IsZero()
+}
+
+// SpanContext is the wire-visible identity of a span: what crosses a
+// process boundary in a traceparent header.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// Attr is one key/value annotation on a span. Values are restricted to
+// string, bool, int64, and float64 by the constructors below so every
+// attribute survives a JSON round trip between replicas.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+func String(k, v string) Attr      { return Attr{Key: k, Value: v} }
+func Bool(k string, v bool) Attr   { return Attr{Key: k, Value: v} }
+func Int(k string, v int) Attr     { return Attr{Key: k, Value: int64(v)} }
+func Int64(k string, v int64) Attr { return Attr{Key: k, Value: v} }
+
+// SpanData is one finished span as recorded into its trace.
+type SpanData struct {
+	SpanID   SpanID
+	ParentID SpanID // zero for a root with no parent (local or remote)
+	Name     string
+	Start    time.Time     // wall clock at Start (carries monotonic reading)
+	Duration time.Duration // monotonic Start→End
+	Attrs    []Attr
+}
+
+// Trace is one finished trace: every span this service recorded under one
+// trace ID, finalized when the root span ended.
+type Trace struct {
+	ID      TraceID
+	Service string
+	Root    string // root span name
+	Start   time.Time
+	// Duration is the root span's duration.
+	Duration time.Duration
+	// Spans holds every recorded span, root included, in end order.
+	Spans []SpanData
+	// DroppedSpans counts spans discarded because the per-trace bound was
+	// hit; the trace is still coherent, just truncated.
+	DroppedSpans int
+}
+
+// Span is one live timed operation. A nil *Span is valid and inert: every
+// method returns immediately, which is the disabled-tracing fast path.
+type Span struct {
+	tracer *Tracer
+	at     *activeTrace
+	sc     SpanContext
+	parent SpanID
+	name   string
+	start  time.Time
+	root   bool
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// Context returns the span's identity; zero for a nil span.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// TraceID returns the span's trace ID string, or "" for a nil span —
+// convenient for log attributes.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.sc.TraceID.String()
+}
+
+// Set appends attributes. Safe on a nil span and after End (late attrs on
+// an ended span are dropped).
+func (s *Span) Set(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.attrs = append(s.attrs, attrs...)
+	}
+	s.mu.Unlock()
+}
+
+// End records the span into its trace with a monotonic duration. The first
+// End wins; later calls are no-ops. Ending a root span finalizes the whole
+// trace into the tracer's ring, so instrument synchronously: children end
+// before their root (a child still live at root End is simply not
+// recorded).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	data := SpanData{
+		SpanID:   s.sc.SpanID,
+		ParentID: s.parent,
+		Name:     s.name,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+		Attrs:    attrs,
+	}
+	s.tracer.record(s.at, data)
+	if s.root {
+		s.tracer.finalize(s.sc.TraceID, s.at, data)
+	}
+}
+
+// activeTrace accumulates spans for one in-flight trace.
+type activeTrace struct {
+	mu      sync.Mutex
+	spans   []SpanData
+	dropped int
+}
+
+// Config sizes a Tracer.
+type Config struct {
+	// Service names this process in exported traces (e.g. the replica's
+	// -self URL, or "hpart"). Defaults to "hybridpart".
+	Service string
+	// RingSize bounds finished traces kept for /debug/traces. Default 256.
+	RingSize int
+	// MaxSpans bounds spans recorded per trace (sweeps can emit one span
+	// per move per cell). Default 4096.
+	MaxSpans int
+}
+
+// Stats is a point-in-time summary of the tracer for /debug/stats and
+// /metrics.
+type Stats struct {
+	Depth         int   `json:"depth"`          // finished traces currently in the ring
+	Capacity      int   `json:"capacity"`       // ring bound
+	DroppedTraces int64 `json:"dropped_traces"` // finished traces evicted to admit newer ones
+	DroppedSpans  int64 `json:"dropped_spans"`  // spans discarded by the per-trace bound
+	Spans         int64 `json:"spans"`          // spans recorded locally, ever (never counts peer-merged spans)
+}
+
+// Tracer records span trees into a bounded ring of finished traces. The
+// zero value is not usable; construct with New. A nil *Tracer is valid:
+// StartRoot on it returns a nil span, disabling tracing for the request.
+type Tracer struct {
+	service  string
+	maxSpans int
+
+	// spans/droppedSpans are atomics: they are bumped per span from
+	// whatever goroutine ends it (sweep scoring pools included), while mu
+	// guards only the finished-trace ring.
+	spans        atomic.Int64
+	droppedSpans atomic.Int64
+
+	mu            sync.Mutex
+	ring          []*Trace // ring[next] is the oldest once full
+	next          int
+	count         int
+	droppedTraces int64
+}
+
+// New builds a Tracer; zero config fields take the documented defaults.
+func New(cfg Config) *Tracer {
+	if cfg.Service == "" {
+		cfg.Service = "hybridpart"
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 256
+	}
+	if cfg.MaxSpans <= 0 {
+		cfg.MaxSpans = 4096
+	}
+	return &Tracer{
+		service:  cfg.Service,
+		maxSpans: cfg.MaxSpans,
+		ring:     make([]*Trace, cfg.RingSize),
+	}
+}
+
+// Service returns the tracer's service name ("" for nil).
+func (t *Tracer) Service() string {
+	if t == nil {
+		return ""
+	}
+	return t.service
+}
+
+// StartRoot opens a new trace (or joins remote's trace when remote carries
+// a nonzero TraceID, recording remote.SpanID as the root's parent — the
+// cross-replica forward case) and returns a context carrying the root
+// span. On a nil tracer it returns ctx unchanged and a nil span.
+func (t *Tracer) StartRoot(ctx context.Context, name string, remote SpanContext, attrs ...Attr) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	sc := SpanContext{TraceID: remote.TraceID, SpanID: newSpanID()}
+	if sc.TraceID.IsZero() {
+		sc.TraceID = newTraceID()
+	}
+	s := &Span{
+		tracer: t,
+		at:     &activeTrace{},
+		sc:     sc,
+		parent: remote.SpanID,
+		name:   name,
+		start:  time.Now(),
+		root:   true,
+		attrs:  attrs,
+	}
+	return ContextWith(ctx, s), s
+}
+
+// Start opens a child of the span carried by ctx. When ctx carries no span
+// (tracing disabled, or an uninstrumented entry point) it returns ctx
+// unchanged and a nil span — one context.Value lookup, no allocation.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent := SpanFrom(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		tracer: parent.tracer,
+		at:     parent.at,
+		sc:     SpanContext{TraceID: parent.sc.TraceID, SpanID: newSpanID()},
+		parent: parent.sc.SpanID,
+		name:   name,
+		start:  time.Now(),
+		attrs:  attrs,
+	}
+	return ContextWith(ctx, s), s
+}
+
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying s; ctx itself when s is nil.
+func ContextWith(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFrom returns the span carried by ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// record appends one finished span to its trace, honoring the per-trace
+// bound.
+func (t *Tracer) record(at *activeTrace, data SpanData) {
+	at.mu.Lock()
+	if len(at.spans) >= t.maxSpans {
+		at.dropped++
+		at.mu.Unlock()
+		t.droppedSpans.Add(1)
+		return
+	}
+	at.spans = append(at.spans, data)
+	at.mu.Unlock()
+	t.spans.Add(1)
+}
+
+// finalize moves a completed trace into the ring, evicting the oldest when
+// full.
+func (t *Tracer) finalize(id TraceID, at *activeTrace, root SpanData) {
+	at.mu.Lock()
+	tr := &Trace{
+		ID:           id,
+		Service:      t.service,
+		Root:         root.Name,
+		Start:        root.Start,
+		Duration:     root.Duration,
+		Spans:        at.spans,
+		DroppedSpans: at.dropped,
+	}
+	at.spans = nil
+	at.mu.Unlock()
+
+	t.mu.Lock()
+	if t.ring[t.next] != nil {
+		t.droppedTraces++
+	}
+	t.ring[t.next] = tr
+	t.next = (t.next + 1) % len(t.ring)
+	if t.count < len(t.ring) {
+		t.count++
+	}
+	t.mu.Unlock()
+}
+
+// Stats returns ring/counter state; zero for a nil tracer.
+func (t *Tracer) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Stats{
+		Depth:         t.count,
+		Capacity:      len(t.ring),
+		DroppedTraces: t.droppedTraces,
+		DroppedSpans:  t.droppedSpans.Load(),
+		Spans:         t.spans.Load(),
+	}
+}
+
+// Traces returns the finished traces, newest first.
+func (t *Tracer) Traces() []*Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Trace, 0, t.count)
+	for i := 1; i <= t.count; i++ {
+		// next-1 is the newest slot; walk backwards.
+		out = append(out, t.ring[((t.next-i)%len(t.ring)+len(t.ring))%len(t.ring)])
+	}
+	return out
+}
+
+// Get returns the finished trace with the given ID, or nil.
+func (t *Tracer) Get(id TraceID) *Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Newest first, so a re-used ID (never in practice) resolves to the
+	// most recent trace.
+	for i := 1; i <= t.count; i++ {
+		tr := t.ring[((t.next-i)%len(t.ring)+len(t.ring))%len(t.ring)]
+		if tr.ID == id {
+			return tr
+		}
+	}
+	return nil
+}
+
+func newTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		if _, err := rand.Read(id[:]); err != nil {
+			panic("obs: crypto/rand failed: " + err.Error())
+		}
+	}
+	return id
+}
+
+func newSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		if _, err := rand.Read(id[:]); err != nil {
+			panic("obs: crypto/rand failed: " + err.Error())
+		}
+	}
+	return id
+}

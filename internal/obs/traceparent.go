@@ -1,0 +1,67 @@
+package obs
+
+import "strings"
+
+// Traceparent renders the span context as a W3C trace-context traceparent
+// header (version 00, sampled flag set), or "" for a zero context — so a
+// forwarder can unconditionally `if tp != "" { set header }`.
+func (sc SpanContext) Traceparent() string {
+	if sc.TraceID.IsZero() || sc.SpanID.IsZero() {
+		return ""
+	}
+	var b strings.Builder
+	b.Grow(55)
+	b.WriteString("00-")
+	b.WriteString(sc.TraceID.String())
+	b.WriteString("-")
+	b.WriteString(sc.SpanID.String())
+	b.WriteString("-01")
+	return b.String()
+}
+
+// Traceparent returns the header value identifying s for injection into an
+// outbound request; "" for a nil span.
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return s.sc.Traceparent()
+}
+
+// ParseTraceparent decodes a W3C traceparent header
+// (version-traceid-spanid-flags). Per the spec, an unknown version is
+// accepted as long as the version-00 prefix fields parse; version "ff" and
+// zero IDs are invalid. Returns the zero SpanContext and false on any
+// malformed input, which callers treat as "no remote parent".
+func ParseTraceparent(h string) (SpanContext, bool) {
+	parts := strings.SplitN(h, "-", 4)
+	if len(parts) < 4 {
+		return SpanContext{}, false
+	}
+	version := parts[0]
+	if len(version) != 2 || version == "ff" || !isHex(version) {
+		return SpanContext{}, false
+	}
+	tid, ok := ParseTraceID(parts[1])
+	if !ok {
+		return SpanContext{}, false
+	}
+	sid, ok := ParseSpanID(parts[2])
+	if !ok {
+		return SpanContext{}, false
+	}
+	if len(parts[3]) < 2 || !isHex(parts[3][:2]) {
+		return SpanContext{}, false
+	}
+	return SpanContext{TraceID: tid, SpanID: sid}, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -24,6 +24,7 @@ import (
 	"hybridpart/internal/coarsegrain"
 	"hybridpart/internal/finegrain"
 	"hybridpart/internal/ir"
+	"hybridpart/internal/obs"
 	"hybridpart/internal/platform"
 )
 
@@ -204,6 +205,14 @@ func Partition(ctx context.Context, prog *ir.Program, f *ir.Function, rep *analy
 		return nil, fmt.Errorf("%w: %v", ErrInfeasible, err)
 	}
 	res := &Result{Func: f.Name, Constraint: cfg.Constraint, Objective: cfg.Objective}
+	// One span brackets the whole engine run — the move loop plus, under
+	// simulation-scored selection, the argmin pass. Error returns leave it
+	// unrecorded, which is fine: the trace finalizes on its root, not here.
+	ctx, loopSpan := obs.Start(ctx, "partition.moveloop", obs.Int("kernels_total", len(f.Blocks)))
+	defer func() {
+		loopSpan.Set(obs.Int("moves", len(res.Moved)), obs.Bool("met", res.Met), obs.Int("sim_scored", res.SimScored))
+		loopSpan.End()
+	}()
 	res.InitialCycles = pm.TotalCycles(freq, cfg.Edges, plat.Fine.ReconfigCycles)
 	res.InitialPartitions = pm.NumPartitions
 	res.FinalCycles = res.InitialCycles
@@ -250,11 +259,14 @@ func Partition(ctx context.Context, prog *ir.Program, f *ir.Function, rep *analy
 		if cfg.MaxMoves > 0 && len(res.Moved) >= cfg.MaxMoves {
 			break
 		}
+		_, moveSpan := obs.Start(ctx, "move", obs.Int("block", int(k)))
 		blk := f.Block(k)
 		sched, err := coarsegrain.MapDFG(ir.BuildDFG(f, blk), plat.Coarse, arrLen)
 		if err != nil {
 			if errors.Is(err, coarsegrain.ErrUnmappable) {
 				res.Unmappable = append(res.Unmappable, k)
+				moveSpan.Set(obs.String("outcome", "unmappable"))
+				moveSpan.End()
 				continue
 			}
 			return nil, err
@@ -274,6 +286,8 @@ func Partition(ctx context.Context, prog *ir.Program, f *ir.Function, rep *analy
 			coarseCost := (moveCGC+ratio-1)/ratio + moveComm
 			if coarseCost >= fpgaCost {
 				res.Skipped = append(res.Skipped, k)
+				moveSpan.Set(obs.String("outcome", "skipped"))
+				moveSpan.End()
 				continue
 			}
 		}
@@ -296,6 +310,8 @@ func Partition(ctx context.Context, prog *ir.Program, f *ir.Function, rep *analy
 		if cfg.OnMove != nil {
 			cfg.OnMove(mv)
 		}
+		moveSpan.Set(obs.String("outcome", "moved"), obs.Int64("t_total", total))
+		moveSpan.End()
 		if total <= cfg.Constraint && !simSelect {
 			res.Met = true
 			return res, nil
@@ -328,6 +344,8 @@ func Partition(ctx context.Context, prog *ir.Program, f *ir.Function, rep *analy
 			candidate[i] = true
 		}
 	}
+	argCtx, argSpan := obs.Start(ctx, "sim.argmin", obs.Int("prefixes", len(prefixes)))
+	ctx = argCtx
 	bestIdx, bestSim := -1, int64(0)
 	if cfg.SimCostBatch != nil {
 		// Batch path: hand the scorer the whole slate so it can run its
@@ -381,6 +399,8 @@ func Partition(ctx context.Context, prog *ir.Program, f *ir.Function, rep *analy
 			}
 		}
 	}
+	argSpan.Set(obs.Int("scored", res.SimScored), obs.Int("best_prefix", bestIdx))
+	argSpan.End()
 	best := prefixes[bestIdx]
 	res.Moved = res.Moved[:bestIdx]
 	res.Moves = res.Moves[:bestIdx]

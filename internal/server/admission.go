@@ -1,12 +1,14 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hybridpart"
+	"hybridpart/internal/obs"
 )
 
 // Cost-based admission control. A simulated-objective /v1/partition run
@@ -115,13 +117,20 @@ func (e *admissionError) Error() string {
 }
 
 // admitCost charges the bucket for one engine run. Free (cost 0) work and
-// unbudgeted replicas are always admitted.
-func (s *Server) admitCost(cost int) error {
+// unbudgeted replicas are always admitted. ctx is for tracing only: the
+// decision itself never blocks.
+func (s *Server) admitCost(ctx context.Context, cost int) error {
 	if s.admit == nil || cost <= 0 {
 		return nil
 	}
-	if ok, retry := s.admit.take(float64(cost)); !ok {
+	_, span := obs.Start(ctx, "admission", obs.Int("cost", cost))
+	ok, retry := s.admit.take(float64(cost))
+	span.Set(obs.Bool("admitted", ok))
+	if !ok {
+		span.Set(obs.Int64("retry_after_ms", retry.Milliseconds()))
+		span.End()
 		return &admissionError{cost: cost, retryAfter: retry}
 	}
+	span.End()
 	return nil
 }

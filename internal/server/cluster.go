@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"hybridpart/internal/cluster"
+	"hybridpart/internal/obs"
 )
 
 // Fingerprint-sharded peer routing. With Config.Self/Peers set, every
@@ -82,18 +83,30 @@ func (s *Server) tryForward(w http.ResponseWriter, r *http.Request, endpoint, ow
 	}
 	ctx, cancel := s.runCtx(r)
 	defer cancel()
+	// The forward hop gets its own span, and its identity rides the W3C
+	// traceparent header so the owner's root span joins this trace — the
+	// fleet's replicas then assemble one distributed trace for the request.
+	ctx, span := obs.Start(ctx, "cluster.forward", obs.String("owner", owner), obs.String("endpoint", endpoint))
 	preq, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+endpoint, bytes.NewReader(body))
 	if err != nil {
+		span.End()
 		return false
 	}
 	preq.Header.Set("Content-Type", "application/json")
 	preq.Header.Set(forwardHeader, cs.self)
+	if tp := span.Traceparent(); tp != "" {
+		preq.Header.Set("traceparent", tp)
+	}
 	resp, err := cs.client.Do(preq)
 	if err != nil {
+		span.Set(obs.Bool("reached", false), obs.String("error", err.Error()))
+		span.End()
 		return false
 	}
 	defer resp.Body.Close()
 	cs.forwards.Add(1)
+	span.Set(obs.Bool("reached", true), obs.Int("status", resp.StatusCode))
+	defer span.End()
 	for _, h := range []string{"Content-Type", "X-Cache", "Retry-After"} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)

@@ -154,6 +154,20 @@ func (s *Server) writeMetrics(w io.Writer) {
 			"Configured simulated-cost units per second (bucket capacity).", one(promFloat(b.burst)))
 	}
 
+	if t := s.tracer; t != nil {
+		ts := t.Stats()
+		promMetric(w, "hservd_trace_ring_depth", "gauge",
+			"Finished traces currently held in the in-memory ring.", one(fmt.Sprint(ts.Depth)))
+		promMetric(w, "hservd_trace_ring_capacity", "gauge",
+			"Bound of the finished-trace ring.", one(fmt.Sprint(ts.Capacity)))
+		promMetric(w, "hservd_trace_dropped_total", "counter",
+			"Finished traces evicted from the ring to admit newer ones.", one(fmt.Sprint(ts.DroppedTraces)))
+		promMetric(w, "hservd_trace_spans_dropped_total", "counter",
+			"Spans discarded by the per-trace span bound.", one(fmt.Sprint(ts.DroppedSpans)))
+		promMetric(w, "hservd_trace_spans_total", "counter",
+			"Spans recorded locally (peer-merged reads never count).", one(fmt.Sprint(ts.Spans)))
+	}
+
 	sim := []struct {
 		name string
 		v    int64

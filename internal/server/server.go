@@ -20,6 +20,9 @@
 //	GET  /v1/presets           registered platform variants
 //	GET  /debug/stats          per-endpoint counters + cache statistics
 //	GET  /metrics              Prometheus text exposition of the same
+//	GET  /debug/traces         finished request traces (Config.Tracer)
+//	GET  /debug/traces/{id}    one trace as Chrome trace-event JSON,
+//	                           fleet-merged in fleet mode
 //
 // The result store behind the cache is pluggable (internal/store): the
 // bounded in-memory LRU by default, or a disk-backed store so a restarted
@@ -30,6 +33,9 @@
 // fallback when the owner is unreachable. Config.MaxSimCost arms
 // cost-based admission control: sim-scored cache misses draw from a
 // token bucket and bursts over the budget are shed with 429 + Retry-After.
+// Config.Tracer arms request tracing (internal/obs): every /v1/* request
+// runs under a root span — joined across fleet forwards via the W3C
+// traceparent header — and finished traces are served by /debug/traces.
 //
 // Error contract: malformed bodies are 400, unknown presets/benchmarks 404,
 // workloads that fail to compile/profile/partition 422, admission-shed
@@ -44,6 +50,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -52,6 +59,7 @@ import (
 
 	"hybridpart"
 	"hybridpart/internal/cache"
+	"hybridpart/internal/obs"
 	"hybridpart/internal/platform"
 	"hybridpart/internal/store"
 )
@@ -96,6 +104,20 @@ type Config struct {
 	// this replica spends per second on sim-scored cache misses. 0
 	// disables admission control.
 	MaxSimCost int
+	// Tracer, when non-nil, records a span tree per /v1 request into its
+	// bounded ring: the HTTP edge, peer forwards, cache/store probes,
+	// admission decisions, and the engine layers below (move loop,
+	// ScoreBatch, replays). Traces are served by GET /debug/traces and
+	// /debug/traces/{id} (Chrome trace-event JSON, Perfetto-loadable).
+	// nil disables tracing at near-zero cost.
+	Tracer *obs.Tracer
+	// Logger receives the server's structured log lines (slow requests,
+	// forward fallbacks), each carrying the request's trace ID and
+	// endpoint. nil means slog.Default().
+	Logger *slog.Logger
+	// SlowThreshold, when positive, logs one structured summary line for
+	// every request that takes longer than it.
+	SlowThreshold time.Duration
 }
 
 // Server is the HTTP front end. Construct with New; it implements
@@ -107,6 +129,8 @@ type Server struct {
 	metrics map[string]*endpointMetrics
 	cluster *clusterState // nil outside fleet mode
 	admit   *tokenBucket  // nil without an admission budget
+	tracer  *obs.Tracer   // nil disables tracing
+	logger  *slog.Logger  // never nil after New
 
 	// simScoring aggregates the engine's SimScoreStats over every
 	// /v1/partition run that consulted the co-simulator. Only cache misses
@@ -150,6 +174,11 @@ func New(cfg Config) *Server {
 		results: cache.NewBacked(be),
 		mux:     http.NewServeMux(),
 		metrics: map[string]*endpointMetrics{},
+		tracer:  cfg.Tracer,
+		logger:  cfg.Logger,
+	}
+	if s.logger == nil {
+		s.logger = slog.Default()
 	}
 	if len(cfg.Peers) > 0 {
 		s.cluster = newClusterState(cfg.Self, cfg.Peers)
@@ -161,6 +190,8 @@ func New(cfg Config) *Server {
 	s.route("GET /v1/presets", "/v1/presets", s.handlePresets)
 	s.route("GET /debug/stats", "/debug/stats", s.handleStats)
 	s.route("GET /metrics", "/metrics", s.handleMetrics)
+	s.route("GET /debug/traces", "/debug/traces", s.handleTraceList)
+	s.route("GET /debug/traces/{id}", "/debug/traces/{id}", s.handleTraceGet)
 	s.route("POST /v1/partition", "/v1/partition", s.handlePartition)
 	s.route("POST /v1/partition-energy", "/v1/partition-energy", s.handlePartitionEnergy)
 	s.route("POST /v1/sweep", "/v1/sweep", s.handleSweep)
@@ -244,22 +275,47 @@ type StatsJSON struct {
 	SimScoring    SimScoringStatsJSON          `json:"sim_scoring"`
 	Cluster       *ClusterStatsJSON            `json:"cluster,omitempty"`
 	Admission     *AdmissionStatsJSON          `json:"admission,omitempty"`
+	Traces        *TraceStatsJSON              `json:"traces,omitempty"`
 	Endpoints     map[string]EndpointStatsJSON `json:"endpoints"`
 }
 
 // route registers pattern on the mux wrapped in the counting middleware;
-// name keys the endpoint's metrics row.
+// name keys the endpoint's metrics row. /v1 endpoints additionally get a
+// root span per request: a W3C traceparent header on the way in joins the
+// caller's trace (the cross-replica forward case), and the trace ID is
+// echoed as an X-Trace-Id response header so clients can fetch their trace
+// from /debug/traces/{id}.
 func (s *Server) route(pattern, name string, h http.HandlerFunc) {
 	m := &endpointMetrics{}
 	s.metrics[name] = m
+	traced := strings.HasPrefix(name, "/v1/")
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		m.requests.Add(1)
 		m.inFlight.Add(1)
 		defer m.inFlight.Add(-1)
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		var span *obs.Span
+		if traced && s.tracer != nil {
+			remote, _ := obs.ParseTraceparent(r.Header.Get("traceparent"))
+			ctx, root := s.tracer.StartRoot(r.Context(), r.Method+" "+name, remote,
+				obs.String("endpoint", name))
+			span = root
+			if from := r.Header.Get(forwardHeader); from != "" {
+				// The loop-guard path: this request was forwarded to us by
+				// a peer, so the root records who.
+				span.Set(obs.String("forwarded_from", from))
+			}
+			sw.Header().Set("X-Trace-Id", span.TraceID())
+			r = r.WithContext(ctx)
+		}
 		h(sw, r)
-		us := time.Since(start).Microseconds()
+		dur := time.Since(start)
+		if span != nil {
+			span.Set(obs.Int("status", sw.code))
+			span.End()
+		}
+		us := dur.Microseconds()
 		m.latencySum.Add(us)
 		m.latencyBucket[bucketIndex(float64(us)/1e6)].Add(1)
 		for {
@@ -270,6 +326,15 @@ func (s *Server) route(pattern, name string, h http.HandlerFunc) {
 		}
 		if sw.code >= 400 {
 			m.errors.Add(1)
+		}
+		if s.cfg.SlowThreshold > 0 && dur >= s.cfg.SlowThreshold {
+			s.logger.Warn("slow request",
+				"endpoint", name,
+				"trace", span.TraceID(),
+				"method", r.Method,
+				"status", sw.code,
+				"duration_ms", dur.Milliseconds(),
+				"threshold_ms", s.cfg.SlowThreshold.Milliseconds())
 		}
 	})
 }
@@ -406,6 +471,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Shed:   b.shed.Load(),
 		}
 	}
+	if t := s.tracer; t != nil {
+		ts := t.Stats()
+		out.Traces = &TraceStatsJSON{
+			RingDepth:     ts.Depth,
+			RingCapacity:  ts.Capacity,
+			DroppedTraces: ts.DroppedTraces,
+			DroppedSpans:  ts.DroppedSpans,
+			Spans:         ts.Spans,
+		}
+	}
 	for name, m := range s.metrics {
 		row := EndpointStatsJSON{
 			Requests:         m.requests.Load(),
@@ -442,8 +517,10 @@ func decodePartitionRequest(r *http.Request, energy bool) (*PartitionRequest, *h
 // run. Benchmark requests never come here: they go through the
 // process-wide ProfileBenchmarkCached, so a cache miss on a new knob set
 // reuses the benchmark's one compile+profile.
-func buildSourceWorkload(req *PartitionRequest) (*hybridpart.Workload, error) {
+func buildSourceWorkload(ctx context.Context, req *PartitionRequest) (*hybridpart.Workload, error) {
+	_, cs := obs.Start(ctx, "compile", obs.Int("source_bytes", len(req.Source)))
 	w, err := hybridpart.NewWorkload(req.Source, req.entryOrDefault())
+	cs.End()
 	if err != nil {
 		return nil, err
 	}
@@ -457,10 +534,22 @@ func buildSourceWorkload(req *PartitionRequest) (*hybridpart.Workload, error) {
 			return nil, err
 		}
 	}
-	if _, err := w.Run(req.Args...); err != nil {
+	_, ps := obs.Start(ctx, "profile")
+	_, err = w.Run(req.Args...)
+	ps.End()
+	if err != nil {
 		return nil, fmt.Errorf("profiling run failed: %w", err)
 	}
 	return w, nil
+}
+
+// profileBenchmark wraps the process-wide benchmark profile memo in a
+// "profile" span (a memo hit shows up as a near-zero-width span).
+func profileBenchmark(ctx context.Context, bench string, seed uint32) (*hybridpart.App, *hybridpart.RunProfile, error) {
+	_, ps := obs.Start(ctx, "profile", obs.String("benchmark", bench))
+	app, prof, err := hybridpart.ProfileBenchmarkCached(bench, seed)
+	ps.End()
+	return app, prof, err
 }
 
 // serveCached is the cache-fronted tail shared by every fingerprint-keyed
@@ -481,11 +570,15 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, endpoint, k
 			return
 		}
 		s.cluster.fallbacks.Add(1) // owner unreachable: serve locally
+		s.logger.Warn("forward fallback: owner unreachable, serving locally",
+			"endpoint", endpoint,
+			"trace", obs.SpanFrom(r.Context()).TraceID(),
+			"owner", owner)
 	}
 	ctx, cancel := s.runCtx(r)
 	defer cancel()
 	body, hit, err := s.results.GetOrCompute(ctx, key, func() ([]byte, error) {
-		if err := s.admitCost(cost); err != nil {
+		if err := s.admitCost(ctx, cost); err != nil {
 			return nil, err
 		}
 		return compute(ctx)
@@ -558,7 +651,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		}
 		var res *hybridpart.Result
 		if req.Benchmark != "" {
-			app, prof, err := hybridpart.ProfileBenchmarkCached(req.Benchmark, req.Seed)
+			app, prof, err := profileBenchmark(ctx, req.Benchmark, req.Seed)
 			if err != nil {
 				return nil, err
 			}
@@ -567,7 +660,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 				return nil, err
 			}
 		} else {
-			wl, err := buildSourceWorkload(req)
+			wl, err := buildSourceWorkload(ctx, req)
 			if err != nil {
 				return nil, err
 			}
@@ -591,7 +684,7 @@ func (s *Server) handlePartitionEnergy(w http.ResponseWriter, r *http.Request) {
 		}
 		var res *hybridpart.EnergyResult
 		if req.Benchmark != "" {
-			app, prof, err := hybridpart.ProfileBenchmarkCached(req.Benchmark, req.Seed)
+			app, prof, err := profileBenchmark(ctx, req.Benchmark, req.Seed)
 			if err != nil {
 				return nil, err
 			}
@@ -600,7 +693,7 @@ func (s *Server) handlePartitionEnergy(w http.ResponseWriter, r *http.Request) {
 				return nil, err
 			}
 		} else {
-			wl, err := buildSourceWorkload(req)
+			wl, err := buildSourceWorkload(ctx, req)
 			if err != nil {
 				return nil, err
 			}
@@ -655,7 +748,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			}
 			var rep *hybridpart.SimReport
 			if req.Benchmark != "" {
-				app, prof, err := hybridpart.ProfileBenchmarkCached(req.Benchmark, req.Seed)
+				app, prof, err := profileBenchmark(ctx, req.Benchmark, req.Seed)
 				if err != nil {
 					return nil, err
 				}
@@ -664,7 +757,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 					return nil, err
 				}
 			} else {
-				wl, err := buildSourceWorkload(&req.PartitionRequest)
+				wl, err := buildSourceWorkload(ctx, &req.PartitionRequest)
 				if err != nil {
 					return nil, err
 				}

@@ -12,6 +12,7 @@ import (
 
 	"hybridpart/internal/finegrain"
 	"hybridpart/internal/ir"
+	"hybridpart/internal/obs"
 	"hybridpart/internal/partition"
 	"hybridpart/internal/platform"
 	"hybridpart/internal/sim"
@@ -230,6 +231,7 @@ func (s *simScorer) fastRegime() bool {
 // only the Pruned/Parallel counters vary with scheduling.
 func (s *simScorer) ScoreBatch(ctx context.Context, candidates [][]ir.BlockID) ([]partition.SimScore, error) {
 	out := make([]partition.SimScore, len(candidates))
+	ctx, span := obs.Start(ctx, "sim.ScoreBatch", obs.Int("candidates", len(candidates)))
 	if s.fastRegime() {
 		for i, moved := range candidates {
 			if err := ctx.Err(); err != nil {
@@ -241,6 +243,9 @@ func (s *simScorer) ScoreBatch(ctx context.Context, candidates [][]ir.BlockID) (
 			}
 			out[i] = partition.SimScore{Cycles: v}
 		}
+		span.Set(obs.Int("scored", len(candidates)), obs.Int("pruned", 0),
+			obs.Int("workers", 1), obs.String("regime", "closed-form"))
+		span.End()
 		return out, nil
 	}
 
@@ -265,6 +270,9 @@ func (s *simScorer) ScoreBatch(ctx context.Context, candidates [][]ir.BlockID) (
 	workers := s.workers
 	s.mu.Unlock()
 	if len(pending) == 0 {
+		span.Set(obs.Int("scored", 0), obs.Int("pruned", 0),
+			obs.Int("memo_hits", len(candidates)), obs.String("regime", "replay"))
+		span.End()
 		return out, nil
 	}
 
@@ -384,6 +392,10 @@ func (s *simScorer) ScoreBatch(ctx context.Context, candidates [][]ir.BlockID) (
 	s.stats.Pruned += int(pruned.Load())
 	s.stats.Workers = workers
 	s.mu.Unlock()
+	span.Set(obs.Int("scored", len(pending)-int(pruned.Load())), obs.Int("pruned", int(pruned.Load())),
+		obs.Int("memo_hits", len(candidates)-len(pending)), obs.Int("workers", workers),
+		obs.String("regime", "replay"))
+	span.End()
 	return out, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"hybridpart/internal/ir"
+	"hybridpart/internal/obs"
 	"hybridpart/internal/pipeline"
 	"hybridpart/internal/sim"
 )
@@ -254,12 +255,16 @@ func (e *Engine) simulateApp(ctx context.Context, a *App, p *RunProfile, opts []
 	cfg := sim.Config{Frames: spec.Frames, Ports: spec.Ports, Prefetch: spec.Prefetch}
 
 	cfg.OnFrame = onFrame("baseline")
+	_, baseSpan := obs.Start(ctx, "sim.replay", obs.String("stage", "baseline"), obs.Int("frames", spec.Frames))
 	base, err := replayer.Simulate(ctx, cfg, nil)
+	baseSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	cfg.OnFrame = onFrame("partitioned")
+	_, partSpan := obs.Start(ctx, "sim.replay", obs.String("stage", "partitioned"), obs.Int("frames", spec.Frames))
 	part, err := replayer.Simulate(ctx, cfg, moved)
+	partSpan.End()
 	if err != nil {
 		return nil, err
 	}
