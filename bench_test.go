@@ -569,3 +569,69 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	b.ReportMetric(nilStartNs, "nilstart-ns")
 	b.ReportMetric(disabledNs, "disabled-ns/op")
 }
+
+// BenchmarkTelemetryOverhead gates the steady-state cost of the flight
+// recorder built on top of tracing: the per-request stage-histogram fold
+// (StageAgg.Observe, run on every trace finalize) and the periodic
+// runtime/metrics sample. Both are priced directly — Observe against a
+// real traced run's span set, SampleNow on a live collector — and modeled
+// against the untraced run time of the span-heaviest workload: per op the
+// server pays one Observe plus the sampler's share of wall time at the
+// default 10s -telemetry-interval. cmd/benchjson publishes the model as
+// BENCH_telemetry.json; CI gates overhead_pct < 2.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	app, prof, _, _ := benchSetup(b)
+	eng, err := NewEngine(WithConstraint(60000), WithSimFrames(8),
+		WithObjective(ObjectiveSimulated))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.PartitionProfiled(context.Background(), app, prof); err != nil {
+		b.Fatal(err)
+	}
+
+	// A realistic trace to fold: the span set of one traced run.
+	tracer := obs.New(obs.Config{Service: "bench", RingSize: 1})
+	ctx, root := tracer.StartRoot(context.Background(), "bench", obs.SpanContext{},
+		obs.String("endpoint", "/v1/partition"))
+	if _, err := eng.PartitionProfiled(ctx, app, prof); err != nil {
+		b.Fatal(err)
+	}
+	root.End()
+	traces := tracer.Traces()
+	if len(traces) == 0 || len(traces[0].Spans) < 3 {
+		b.Fatal("traced run recorded no spans; the benchmark is not measuring telemetry")
+	}
+
+	agg := obs.NewStageAgg(nil, nil)
+	const aggIters = 1 << 14
+	t0 := time.Now()
+	for i := 0; i < aggIters; i++ {
+		agg.Observe(traces[0], true)
+	}
+	observeNs := float64(time.Since(t0).Nanoseconds()) / aggIters
+
+	col := obs.NewCollector(obs.CollectorConfig{Interval: time.Hour, RingSize: 8,
+		Counters: func() map[string]int64 { return map[string]int64{"requests": 1} }})
+	const sampleIters = 1 << 8
+	t0 = time.Now()
+	for i := 0; i < sampleIters; i++ {
+		col.SampleNow()
+	}
+	sampleNs := float64(time.Since(t0).Nanoseconds()) / sampleIters
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.PartitionProfiled(context.Background(), app, prof); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	disabledNs := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	const intervalNs = 10e9 // default -telemetry-interval
+	perOpNs := observeNs + sampleNs*(disabledNs/intervalNs)
+	b.ReportMetric(perOpNs/disabledNs*100, "overhead_pct")
+	b.ReportMetric(observeNs, "observe-ns")
+	b.ReportMetric(sampleNs, "sample-ns")
+	b.ReportMetric(disabledNs, "disabled-ns/op")
+}

@@ -84,6 +84,16 @@ type traceBench struct {
 	DisabledNsPerOp float64 `json:"disabled_ns_per_op,omitempty"`
 }
 
+// telemetryBench is the BenchmarkTelemetryOverhead summary: the modelled
+// per-request cost of the flight recorder (stage-histogram fold plus the
+// amortized runtime sample; the CI-gated number) and its raw components.
+type telemetryBench struct {
+	OverheadPct     float64 `json:"overhead_pct"`
+	ObserveNs       float64 `json:"observe_ns,omitempty"`
+	SampleNs        float64 `json:"sample_ns,omitempty"`
+	DisabledNsPerOp float64 `json:"disabled_ns_per_op,omitempty"`
+}
+
 type report struct {
 	Benchmarks []benchResult `json:"benchmarks"`
 	Sweep      *sweepReport  `json:"sweep,omitempty"`
@@ -99,6 +109,9 @@ type report struct {
 	ObjectiveParallel map[string]objectiveParallelBench `json:"objective_parallel,omitempty"`
 	// Trace summarizes BenchmarkTraceOverhead (CI gates overhead_pct < 2).
 	Trace *traceBench `json:"trace,omitempty"`
+	// Telemetry summarizes BenchmarkTelemetryOverhead (CI gates
+	// overhead_pct < 2).
+	Telemetry *telemetryBench `json:"telemetry,omitempty"`
 }
 
 func main() {
@@ -178,6 +191,22 @@ func main() {
 				}
 			}
 			rep.Trace = row
+		}
+		if b.Name == "BenchmarkTelemetryOverhead" {
+			row := &telemetryBench{}
+			for _, m := range b.Metrics {
+				switch m.Name {
+				case "overhead_pct":
+					row.OverheadPct = m.Value
+				case "observe-ns":
+					row.ObserveNs = m.Value
+				case "sample-ns":
+					row.SampleNs = m.Value
+				case "disabled-ns/op":
+					row.DisabledNsPerOp = m.Value
+				}
+			}
+			rep.Telemetry = row
 		}
 		if i := strings.Index(b.Name, "Objective/"); i >= 0 {
 			if rep.Objective == nil {

@@ -151,24 +151,12 @@ func main() {
 	if !*jsonOut {
 		fmt.Printf("application: %s (%d basic blocks)\n", w.Entry(), w.NumBlocks())
 	}
-	// With -trace-out the run is traced exactly like a service request —
-	// same span names, same export format — into a single-trace ring whose
-	// contents are written out after the run.
-	ctx := context.Background()
-	var tracer *obs.Tracer
-	var root *obs.Span
-	if *traceOut != "" {
-		tracer = obs.New(obs.Config{Service: "hpart", RingSize: 1})
-		ctx, root = tracer.StartRoot(ctx, "hpart partition", obs.SpanContext{},
-			obs.String("workload", w.Entry()))
-	}
+	ctx, runTrace := cliutil.TraceRun(context.Background(), *traceOut,
+		"hpart", "hpart partition", obs.String("workload", w.Entry()))
 	res, err := eng.Partition(ctx, w)
-	if root != nil {
-		root.End()
-		if werr := os.WriteFile(*traceOut, obs.ChromeTrace(tracer.Traces()), 0o644); werr != nil {
-			fmt.Fprintf(os.Stderr, "hpart: -trace-out: %v\n", werr)
-			os.Exit(1)
-		}
+	if werr := runTrace.Close(); werr != nil {
+		fmt.Fprintf(os.Stderr, "hpart: -trace-out: %v\n", werr)
+		os.Exit(1)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hpart: %v\n", err)

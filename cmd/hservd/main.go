@@ -32,6 +32,13 @@
 //	                     GET /debug/traces and /debug/traces/{id} (Chrome
 //	                     trace-event JSON, Perfetto-loadable); 0 disables
 //	                     tracing entirely
+//	-trace-keep-slow K   tail-sampled retention: always keep error traces and
+//	                     the K slowest per endpoint, sample the unremarkable
+//	                     rest into the ring (0 = legacy overwrite-oldest)
+//	-telemetry-interval D sample runtime/metrics (heap, GC, goroutines, sched
+//	                     latency) plus service-counter deltas every D into a
+//	                     bounded ring, served by GET /debug/telemetry and as
+//	                     /metrics gauges (0 = off)
 //	-slow-ms N           log one structured summary line for every request
 //	                     slower than N milliseconds (0 = off)
 //	-debug-addr ADDR     serve net/http/pprof on a second listener, never on
@@ -80,6 +87,8 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated base URLs of every replica, -self included (fleet mode)")
 	maxSimCost := flag.Int("max-sim-cost", 0, "admission budget in simulated-cost units per second (0 = no admission control)")
 	traceRing := flag.Int("trace-ring", 256, "finished request traces kept for GET /debug/traces (0 = tracing off)")
+	traceKeepSlow := flag.Int("trace-keep-slow", 4, "always keep error traces and this many slowest per endpoint, sampling the rest (0 = overwrite-oldest)")
+	telemetryInterval := flag.Duration("telemetry-interval", 10*time.Second, "runtime telemetry sampling interval for GET /debug/telemetry (0 = off)")
 	slowMS := flag.Int("slow-ms", 0, "log a structured summary line for requests slower than this many milliseconds (0 = off)")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this second listener (empty = off; never on the serving mux)")
 	flag.Parse()
@@ -101,6 +110,12 @@ func main() {
 	if *traceRing < 0 {
 		fail(fmt.Sprintf("-trace-ring must be non-negative, got %d", *traceRing))
 	}
+	if *traceKeepSlow < 0 {
+		fail(fmt.Sprintf("-trace-keep-slow must be non-negative, got %d", *traceKeepSlow))
+	}
+	if *telemetryInterval < 0 {
+		fail(fmt.Sprintf("-telemetry-interval must be non-negative, got %v", *telemetryInterval))
+	}
 	if *slowMS < 0 {
 		fail(fmt.Sprintf("-slow-ms must be non-negative, got %d", *slowMS))
 	}
@@ -116,14 +131,15 @@ func main() {
 	}
 
 	cfg := server.Config{
-		CacheCapacity: *cacheCap,
-		Workers:       *workers,
-		Timeout:       *timeout,
-		Self:          *self,
-		Peers:         peerList,
-		MaxSimCost:    *maxSimCost,
-		Logger:        logger,
-		SlowThreshold: time.Duration(*slowMS) * time.Millisecond,
+		CacheCapacity:     *cacheCap,
+		Workers:           *workers,
+		Timeout:           *timeout,
+		Self:              *self,
+		Peers:             peerList,
+		MaxSimCost:        *maxSimCost,
+		Logger:            logger,
+		SlowThreshold:     time.Duration(*slowMS) * time.Millisecond,
+		TelemetryInterval: *telemetryInterval,
 	}
 	if *traceRing > 0 {
 		// The service name labels this replica's process row in merged
@@ -132,7 +148,7 @@ func main() {
 		if service == "" {
 			service = "hservd"
 		}
-		cfg.Tracer = obs.New(obs.Config{Service: service, RingSize: *traceRing})
+		cfg.Tracer = obs.New(obs.Config{Service: service, RingSize: *traceRing, KeepSlow: *traceKeepSlow})
 	}
 	var disk *store.Disk
 	if *cacheDir != "" {
@@ -169,9 +185,13 @@ func main() {
 	runCtx, cancelRuns := context.WithCancel(context.Background())
 	defer cancelRuns()
 
+	app := server.New(cfg)
+	// app.Close stops the telemetry collector goroutine; like closeStore it
+	// must run on every exit path that follows New.
+	defer app.Close()
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(cfg),
+		Handler:           app,
 		ReadHeaderTimeout: 10 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return runCtx },
 	}
@@ -192,7 +212,8 @@ func main() {
 		mode += fmt.Sprintf(", admission %d units/s", *maxSimCost)
 	}
 	logger.Info("listening", "addr", ln.Addr().String(), "mode", mode,
-		"timeout", timeout.String(), "trace_ring", *traceRing, "slow_ms", *slowMS)
+		"timeout", timeout.String(), "trace_ring", *traceRing, "trace_keep_slow", *traceKeepSlow,
+		"telemetry_interval", telemetryInterval.String(), "slow_ms", *slowMS)
 
 	// The pprof listener is opt-in and always separate from the serving
 	// mux: profiling endpoints on a public address are an information leak

@@ -135,24 +135,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	// With -trace-out the run is traced exactly like a service request —
-	// same span names, same export format — into a single-trace ring whose
-	// contents are written out after the run.
-	ctx := context.Background()
-	var tracer *obs.Tracer
-	var root *obs.Span
-	if *traceOut != "" {
-		tracer = obs.New(obs.Config{Service: "hsim", RingSize: 1})
-		ctx, root = tracer.StartRoot(ctx, "hsim simulate", obs.SpanContext{},
-			obs.String("workload", w.Entry()))
-	}
+	ctx, runTrace := cliutil.TraceRun(context.Background(), *traceOut,
+		"hsim", "hsim simulate", obs.String("workload", w.Entry()))
 	rep, err := eng.Simulate(ctx, w)
-	if root != nil {
-		root.End()
-		if werr := os.WriteFile(*traceOut, obs.ChromeTrace(tracer.Traces()), 0o644); werr != nil {
-			fmt.Fprintf(os.Stderr, "hsim: -trace-out: %v\n", werr)
-			os.Exit(1)
-		}
+	if werr := runTrace.Close(); werr != nil {
+		fmt.Fprintf(os.Stderr, "hsim: -trace-out: %v\n", werr)
+		os.Exit(1)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hsim: %v\n", err)

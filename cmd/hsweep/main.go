@@ -24,7 +24,9 @@
 // JPEG 21000000 FPGA cycles). -format json/csv emits machine-readable
 // output (to -o when given); -list-presets prints the platform registry;
 // -progress streams per-cell completion lines to stderr as the grid
-// evaluates. Ctrl-C cancels the sweep cleanly between cells: the cells
+// evaluates; -trace-out file.json records the sweep as a span trace (one
+// move loop and scoring tree per cell, cells overlapping across the worker
+// pool) in Chrome trace-event format, loadable in Perfetto. Ctrl-C cancels the sweep cleanly between cells: the cells
 // already evaluated are still emitted — marked partial ("partial": true in
 // JSON, a trailing "# partial: ..." comment line in CSV, a PARTIAL footer
 // in the table) — and the exit status is 130, so a truncated grid is never
@@ -43,6 +45,8 @@ import (
 	"strings"
 
 	"hybridpart"
+	"hybridpart/internal/cliutil"
+	"hybridpart/internal/obs"
 )
 
 func main() {
@@ -61,6 +65,7 @@ func main() {
 	out := flag.String("o", "", "write json/csv output to this file instead of stdout")
 	listPresets := flag.Bool("list-presets", false, "list registered platform presets and exit")
 	progress := flag.Bool("progress", false, "stream per-cell completion lines to stderr")
+	traceOut := flag.String("trace-out", "", "write the sweep's span trace to this file as Chrome trace-event JSON (Perfetto-loadable)")
 	flag.Parse()
 
 	if *listPresets {
@@ -146,8 +151,14 @@ func main() {
 
 	// A cancelled sweep still yields the cells that completed: emit them,
 	// marked partial, and exit non-zero so callers never mistake a truncated
-	// grid for full coverage.
+	// grid for full coverage. A cancelled sweep's partial trace is written
+	// the same way.
+	ctx, runTrace := cliutil.TraceRun(ctx, *traceOut, "hsweep", "hsweep sweep",
+		obs.String("bench", *bench))
 	rs, err := eng.Sweep(ctx, spec)
+	if werr := runTrace.Close(); werr != nil {
+		fatal("-trace-out", werr)
+	}
 	cancelled := errors.Is(err, context.Canceled)
 	if err != nil && !cancelled {
 		fatal("sweep", err)

@@ -147,10 +147,36 @@
 // W3C traceparent header and threaded by context through compile, profile,
 // cache probe, admission, each move-loop iteration and each sim.ScoreBatch
 // — so one forwarded request is one distributed trace. Finished traces
-// land in a bounded ring served by GET /debug/traces (list) and GET
-// /debug/traces/{id} (Chrome trace-event JSON, loadable in Perfetto; fleet
-// reads merge every replica's spans). hpart/hsim emit the same format via
-// -trace-out, -slow-ms logs over-threshold requests through log/slog, and
-// -debug-addr serves net/http/pprof on a separate listener. See the
-// README's "Observability" section.
+// land in a bounded ring served by GET /debug/traces (list, filterable by
+// ?endpoint= and ?min_ms=) and GET /debug/traces/{id} (Chrome trace-event
+// JSON, loadable in Perfetto; fleet reads merge every replica's spans).
+// hpart/hsim/hsweep emit the same format via -trace-out (one shared
+// cliutil.TraceRun helper), -slow-ms logs over-threshold requests through
+// log/slog, and -debug-addr serves net/http/pprof on a separate listener.
+//
+// On top of the trace ring sits a flight recorder. Finalized traces fold
+// their named stage spans (compile, profile, cache.lookup, store.get/put,
+// admission, partition.moveloop, sim.argmin, sim.ScoreBatch, sim.report,
+// cluster.forward) into per-endpoint latency histograms on /metrics
+// (hservd_stage_duration_seconds); an OpenMetrics-negotiated scrape
+// (Accept: application/openmetrics-text) attaches exemplar trace IDs to
+// populated buckets, each resolvable at /debug/traces/{id} — the exemplar
+// line reads `... 3 # {trace_id="8a2f..."} 0.00132 1754612345.1`: bucket
+// count, then the witness trace, its observed seconds and end time.
+// Retention is tail-sampled (-trace-keep-slow): error traces and the K
+// slowest per endpoint are always kept, the rest sampled, with
+// kept_error/kept_slow/sampled_out counters on /debug/stats and /metrics.
+// -telemetry-interval samples runtime/metrics plus service-counter deltas
+// into a ring behind GET /debug/telemetry and hservd_runtime_* gauges, and
+// GET /debug/fleet fans out to every peer's stats and telemetry for one
+// merged health document:
+//
+//	$ curl -s http://127.0.0.1:9201/debug/fleet | jq '{healthy, unhealthy}'
+//	{
+//	  "healthy": 2,
+//	  "unhealthy": 0
+//	}
+//
+// (kill a replica and unhealthy flips to 1, the dead row carrying its dial
+// error inline). See the README's "Observability" section.
 package hybridpart

@@ -4,12 +4,14 @@
 package cliutil
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
 	"hybridpart"
+	"hybridpart/internal/obs"
 )
 
 // ParseArgs parses a comma-separated -args list into scalar arguments for
@@ -49,4 +51,37 @@ func SourceWorkload(path, entry, argList string) (*hybridpart.Workload, error) {
 		return nil, err
 	}
 	return w, nil
+}
+
+// RunTrace owns one CLI run's span trace: a single-trace ring, its root
+// span, and the -trace-out path the Chrome trace-event file goes to.
+type RunTrace struct {
+	tracer *obs.Tracer
+	root   *obs.Span
+	path   string
+}
+
+// TraceRun arms span tracing for one CLI run — the shared -trace-out
+// implementation behind hpart, hsim and hsweep, so all three record runs
+// exactly like a service request (same span names, same export format).
+// With an empty path tracing stays off and the returned *RunTrace is nil;
+// Close is nil-safe, so callers need no conditionals.
+func TraceRun(ctx context.Context, path, service, root string, attrs ...obs.Attr) (context.Context, *RunTrace) {
+	if path == "" {
+		return ctx, nil
+	}
+	tracer := obs.New(obs.Config{Service: service, RingSize: 1})
+	ctx, span := tracer.StartRoot(ctx, root, obs.SpanContext{}, attrs...)
+	return ctx, &RunTrace{tracer: tracer, root: span, path: path}
+}
+
+// Close ends the run's root span and writes the trace file. It must run
+// after the traced call returns, error or not — a failed run's partial
+// trace is exactly what the flag exists to capture.
+func (rt *RunTrace) Close() error {
+	if rt == nil {
+		return nil
+	}
+	rt.root.End()
+	return os.WriteFile(rt.path, obs.ChromeTrace(rt.tracer.Traces()), 0o644)
 }

@@ -27,6 +27,7 @@ type TraceJSON struct {
 	StartUs      int64      `json:"start_unix_micros"`
 	DurUs        int64      `json:"duration_micros"`
 	DroppedSpans int        `json:"dropped_spans,omitempty"`
+	Error        bool       `json:"error,omitempty"`
 	Spans        []SpanJSON `json:"spans"`
 }
 
@@ -39,6 +40,7 @@ func (tr *Trace) JSON() TraceJSON {
 		StartUs:      tr.Start.UnixMicro(),
 		DurUs:        tr.Duration.Microseconds(),
 		DroppedSpans: tr.DroppedSpans,
+		Error:        tr.Error,
 		Spans:        make([]SpanJSON, 0, len(tr.Spans)),
 	}
 	for _, sp := range tr.Spans {
@@ -77,6 +79,7 @@ func FromJSON(tj TraceJSON) (*Trace, error) {
 		Start:        time.UnixMicro(tj.StartUs),
 		Duration:     time.Duration(tj.DurUs) * time.Microsecond,
 		DroppedSpans: tj.DroppedSpans,
+		Error:        tj.Error,
 		Spans:        make([]SpanData, 0, len(tj.Spans)),
 	}
 	for _, sj := range tj.Spans {

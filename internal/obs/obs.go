@@ -15,6 +15,8 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	mrand "math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -102,6 +104,31 @@ type Trace struct {
 	// DroppedSpans counts spans discarded because the per-trace bound was
 	// hit; the trace is still coherent, just truncated.
 	DroppedSpans int
+	// Error is set when any span in the trace called MarkError (the server
+	// marks 4xx/5xx responses); tail-sampled retention always keeps error
+	// traces.
+	Error bool
+}
+
+// Endpoint returns the trace's grouping key for per-endpoint aggregation:
+// the root span's "endpoint" attribute when present, else the root span
+// name. The root span is recorded last, so the scan walks backwards.
+func (tr *Trace) Endpoint() string {
+	for i := len(tr.Spans) - 1; i >= 0; i-- {
+		sp := &tr.Spans[i]
+		if sp.Name != tr.Root {
+			continue
+		}
+		for _, a := range sp.Attrs {
+			if a.Key == "endpoint" {
+				if s, ok := a.Value.(string); ok {
+					return s
+				}
+			}
+		}
+		break
+	}
+	return tr.Root
 }
 
 // Span is one live timed operation. A nil *Span is valid and inert: every
@@ -150,6 +177,18 @@ func (s *Span) Set(attrs ...Attr) {
 	s.mu.Unlock()
 }
 
+// MarkError flags the span's whole trace as an error (the server calls it
+// for 4xx/5xx responses). Under tail-sampled retention error traces are
+// always kept. Safe on a nil span and after End.
+func (s *Span) MarkError() {
+	if s == nil {
+		return
+	}
+	s.at.mu.Lock()
+	s.at.err = true
+	s.at.mu.Unlock()
+}
+
 // End records the span into its trace with a monotonic duration. The first
 // End wins; later calls are no-ops. Ending a root span finalizes the whole
 // trace into the tracer's ring, so instrument synchronously: children end
@@ -187,6 +226,7 @@ type activeTrace struct {
 	mu      sync.Mutex
 	spans   []SpanData
 	dropped int
+	err     bool
 }
 
 // Config sizes a Tracer.
@@ -199,24 +239,46 @@ type Config struct {
 	// MaxSpans bounds spans recorded per trace (sweeps can emit one span
 	// per move per cell). Default 4096.
 	MaxSpans int
+	// KeepSlow switches retention from plain overwrite-oldest to tail
+	// sampling: error traces are always kept (in a side pool of
+	// max(1, RingSize/4) slots), the KeepSlow slowest traces per endpoint
+	// are always kept, and the rest go to the sampled ring — admitted
+	// unconditionally while it has room, then with probability SampleRate.
+	// 0 (the default) keeps the legacy overwrite-oldest ring.
+	KeepSlow int
+	// SampleRate is the admission probability for unremarkable traces once
+	// the sampled ring is full; only meaningful with KeepSlow > 0. Values
+	// <= 0 default to 0.25; >= 1 always admits (overwrite-oldest).
+	SampleRate float64
 }
 
 // Stats is a point-in-time summary of the tracer for /debug/stats and
 // /metrics.
 type Stats struct {
-	Depth         int   `json:"depth"`          // finished traces currently in the ring
-	Capacity      int   `json:"capacity"`       // ring bound
+	Depth         int   `json:"depth"`          // finished traces currently retained (all pools)
+	Capacity      int   `json:"capacity"`       // sampled-ring bound (error/slow pools are extra)
 	DroppedTraces int64 `json:"dropped_traces"` // finished traces evicted to admit newer ones
 	DroppedSpans  int64 `json:"dropped_spans"`  // spans discarded by the per-trace bound
 	Spans         int64 `json:"spans"`          // spans recorded locally, ever (never counts peer-merged spans)
+	// Tail-sampling policy counters; all zero when KeepSlow == 0.
+	KeptError  int64 `json:"kept_error"`  // traces retained because they carried an error
+	KeptSlow   int64 `json:"kept_slow"`   // traces retained as slowest-K for their endpoint
+	SampledOut int64 `json:"sampled_out"` // unremarkable traces dropped by probabilistic sampling
 }
 
 // Tracer records span trees into a bounded ring of finished traces. The
 // zero value is not usable; construct with New. A nil *Tracer is valid:
 // StartRoot on it returns a nil span, disabling tracing for the request.
 type Tracer struct {
-	service  string
-	maxSpans int
+	service    string
+	maxSpans   int
+	keepSlow   int
+	sampleRate float64
+	randFloat  func() float64 // admission coin; swappable in tests
+
+	// onFinalize, when set, observes every finished trace (see
+	// SetOnFinalize). Written once before serving, read per finalize.
+	onFinalize func(tr *Trace, kept bool)
 
 	// spans/droppedSpans are atomics: they are bumped per span from
 	// whatever goroutine ends it (sweep scoring pools included), while mu
@@ -225,10 +287,18 @@ type Tracer struct {
 	droppedSpans atomic.Int64
 
 	mu            sync.Mutex
-	ring          []*Trace // ring[next] is the oldest once full
+	ring          []*Trace // sampled pool; ring[next] is the oldest once full
 	next          int
 	count         int
 	droppedTraces int64
+
+	// Tail-sampling pools, nil/empty when keepSlow == 0.
+	errRing           []*Trace // always-kept error traces, overwrite-oldest among themselves
+	errNext, errCount int
+	slow              map[string][]*Trace // per-endpoint slowest-K, sorted fastest-first
+	keptError         int64
+	keptSlow          int64
+	sampledOut        int64
 }
 
 // New builds a Tracer; zero config fields take the documented defaults.
@@ -242,11 +312,33 @@ func New(cfg Config) *Tracer {
 	if cfg.MaxSpans <= 0 {
 		cfg.MaxSpans = 4096
 	}
-	return &Tracer{
-		service:  cfg.Service,
-		maxSpans: cfg.MaxSpans,
-		ring:     make([]*Trace, cfg.RingSize),
+	if cfg.SampleRate <= 0 {
+		cfg.SampleRate = 0.25
 	}
+	t := &Tracer{
+		service:    cfg.Service,
+		maxSpans:   cfg.MaxSpans,
+		keepSlow:   cfg.KeepSlow,
+		sampleRate: cfg.SampleRate,
+		randFloat:  mrand.Float64,
+		ring:       make([]*Trace, cfg.RingSize),
+	}
+	if cfg.KeepSlow > 0 {
+		t.errRing = make([]*Trace, max(1, cfg.RingSize/4))
+		t.slow = make(map[string][]*Trace)
+	}
+	return t
+}
+
+// SetOnFinalize registers fn to observe every finished trace right after
+// it has been offered to the ring; kept reports whether retention kept it.
+// fn runs outside the tracer's lock, on the goroutine that ended the root
+// span. Set it once before the tracer sees traffic; nil disables. Nil-safe.
+func (t *Tracer) SetOnFinalize(fn func(tr *Trace, kept bool)) {
+	if t == nil {
+		return
+	}
+	t.onFinalize = fn
 }
 
 // Service returns the tracer's service name ("" for nil).
@@ -333,8 +425,10 @@ func (t *Tracer) record(at *activeTrace, data SpanData) {
 	t.spans.Add(1)
 }
 
-// finalize moves a completed trace into the ring, evicting the oldest when
-// full.
+// finalize moves a completed trace into the ring. With KeepSlow == 0 the
+// policy is plain overwrite-oldest; otherwise tail sampling: errors always
+// kept, slowest-K per endpoint always kept, the rest admitted while there
+// is room and probabilistically once there is not.
 func (t *Tracer) finalize(id TraceID, at *activeTrace, root SpanData) {
 	at.mu.Lock()
 	tr := &Trace{
@@ -345,11 +439,44 @@ func (t *Tracer) finalize(id TraceID, at *activeTrace, root SpanData) {
 		Duration:     root.Duration,
 		Spans:        at.spans,
 		DroppedSpans: at.dropped,
+		Error:        at.err,
 	}
 	at.spans = nil
 	at.mu.Unlock()
 
+	kept := true
 	t.mu.Lock()
+	switch {
+	case t.keepSlow == 0:
+		t.admitSampled(tr)
+	case tr.Error:
+		t.keptError++
+		if t.errRing[t.errNext] != nil {
+			t.droppedTraces++
+		}
+		t.errRing[t.errNext] = tr
+		t.errNext = (t.errNext + 1) % len(t.errRing)
+		if t.errCount < len(t.errRing) {
+			t.errCount++
+		}
+	case t.admitSlow(tr):
+		t.keptSlow++
+	case t.count < len(t.ring) || t.sampleRate >= 1 || t.randFloat() < t.sampleRate:
+		t.admitSampled(tr)
+	default:
+		t.sampledOut++
+		kept = false
+	}
+	t.mu.Unlock()
+
+	if fn := t.onFinalize; fn != nil {
+		fn(tr, kept)
+	}
+}
+
+// admitSampled stores tr in the sampled ring, evicting the oldest entry
+// when full. Caller holds t.mu.
+func (t *Tracer) admitSampled(tr *Trace) {
 	if t.ring[t.next] != nil {
 		t.droppedTraces++
 	}
@@ -358,7 +485,29 @@ func (t *Tracer) finalize(id TraceID, at *activeTrace, root SpanData) {
 	if t.count < len(t.ring) {
 		t.count++
 	}
-	t.mu.Unlock()
+}
+
+// admitSlow keeps tr when it ranks among the keepSlow slowest traces for
+// its endpoint, displacing the fastest of the current holders. Caller
+// holds t.mu.
+func (t *Tracer) admitSlow(tr *Trace) bool {
+	ep := tr.Endpoint()
+	list := t.slow[ep]
+	if len(list) < t.keepSlow {
+		list = append(list, tr)
+		sort.SliceStable(list, func(i, j int) bool { return list[i].Duration < list[j].Duration })
+		t.slow[ep] = list
+		return true
+	}
+	if tr.Duration <= list[0].Duration {
+		return false
+	}
+	// The displaced fastest holder is dropped rather than re-offered to the
+	// sampled ring: it was only retained for being slow, and it no longer is.
+	t.droppedTraces++
+	list[0] = tr
+	sort.SliceStable(list, func(i, j int) bool { return list[i].Duration < list[j].Duration })
+	return true
 }
 
 // Stats returns ring/counter state; zero for a nil tracer.
@@ -368,31 +517,50 @@ func (t *Tracer) Stats() Stats {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	depth := t.count + t.errCount
+	for _, list := range t.slow {
+		depth += len(list)
+	}
 	return Stats{
-		Depth:         t.count,
+		Depth:         depth,
 		Capacity:      len(t.ring),
 		DroppedTraces: t.droppedTraces,
 		DroppedSpans:  t.droppedSpans.Load(),
 		Spans:         t.spans.Load(),
+		KeptError:     t.keptError,
+		KeptSlow:      t.keptSlow,
+		SampledOut:    t.sampledOut,
 	}
 }
 
-// Traces returns the finished traces, newest first.
+// Traces returns the finished traces, newest first (by start time when the
+// tail-sampling pools are in play; by finalize order otherwise).
 func (t *Tracer) Traces() []*Trace {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]*Trace, 0, t.count)
+	out := make([]*Trace, 0, t.count+t.errCount)
 	for i := 1; i <= t.count; i++ {
 		// next-1 is the newest slot; walk backwards.
 		out = append(out, t.ring[((t.next-i)%len(t.ring)+len(t.ring))%len(t.ring)])
 	}
+	if t.keepSlow == 0 {
+		return out
+	}
+	for i := 1; i <= t.errCount; i++ {
+		out = append(out, t.errRing[((t.errNext-i)%len(t.errRing)+len(t.errRing))%len(t.errRing)])
+	}
+	for _, list := range t.slow {
+		out = append(out, list...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
 	return out
 }
 
-// Get returns the finished trace with the given ID, or nil.
+// Get returns the finished trace with the given ID, or nil. All retention
+// pools are searched.
 func (t *Tracer) Get(id TraceID) *Trace {
 	if t == nil {
 		return nil
@@ -405,6 +573,19 @@ func (t *Tracer) Get(id TraceID) *Trace {
 		tr := t.ring[((t.next-i)%len(t.ring)+len(t.ring))%len(t.ring)]
 		if tr.ID == id {
 			return tr
+		}
+	}
+	for i := 1; i <= t.errCount; i++ {
+		tr := t.errRing[((t.errNext-i)%len(t.errRing)+len(t.errRing))%len(t.errRing)]
+		if tr.ID == id {
+			return tr
+		}
+	}
+	for _, list := range t.slow {
+		for _, tr := range list {
+			if tr.ID == id {
+				return tr
+			}
 		}
 	}
 	return nil

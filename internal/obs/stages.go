@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultStages is the set of named stage spans the service folds into
+// per-endpoint latency histograms. High-cardinality spans (per-move "move"
+// spans, per-replay "sim.replay" spans) are deliberately excluded: they
+// are visible inside individual traces, not as standing metrics.
+var DefaultStages = []string{
+	"compile",
+	"profile",
+	"cache.lookup",
+	"store.get",
+	"store.put",
+	"admission",
+	"partition.moveloop",
+	"sim.argmin",
+	"sim.ScoreBatch",
+	"sim.report",
+	"cluster.forward",
+}
+
+// DefaultStageBuckets are histogram upper bounds in seconds, spanning the
+// microsecond stages (cache.lookup, store.get) through multi-second
+// moveloop runs.
+var DefaultStageBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// Exemplar links one histogram bucket back to a trace that landed in it,
+// per the OpenMetrics exemplar model.
+type Exemplar struct {
+	TraceID string  // 32 hex digits; "" means the bucket has no exemplar yet
+	Value   float64 // observed stage latency, seconds
+	Unix    float64 // span end time, seconds since the Unix epoch
+}
+
+// stageHist is one endpoint × stage latency histogram. counts has one slot
+// per bucket bound plus the +Inf overflow; exemplars parallels it.
+type stageHist struct {
+	counts    []int64
+	exemplars []Exemplar
+	sum       float64
+	count     int64
+}
+
+// StageSnapshot is a point-in-time copy of one endpoint × stage histogram
+// for rendering.
+type StageSnapshot struct {
+	Endpoint  string
+	Stage     string
+	Counts    []int64 // per-bucket (not cumulative), +Inf last
+	Exemplars []Exemplar
+	Sum       float64 // seconds
+	Count     int64
+}
+
+// StageAgg folds finished traces into per-endpoint × per-stage latency
+// histograms: the span-to-metrics half of the flight recorder. A nil
+// *StageAgg is valid and inert.
+type StageAgg struct {
+	buckets []float64
+	stages  map[string]bool
+
+	mu    sync.Mutex
+	hists map[string]map[string]*stageHist // endpoint → stage → hist
+}
+
+// NewStageAgg builds an aggregator over the given bucket bounds (seconds,
+// ascending) and stage-span names. Nil slices take DefaultStageBuckets and
+// DefaultStages.
+func NewStageAgg(buckets []float64, stages []string) *StageAgg {
+	if buckets == nil {
+		buckets = DefaultStageBuckets
+	}
+	if stages == nil {
+		stages = DefaultStages
+	}
+	set := make(map[string]bool, len(stages))
+	for _, s := range stages {
+		set[s] = true
+	}
+	return &StageAgg{
+		buckets: buckets,
+		stages:  set,
+		hists:   make(map[string]map[string]*stageHist),
+	}
+}
+
+// Buckets returns the bucket upper bounds in seconds (+Inf slot excluded).
+func (a *StageAgg) Buckets() []float64 {
+	if a == nil {
+		return nil
+	}
+	return a.buckets
+}
+
+// Observe folds every stage span of a finished trace into the trace's
+// endpoint histograms. kept tells whether the retention policy kept the
+// trace: only kept traces become exemplars, so every exemplar trace ID
+// resolves against /debug/traces/{id} at the moment it is written.
+func (a *StageAgg) Observe(tr *Trace, kept bool) {
+	if a == nil || tr == nil {
+		return
+	}
+	ep := tr.Endpoint()
+	id := tr.ID.String()
+	a.mu.Lock()
+	byStage := a.hists[ep]
+	if byStage == nil {
+		byStage = make(map[string]*stageHist)
+		a.hists[ep] = byStage
+	}
+	for i := range tr.Spans {
+		sp := &tr.Spans[i]
+		if !a.stages[sp.Name] {
+			continue
+		}
+		h := byStage[sp.Name]
+		if h == nil {
+			h = &stageHist{
+				counts:    make([]int64, len(a.buckets)+1),
+				exemplars: make([]Exemplar, len(a.buckets)+1),
+			}
+			byStage[sp.Name] = h
+		}
+		secs := sp.Duration.Seconds()
+		idx := a.bucketIndex(secs)
+		h.counts[idx]++
+		h.sum += secs
+		h.count++
+		if kept {
+			h.exemplars[idx] = Exemplar{
+				TraceID: id,
+				Value:   secs,
+				Unix:    float64(sp.Start.Add(sp.Duration).UnixNano()) / 1e9,
+			}
+		}
+	}
+	a.mu.Unlock()
+}
+
+func (a *StageAgg) bucketIndex(secs float64) int {
+	for i, b := range a.buckets {
+		if secs <= b {
+			return i
+		}
+	}
+	return len(a.buckets)
+}
+
+// Snapshot copies every histogram, sorted by endpoint then stage so
+// /metrics output is deterministic.
+func (a *StageAgg) Snapshot() []StageSnapshot {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]StageSnapshot, 0, len(a.hists)*4)
+	for ep, byStage := range a.hists {
+		for stage, h := range byStage {
+			s := StageSnapshot{
+				Endpoint:  ep,
+				Stage:     stage,
+				Counts:    append([]int64(nil), h.counts...),
+				Exemplars: append([]Exemplar(nil), h.exemplars...),
+				Sum:       h.sum,
+				Count:     h.count,
+			}
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Endpoint != out[j].Endpoint {
+			return out[i].Endpoint < out[j].Endpoint
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}

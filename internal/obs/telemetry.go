@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// TelemetrySample is one point-in-time reading of process health: a few
+// runtime/metrics values plus optional service-counter deltas.
+type TelemetrySample struct {
+	UnixMs          int64   `json:"unix_ms"`
+	HeapBytes       uint64  `json:"heap_bytes"`
+	HeapObjects     uint64  `json:"heap_objects"`
+	Goroutines      uint64  `json:"goroutines"`
+	GCCycles        uint64  `json:"gc_cycles"` // cumulative since process start
+	GCPauseP99      float64 `json:"gc_pause_p99_seconds"`
+	SchedLatencyP99 float64 `json:"sched_latency_p99_seconds"`
+	// Counters holds service-counter deltas between this sample and the
+	// previous one; the first sample reports totals since process start.
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// CollectorConfig sizes a Collector.
+type CollectorConfig struct {
+	// Interval between samples. Default 10s.
+	Interval time.Duration
+	// RingSize bounds retained samples. Default 360 (an hour at 10s).
+	RingSize int
+	// Counters, when set, is read at every sample; the sample records the
+	// per-key delta since the previous reading. Must be safe to call from
+	// the collector goroutine.
+	Counters func() map[string]int64
+}
+
+// Collector samples runtime/metrics on a fixed interval into a bounded
+// time-series ring: the "was GC thrashing at 14:02" half of the flight
+// recorder. A nil *Collector is valid and inert.
+type Collector struct {
+	interval time.Duration
+	counters func() map[string]int64
+
+	mu           sync.Mutex
+	ring         []TelemetrySample
+	next, count  int
+	samples      []metrics.Sample // reused across reads
+	prevGC       []uint64         // previous /gc/pauses histogram counts
+	prevSched    []uint64         // previous /sched/latencies histogram counts
+	prevCounters map[string]int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Indices into the metrics.Sample batch below.
+const (
+	tmHeapBytes = iota
+	tmHeapObjects
+	tmGoroutines
+	tmGCCycles
+	tmGCPauses
+	tmSchedLatencies
+	tmLen
+)
+
+var telemetryNames = [tmLen]string{
+	tmHeapBytes:      "/memory/classes/heap/objects:bytes",
+	tmHeapObjects:    "/gc/heap/objects:objects",
+	tmGoroutines:     "/sched/goroutines:goroutines",
+	tmGCCycles:       "/gc/cycles/total:gc-cycles",
+	tmGCPauses:       "/gc/pauses:seconds",
+	tmSchedLatencies: "/sched/latencies:seconds",
+}
+
+// NewCollector builds a Collector; zero config fields take the documented
+// defaults. The collector is idle until Start.
+func NewCollector(cfg CollectorConfig) *Collector {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Second
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 360
+	}
+	c := &Collector{
+		interval: cfg.Interval,
+		counters: cfg.Counters,
+		ring:     make([]TelemetrySample, cfg.RingSize),
+		samples:  make([]metrics.Sample, tmLen),
+	}
+	for i, name := range telemetryNames {
+		c.samples[i].Name = name
+	}
+	return c
+}
+
+// Interval returns the sampling interval (0 for nil).
+func (c *Collector) Interval() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.interval
+}
+
+// Capacity returns the ring bound (0 for nil).
+func (c *Collector) Capacity() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.ring)
+}
+
+// Start takes an immediate first sample, then samples every interval until
+// Stop. Calling Start twice is a no-op. Nil-safe.
+func (c *Collector) Start() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.stop != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	stop, done := c.stop, c.done
+	c.mu.Unlock()
+
+	c.SampleNow()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(c.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				c.SampleNow()
+			}
+		}
+	}()
+}
+
+// Stop halts sampling and waits for the collector goroutine to exit.
+// Idempotent and nil-safe; the sample ring stays readable after Stop.
+func (c *Collector) Stop() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	stop, done := c.stop, c.done
+	c.stop, c.done = nil, nil
+	c.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// SampleNow takes one sample immediately and records it in the ring.
+// Exported so tests and benchmarks can drive the collector without timers.
+func (c *Collector) SampleNow() TelemetrySample {
+	if c == nil {
+		return TelemetrySample{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	metrics.Read(c.samples)
+	s := TelemetrySample{UnixMs: time.Now().UnixMilli()}
+	s.HeapBytes = uint64Metric(&c.samples[tmHeapBytes])
+	s.HeapObjects = uint64Metric(&c.samples[tmHeapObjects])
+	s.Goroutines = uint64Metric(&c.samples[tmGoroutines])
+	s.GCCycles = uint64Metric(&c.samples[tmGCCycles])
+	s.GCPauseP99, c.prevGC = histDeltaP99(&c.samples[tmGCPauses], c.prevGC)
+	s.SchedLatencyP99, c.prevSched = histDeltaP99(&c.samples[tmSchedLatencies], c.prevSched)
+	if c.counters != nil {
+		now := c.counters()
+		deltas := make(map[string]int64, len(now))
+		for k, v := range now {
+			deltas[k] = v - c.prevCounters[k]
+		}
+		c.prevCounters = now
+		s.Counters = deltas
+	}
+	c.ring[c.next] = s
+	c.next = (c.next + 1) % len(c.ring)
+	if c.count < len(c.ring) {
+		c.count++
+	}
+	return s
+}
+
+// Samples returns the retained samples, oldest first. Nil-safe.
+func (c *Collector) Samples() []TelemetrySample {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]TelemetrySample, 0, c.count)
+	for i := 0; i < c.count; i++ {
+		out = append(out, c.ring[((c.next-c.count+i)%len(c.ring)+len(c.ring))%len(c.ring)])
+	}
+	return out
+}
+
+// Latest returns the most recent sample; ok is false when none has been
+// taken yet. Nil-safe.
+func (c *Collector) Latest() (TelemetrySample, bool) {
+	if c == nil {
+		return TelemetrySample{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.count == 0 {
+		return TelemetrySample{}, false
+	}
+	return c.ring[((c.next-1)%len(c.ring)+len(c.ring))%len(c.ring)], true
+}
+
+func uint64Metric(s *metrics.Sample) uint64 {
+	if s.Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s.Value.Uint64()
+}
+
+// histDeltaP99 returns the p99 of a cumulative runtime/metrics histogram
+// over the window since prev (the previous reading's counts), plus the
+// current counts for the next call. With no events in the window it
+// returns 0.
+func histDeltaP99(s *metrics.Sample, prev []uint64) (float64, []uint64) {
+	if s.Value.Kind() != metrics.KindFloat64Histogram {
+		return 0, prev
+	}
+	h := s.Value.Float64Histogram()
+	cur := append([]uint64(nil), h.Counts...)
+	delta := make([]uint64, len(cur))
+	var total uint64
+	for i := range cur {
+		d := cur[i]
+		if len(prev) == len(cur) && prev[i] <= cur[i] {
+			d = cur[i] - prev[i]
+		}
+		delta[i] = d
+		total += d
+	}
+	if total == 0 {
+		return 0, cur
+	}
+	target := uint64(float64(total) * 0.99)
+	var cum uint64
+	for i, d := range delta {
+		cum += d
+		if cum > target || (cum == total && cum >= target) {
+			// Buckets has len(Counts)+1 boundaries; report the bucket's
+			// upper bound, falling back to the lower one at +Inf.
+			hi := h.Buckets[i+1]
+			if math.IsNaN(hi) || math.IsInf(hi, 1) {
+				return h.Buckets[i], cur
+			}
+			return hi, cur
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1], cur
+}

@@ -6,14 +6,23 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 )
 
-// GET /metrics — Prometheus text exposition (format version 0.0.4),
-// rendered without any dependency: the same counters /debug/stats reports,
-// shaped for a scraper. Cache hit/miss/coalesce/eviction counters, entry
-// and byte gauges, per-endpoint request/error/in-flight series and latency
-// histograms, cluster forward/fallback counters and admission shed/token
-// series.
+// GET /metrics — Prometheus text exposition, rendered without any
+// dependency: the same counters /debug/stats reports, shaped for a
+// scraper. Cache hit/miss/coalesce/eviction counters, entry and byte
+// gauges, per-endpoint request/error/in-flight series and latency
+// histograms, per-endpoint × per-stage histograms derived from finished
+// traces, cluster forward/fallback counters, admission shed/token series,
+// and runtime-telemetry gauges.
+//
+// The default scrape is format 0.0.4. A client sending
+// Accept: application/openmetrics-text gets the OpenMetrics flavor
+// instead: the same families plus bucket exemplars on the stage
+// histograms — each populated bucket carries the trace ID of a request
+// that landed in it, resolvable at /debug/traces/{id} — and a trailing
+// # EOF marker.
 
 // latencyBuckets are the histogram upper bounds in seconds. The spread
 // covers both regimes the service sees: microsecond cache hits and
@@ -31,36 +40,50 @@ func bucketIndex(secs float64) int {
 	return sort.SearchFloat64s(latencyBuckets, secs)
 }
 
+// openMetricsType is the Accept media type that switches the scrape to
+// the OpenMetrics flavor (exemplars, trailing # EOF).
+const openMetricsType = "application/openmetrics-text"
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), openMetricsType) {
+		w.Header().Set("Content-Type", openMetricsType+"; version=1.0.0; charset=utf-8")
+		s.writeMetrics(w, true)
+		io.WriteString(w, "# EOF\n")
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.writeMetrics(w)
+	s.writeMetrics(w, false)
 }
 
 // promFloat renders a sample value the way Prometheus expects.
 func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // promMetric emits one full metric family: HELP, TYPE, then each
-// (labels, value) sample. Labels render in the order given.
+// (labels, value) sample. Labels render in the order given. A sample's
+// exemplar (OpenMetrics scrapes only) is appended after the value.
 func promMetric(w io.Writer, name, typ, help string, samples []promSample) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
 	for _, s := range samples {
 		if s.labels == "" {
-			fmt.Fprintf(w, "%s %s\n", name+s.suffix, s.value)
+			fmt.Fprintf(w, "%s %s%s\n", name+s.suffix, s.value, s.exemplar)
 		} else {
-			fmt.Fprintf(w, "%s{%s} %s\n", name+s.suffix, s.labels, s.value)
+			fmt.Fprintf(w, "%s{%s} %s%s\n", name+s.suffix, s.labels, s.value, s.exemplar)
 		}
 	}
 }
 
 type promSample struct {
-	suffix string // "", "_bucket", "_sum", "_count"
-	labels string // rendered label pairs, no braces
-	value  string
+	suffix   string // "", "_bucket", "_sum", "_count"
+	labels   string // rendered label pairs, no braces
+	value    string
+	exemplar string // rendered " # {trace_id=...} v ts", or ""
 }
 
 func one(value string) []promSample { return []promSample{{value: value}} }
 
-func (s *Server) writeMetrics(w io.Writer) {
+// writeMetrics renders every family. openMetrics additionally attaches
+// exemplars to the stage-histogram buckets (0.0.4 scrapers reject them).
+func (s *Server) writeMetrics(w io.Writer, openMetrics bool) {
 	cs := s.results.Stats()
 	promMetric(w, "hservd_cache_hits_total", "counter",
 		"Result-cache lookups served from a stored entry.", one(fmt.Sprint(cs.Hits)))
@@ -135,6 +158,8 @@ func (s *Server) writeMetrics(w io.Writer) {
 	promMetric(w, "hservd_request_duration_seconds", "histogram",
 		"Request latency, by endpoint.", hist)
 
+	s.writeStageMetrics(w, openMetrics)
+
 	if cl := s.cluster; cl != nil {
 		promMetric(w, "hservd_cluster_peers", "gauge",
 			"Replicas in the consistent-hash ring.", one(fmt.Sprint(len(cl.ring.Nodes()))))
@@ -166,6 +191,32 @@ func (s *Server) writeMetrics(w io.Writer) {
 			"Spans discarded by the per-trace span bound.", one(fmt.Sprint(ts.DroppedSpans)))
 		promMetric(w, "hservd_trace_spans_total", "counter",
 			"Spans recorded locally (peer-merged reads never count).", one(fmt.Sprint(ts.Spans)))
+		promMetric(w, "hservd_trace_retention_total", "counter",
+			"Tail-sampling retention decisions by policy (kept_error, kept_slow, sampled_out).",
+			[]promSample{
+				{labels: `policy="kept_error"`, value: fmt.Sprint(ts.KeptError)},
+				{labels: `policy="kept_slow"`, value: fmt.Sprint(ts.KeptSlow)},
+				{labels: `policy="sampled_out"`, value: fmt.Sprint(ts.SampledOut)},
+			})
+	}
+
+	if c := s.telemetry; c != nil {
+		if sample, ok := c.Latest(); ok {
+			promMetric(w, "hservd_runtime_heap_bytes", "gauge",
+				"Live heap bytes at the latest telemetry sample.", one(fmt.Sprint(sample.HeapBytes)))
+			promMetric(w, "hservd_runtime_heap_objects", "gauge",
+				"Live heap objects at the latest telemetry sample.", one(fmt.Sprint(sample.HeapObjects)))
+			promMetric(w, "hservd_runtime_goroutines", "gauge",
+				"Goroutines at the latest telemetry sample.", one(fmt.Sprint(sample.Goroutines)))
+			promMetric(w, "hservd_runtime_gc_cycles_total", "counter",
+				"Completed GC cycles since process start.", one(fmt.Sprint(sample.GCCycles)))
+			promMetric(w, "hservd_runtime_gc_pause_p99_seconds", "gauge",
+				"p99 GC stop-the-world pause over the latest telemetry interval.", one(promFloat(sample.GCPauseP99)))
+			promMetric(w, "hservd_runtime_sched_latency_p99_seconds", "gauge",
+				"p99 goroutine scheduling latency over the latest telemetry interval.", one(promFloat(sample.SchedLatencyP99)))
+		}
+		promMetric(w, "hservd_telemetry_samples", "gauge",
+			"Telemetry samples currently retained.", one(fmt.Sprint(len(c.Samples()))))
 	}
 
 	sim := []struct {
@@ -184,4 +235,44 @@ func (s *Server) writeMetrics(w io.Writer) {
 	}
 	promMetric(w, "hservd_sim_scoring_total", "counter",
 		"Simulated-objective candidate-scoring counters, summed over engine runs.", samples)
+}
+
+// writeStageMetrics renders the span-derived per-endpoint × per-stage
+// latency histograms. On OpenMetrics scrapes each populated bucket carries
+// an exemplar linking it to a retained trace.
+func (s *Server) writeStageMetrics(w io.Writer, openMetrics bool) {
+	if s.stages == nil {
+		return
+	}
+	bounds := s.stages.Buckets()
+	var hist []promSample
+	for _, snap := range s.stages.Snapshot() {
+		labels := func(extra string) string {
+			return fmt.Sprintf(`endpoint=%q,stage=%q%s`, snap.Endpoint, snap.Stage, extra)
+		}
+		cum := int64(0)
+		for i := range snap.Counts {
+			cum += snap.Counts[i]
+			le := "+Inf"
+			if i < len(bounds) {
+				le = promFloat(bounds[i])
+			}
+			sp := promSample{
+				suffix: "_bucket",
+				labels: labels(fmt.Sprintf(`,le=%q`, le)),
+				value:  fmt.Sprint(cum),
+			}
+			if openMetrics && snap.Counts[i] > 0 && snap.Exemplars[i].TraceID != "" {
+				ex := snap.Exemplars[i]
+				sp.exemplar = fmt.Sprintf(` # {trace_id=%q} %s %.3f`, ex.TraceID, promFloat(ex.Value), ex.Unix)
+			}
+			hist = append(hist, sp)
+		}
+		hist = append(hist,
+			promSample{suffix: "_sum", labels: labels(""), value: promFloat(snap.Sum)},
+			promSample{suffix: "_count", labels: labels(""), value: fmt.Sprint(snap.Count)},
+		)
+	}
+	promMetric(w, "hservd_stage_duration_seconds", "histogram",
+		"Stage-span latency derived from finished traces, by endpoint and stage.", hist)
 }

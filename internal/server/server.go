@@ -20,9 +20,13 @@
 //	GET  /v1/presets           registered platform variants
 //	GET  /debug/stats          per-endpoint counters + cache statistics
 //	GET  /metrics              Prometheus text exposition of the same
-//	GET  /debug/traces         finished request traces (Config.Tracer)
+//	GET  /debug/traces         finished request traces (Config.Tracer),
+//	                           filterable by ?endpoint= and ?min_ms=
 //	GET  /debug/traces/{id}    one trace as Chrome trace-event JSON,
 //	                           fleet-merged in fleet mode
+//	GET  /debug/telemetry      runtime-telemetry time series
+//	                           (Config.TelemetryInterval)
+//	GET  /debug/fleet          merged health document for every replica
 //
 // The result store behind the cache is pluggable (internal/store): the
 // bounded in-memory LRU by default, or a disk-backed store so a restarted
@@ -118,6 +122,12 @@ type Config struct {
 	// SlowThreshold, when positive, logs one structured summary line for
 	// every request that takes longer than it.
 	SlowThreshold time.Duration
+	// TelemetryInterval, when positive, runs a runtime-telemetry collector
+	// (internal/obs) sampling heap/GC/goroutine/sched health plus
+	// service-counter deltas every interval into a bounded ring, served by
+	// GET /debug/telemetry and as gauges on /metrics. 0 disables it. A
+	// server with telemetry enabled owns a goroutine; release it with Close.
+	TelemetryInterval time.Duration
 }
 
 // Server is the HTTP front end. Construct with New; it implements
@@ -131,6 +141,13 @@ type Server struct {
 	admit   *tokenBucket  // nil without an admission budget
 	tracer  *obs.Tracer   // nil disables tracing
 	logger  *slog.Logger  // never nil after New
+
+	// stages folds every finished trace's stage spans into per-endpoint
+	// latency histograms for /metrics (nil without a tracer); telemetry is
+	// the runtime-health collector behind /debug/telemetry (nil unless
+	// Config.TelemetryInterval is set).
+	stages    *obs.StageAgg
+	telemetry *obs.Collector
 
 	// simScoring aggregates the engine's SimScoreStats over every
 	// /v1/partition run that consulted the co-simulator. Only cache misses
@@ -186,12 +203,25 @@ func New(cfg Config) *Server {
 	if cfg.MaxSimCost > 0 {
 		s.admit = newTokenBucket(float64(cfg.MaxSimCost))
 	}
+	if s.tracer != nil {
+		s.stages = obs.NewStageAgg(nil, nil)
+		s.tracer.SetOnFinalize(s.stages.Observe)
+	}
+	if cfg.TelemetryInterval > 0 {
+		s.telemetry = obs.NewCollector(obs.CollectorConfig{
+			Interval: cfg.TelemetryInterval,
+			Counters: s.telemetryCounters,
+		})
+		s.telemetry.Start()
+	}
 	s.route("GET /healthz", "/healthz", s.handleHealthz)
 	s.route("GET /v1/presets", "/v1/presets", s.handlePresets)
 	s.route("GET /debug/stats", "/debug/stats", s.handleStats)
 	s.route("GET /metrics", "/metrics", s.handleMetrics)
 	s.route("GET /debug/traces", "/debug/traces", s.handleTraceList)
 	s.route("GET /debug/traces/{id}", "/debug/traces/{id}", s.handleTraceGet)
+	s.route("GET /debug/telemetry", "/debug/telemetry", s.handleTelemetry)
+	s.route("GET /debug/fleet", "/debug/fleet", s.handleFleet)
 	s.route("POST /v1/partition", "/v1/partition", s.handlePartition)
 	s.route("POST /v1/partition-energy", "/v1/partition-energy", s.handlePartitionEnergy)
 	s.route("POST /v1/sweep", "/v1/sweep", s.handleSweep)
@@ -201,6 +231,36 @@ func New(cfg Config) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close releases background resources (the telemetry collector's
+// goroutine). Idempotent; the server keeps serving afterwards, minus
+// telemetry updates.
+func (s *Server) Close() { s.telemetry.Stop() }
+
+// telemetryCounters is the service-counter snapshot the telemetry
+// collector diffs between samples: request/error totals over all
+// endpoints, cache traffic, and the shed/forward counters when armed.
+func (s *Server) telemetryCounters() map[string]int64 {
+	var requests, errorsTotal int64
+	for _, m := range s.metrics {
+		requests += m.requests.Load()
+		errorsTotal += m.errors.Load()
+	}
+	cs := s.results.Stats()
+	out := map[string]int64{
+		"requests":     requests,
+		"errors":       errorsTotal,
+		"cache_hits":   int64(cs.Hits),
+		"cache_misses": int64(cs.Misses),
+	}
+	if b := s.admit; b != nil {
+		out["admission_shed"] = b.shed.Load()
+	}
+	if cl := s.cluster; cl != nil {
+		out["cluster_forwards"] = cl.forwards.Load()
+	}
+	return out
+}
 
 // CacheStats snapshots the result-cache counters (exposed for tests and
 // operational tooling; /debug/stats serves the same numbers).
@@ -313,6 +373,10 @@ func (s *Server) route(pattern, name string, h http.HandlerFunc) {
 		dur := time.Since(start)
 		if span != nil {
 			span.Set(obs.Int("status", sw.code))
+			if sw.code >= 400 {
+				// Error traces are always retained under tail sampling.
+				span.MarkError()
+			}
 			span.End()
 		}
 		us := dur.Microseconds()
@@ -446,6 +510,12 @@ func (s *Server) handlePresets(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, s.statsJSON())
+}
+
+// statsJSON assembles the /debug/stats document; /debug/fleet reuses it
+// for the self entry of the merged health view.
+func (s *Server) statsJSON() StatsJSON {
 	out := StatsJSON{Cache: s.results.Stats(), Endpoints: map[string]EndpointStatsJSON{}}
 	out.BenchProfiles.Size, out.BenchProfiles.Bound = hybridpart.ProfileMemoStats()
 	out.SimScoring = SimScoringStatsJSON{
@@ -479,6 +549,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			DroppedTraces: ts.DroppedTraces,
 			DroppedSpans:  ts.DroppedSpans,
 			Spans:         ts.Spans,
+			KeptError:     ts.KeptError,
+			KeptSlow:      ts.KeptSlow,
+			SampledOut:    ts.SampledOut,
 		}
 	}
 	for name, m := range s.metrics {
@@ -495,7 +568,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		out.Endpoints[name] = row
 	}
-	s.writeJSON(w, out)
+	return out
 }
 
 // decodePartitionRequest parses and shape-checks a partition body.

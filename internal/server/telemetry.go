@@ -1,0 +1,31 @@
+package server
+
+import (
+	"net/http"
+
+	"hybridpart/internal/obs"
+)
+
+// TelemetryJSON is the body of GET /debug/telemetry: the collector's
+// retained runtime-health samples, oldest first.
+type TelemetryJSON struct {
+	IntervalMs int64                 `json:"interval_ms"`
+	Capacity   int                   `json:"capacity"`
+	Samples    []obs.TelemetrySample `json:"samples"`
+}
+
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	if s.telemetry == nil {
+		s.writeError(w, notFound("telemetry is not enabled (hservd -telemetry-interval)"))
+		return
+	}
+	samples := s.telemetry.Samples()
+	if samples == nil {
+		samples = []obs.TelemetrySample{}
+	}
+	s.writeJSON(w, TelemetryJSON{
+		IntervalMs: s.telemetry.Interval().Milliseconds(),
+		Capacity:   s.telemetry.Capacity(),
+		Samples:    samples,
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"net/http"
+	"strconv"
 	"time"
 
 	"hybridpart/internal/obs"
@@ -28,9 +29,11 @@ const peerTraceTimeout = 2 * time.Second
 type TraceSummaryJSON struct {
 	TraceID    string `json:"trace_id"`
 	Root       string `json:"root"`
+	Endpoint   string `json:"endpoint"`
 	Start      string `json:"start"` // RFC 3339, with sub-second precision
 	DurationUs int64  `json:"duration_micros"`
 	Spans      int    `json:"spans"`
+	Error      bool   `json:"error,omitempty"`
 }
 
 // TraceListJSON is the body of GET /debug/traces.
@@ -48,12 +51,32 @@ type TraceStatsJSON struct {
 	DroppedTraces int64 `json:"dropped_traces"`
 	DroppedSpans  int64 `json:"dropped_spans"`
 	Spans         int64 `json:"spans"`
+	// Tail-sampling policy counters (hservd -trace-keep-slow); all zero
+	// under plain overwrite-oldest retention.
+	KeptError  int64 `json:"kept_error"`
+	KeptSlow   int64 `json:"kept_slow"`
+	SampledOut int64 `json:"sampled_out"`
 }
 
+// handleTraceList lists retained traces, newest first. ?endpoint= keeps
+// only traces whose root belongs to that endpoint, ?min_ms= only traces at
+// least that many milliseconds long — so an operator chasing "slow
+// /v1/partition requests" never downloads the whole ring.
 func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
 	if s.tracer == nil {
 		s.writeError(w, notFound("tracing is not enabled (hservd -trace-ring)"))
 		return
+	}
+	q := r.URL.Query()
+	endpoint := q.Get("endpoint")
+	var minDur time.Duration
+	if raw := q.Get("min_ms"); raw != "" {
+		ms, err := strconv.ParseFloat(raw, 64)
+		if err != nil || ms < 0 {
+			s.writeError(w, badRequest("min_ms must be a non-negative number of milliseconds"))
+			return
+		}
+		minDur = time.Duration(ms * float64(time.Millisecond))
 	}
 	out := TraceListJSON{
 		Service: s.tracer.Service(),
@@ -61,12 +84,20 @@ func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
 		Traces:  []TraceSummaryJSON{},
 	}
 	for _, tr := range s.tracer.Traces() {
+		if endpoint != "" && tr.Endpoint() != endpoint {
+			continue
+		}
+		if tr.Duration < minDur {
+			continue
+		}
 		out.Traces = append(out.Traces, TraceSummaryJSON{
 			TraceID:    tr.ID.String(),
 			Root:       tr.Root,
+			Endpoint:   tr.Endpoint(),
 			Start:      tr.Start.UTC().Format(time.RFC3339Nano),
 			DurationUs: tr.Duration.Microseconds(),
 			Spans:      len(tr.Spans),
+			Error:      tr.Error,
 		})
 	}
 	s.writeJSON(w, out)
