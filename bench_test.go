@@ -421,6 +421,43 @@ func BenchmarkSimulateFrames(b *testing.B) {
 	}
 }
 
+// BenchmarkRegions prices the partial-dynamic-reconfiguration axis on the
+// reconfiguration-bound OFDM operating point (A_FPGA 1200, 8 pipelined
+// frames): the monolithic context, the monolithic context with prefetch
+// (the single-context model's best mitigation), and two independently
+// reconfigurable regions. Each run reports the simulated makespan and
+// speedup; cmd/benchjson publishes the sub-benchmarks as
+// BENCH_regions.json, and CI gates r2's makespan strictly below
+// r1_prefetch's.
+func BenchmarkRegions(b *testing.B) {
+	app, prof, _, _ := benchSetup(b)
+	modes := []struct {
+		name string
+		opt  []Option
+	}{
+		{"r1", nil},
+		{"r1_prefetch", []Option{WithSimPrefetch(true)}},
+		{"r2", []Option{WithRegions(2)}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := append([]Option{WithConstraint(60000), WithArea(1200), WithSimFrames(8)}, mode.opt...)
+			eng, err := NewEngine(opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rep *SimReport
+			for i := 0; i < b.N; i++ {
+				if rep, err = eng.SimulateProfiled(context.Background(), app, prof); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rep.TotalCycles), "sim-makespan")
+			b.ReportMetric(rep.Speedup(), "sim-speedup")
+		})
+	}
+}
+
 // BenchmarkObjective compares the move-loop objectives on OFDM at 8
 // pipelined frames: the closed-form model loop, the fully simulation-scored
 // loop, and rerank(3), the cheap middle ground. Each run reports the chosen

@@ -61,6 +61,15 @@ type objectiveBench struct {
 	Moves       float64 `json:"moves,omitempty"`
 }
 
+// regionsBench is one BenchmarkRegions sub-benchmark's derived summary:
+// the simulated makespan and speedup of a region/prefetch configuration on
+// the reconfiguration-bound operating point.
+type regionsBench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	SimMakespan float64 `json:"sim_makespan,omitempty"`
+	SimSpeedup  float64 `json:"sim_speedup,omitempty"`
+}
+
 // objectiveParallelBench is one BenchmarkObjectiveParallel sub-benchmark's
 // derived summary: wall time and allocations for a scoring configuration,
 // its branch-and-bound counters, and its speedup over the serial baseline.
@@ -107,6 +116,10 @@ type report struct {
 	// by scoring configuration ("serial", "w1".."w8"), each with its speedup
 	// over the full-replay serial baseline.
 	ObjectiveParallel map[string]objectiveParallelBench `json:"objective_parallel,omitempty"`
+	// Regions summarizes BenchmarkRegions sub-benchmarks by configuration
+	// ("r1", "r1_prefetch", "r2"); CI gates r2.sim_makespan strictly below
+	// r1_prefetch.sim_makespan.
+	Regions map[string]regionsBench `json:"regions,omitempty"`
 	// Trace summarizes BenchmarkTraceOverhead (CI gates overhead_pct < 2).
 	Trace *traceBench `json:"trace,omitempty"`
 	// Telemetry summarizes BenchmarkTelemetryOverhead (CI gates
@@ -207,6 +220,21 @@ func main() {
 				}
 			}
 			rep.Telemetry = row
+		}
+		if i := strings.Index(b.Name, "Regions/"); i >= 0 {
+			if rep.Regions == nil {
+				rep.Regions = map[string]regionsBench{}
+			}
+			row := regionsBench{NsPerOp: b.NsOp}
+			for _, m := range b.Metrics {
+				switch m.Name {
+				case "sim-makespan":
+					row.SimMakespan = m.Value
+				case "sim-speedup":
+					row.SimSpeedup = m.Value
+				}
+			}
+			rep.Regions[b.Name[i+len("Regions/"):]] = row
 		}
 		if i := strings.Index(b.Name, "Objective/"); i >= 0 {
 			if rep.Objective == nil {

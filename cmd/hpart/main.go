@@ -57,6 +57,7 @@ func main() {
 	preset := flag.String("preset", "", "platform preset to start from (see hsweep -list-presets)")
 	afpga := flag.Int("afpga", 1500, "usable fine-grain area A_FPGA")
 	cgcs := flag.Int("cgcs", 2, "number of 2x2 CGCs in the data-path")
+	regions := flag.Int("regions", 1, "independently reconfigurable fine-grain regions (1 = monolithic context)")
 	constraint := flag.Int64("constraint", 60000, "timing constraint in FPGA cycles")
 	objective := flag.String("objective", "model", `move-loop objective: "model" (closed-form t_total) or "sim" (simulated makespan)`)
 	rerank := flag.Int("rerank", 0, "re-score the top-k model trajectories by simulation (0 = off, -1 = all)")
@@ -85,6 +86,8 @@ func main() {
 		fail(fmt.Sprintf("-afpga must be positive, got %d", *afpga))
 	case *cgcs <= 0:
 		fail(fmt.Sprintf("-cgcs must be positive, got %d", *cgcs))
+	case *regions <= 0:
+		fail(fmt.Sprintf("-regions must be positive, got %d", *regions))
 	case *constraint <= 0:
 		fail(fmt.Sprintf("-constraint must be positive, got %d", *constraint))
 	case *pipelineN < 0:
@@ -119,6 +122,9 @@ func main() {
 	}
 	if *preset == "" || set["cgcs"] {
 		engineOpts = append(engineOpts, hybridpart.WithCGCs(*cgcs))
+	}
+	if *preset == "" || set["regions"] {
+		engineOpts = append(engineOpts, hybridpart.WithRegions(*regions))
 	}
 	engineOpts = append(engineOpts, hybridpart.WithConstraint(*constraint),
 		hybridpart.WithObjective(obj), hybridpart.WithRerank(*rerank),

@@ -85,6 +85,7 @@ func main() {
 		"benchmark profile memo bound in (bench, seed) entries; 0 = unbounded, for trusted deployments")
 	self := flag.String("self", "", "this replica's base URL as peers reach it (fleet mode, with -peers)")
 	peers := flag.String("peers", "", "comma-separated base URLs of every replica, -self included (fleet mode)")
+	forwardTimeout := flag.Duration("forward-timeout", 0, "per-forward deadline before falling back to local compute in fleet mode (0 = 2s default)")
 	maxSimCost := flag.Int("max-sim-cost", 0, "admission budget in simulated-cost units per second (0 = no admission control)")
 	traceRing := flag.Int("trace-ring", 256, "finished request traces kept for GET /debug/traces (0 = tracing off)")
 	traceKeepSlow := flag.Int("trace-keep-slow", 4, "always keep error traces and this many slowest per endpoint, sampling the rest (0 = overwrite-oldest)")
@@ -103,6 +104,9 @@ func main() {
 	}
 	if *timeout < 0 {
 		fail(fmt.Sprintf("-timeout must be non-negative, got %v", *timeout))
+	}
+	if *forwardTimeout < 0 {
+		fail(fmt.Sprintf("-forward-timeout must be non-negative, got %v", *forwardTimeout))
 	}
 	if *maxSimCost < 0 {
 		fail(fmt.Sprintf("-max-sim-cost must be non-negative, got %d", *maxSimCost))
@@ -136,6 +140,7 @@ func main() {
 		Timeout:           *timeout,
 		Self:              *self,
 		Peers:             peerList,
+		ForwardTimeout:    *forwardTimeout,
 		MaxSimCost:        *maxSimCost,
 		Logger:            logger,
 		SlowThreshold:     time.Duration(*slowMS) * time.Millisecond,

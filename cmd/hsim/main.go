@@ -44,6 +44,7 @@ func main() {
 	preset := flag.String("preset", "", "platform preset to start from (see hsweep -list-presets)")
 	afpga := flag.Int("afpga", 1500, "usable fine-grain area A_FPGA")
 	cgcs := flag.Int("cgcs", 2, "number of 2x2 CGCs in the data-path")
+	regions := flag.Int("regions", 1, "independently reconfigurable fine-grain regions (1 = monolithic context)")
 	constraint := flag.Int64("constraint", 0, "timing constraint in FPGA cycles (0 = the benchmark's paper default)")
 	frames := flag.Int("frames", 1, "application frames to replay (the frame pipeline overlaps the fabrics)")
 	ports := flag.Int("ports", 1, "fabric-to-fabric transfer ports (the model assumes 1)")
@@ -70,6 +71,8 @@ func main() {
 		fail(fmt.Sprintf("-afpga must be positive, got %d", *afpga))
 	case *cgcs <= 0:
 		fail(fmt.Sprintf("-cgcs must be positive, got %d", *cgcs))
+	case *regions <= 0:
+		fail(fmt.Sprintf("-regions must be positive, got %d", *regions))
 	case *constraint < 0:
 		fail(fmt.Sprintf("-constraint must be positive, got %d", *constraint))
 	case *constraint == 0 && *src != "":
@@ -103,6 +106,9 @@ func main() {
 	}
 	if *preset == "" || set["cgcs"] {
 		engineOpts = append(engineOpts, hybridpart.WithCGCs(*cgcs))
+	}
+	if *preset == "" || set["regions"] {
+		engineOpts = append(engineOpts, hybridpart.WithRegions(*regions))
 	}
 	// The knobs go on the engine (not just this Simulate call) so a
 	// simulated objective or re-rank scores candidates at the same operating

@@ -53,6 +53,7 @@ func main() {
 	bench := flag.String("bench", "", `comma-separated benchmarks ("ofdm", "jpeg")`)
 	areas := flag.String("areas", "", "comma-separated A_FPGA values (empty = preset default)")
 	cgcs := flag.String("cgcs", "", "comma-separated CGC counts (empty = preset default)")
+	regions := flag.String("regions", "", "comma-separated reconfigurable-region counts (empty = preset default, 1 = monolithic)")
 	constraints := flag.String("constraints", "", "comma-separated timing constraints in FPGA cycles (empty = paper defaults)")
 	presets := flag.String("presets", "", "comma-separated platform presets (see -list-presets)")
 	frames := flag.String("frames", "", "comma-separated co-simulation frame counts (any sim axis adds simulated-speedup columns)")
@@ -91,6 +92,9 @@ func main() {
 	}
 	if spec.CGCs, err = parseInts(*cgcs); err != nil {
 		fatal("-cgcs", err)
+	}
+	if spec.Regions, err = parseInts(*regions); err != nil {
+		fatal("-regions", err)
 	}
 	if spec.Constraints, err = parseInt64s(*constraints); err != nil {
 		fatal("-constraints", err)

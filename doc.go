@@ -82,6 +82,22 @@
 //	rep, _ := eng.Simulate(ctx, w, hybridpart.SimFrames(16), hybridpart.SimPrefetch(true))
 //	fmt.Println(rep.Validation.Exact, rep.Format())
 //
+// # Partial dynamic reconfiguration
+//
+// WithRegions(R) splits the fine-grain fabric into R independently
+// reconfigurable regions of Area/R units each — the platform model of
+// partial dynamic reconfiguration. A temporal partition resides in region
+// p mod R and a region reloads in ceil(ReconfigCycles/R) cycles, with
+// loads serialized through the single configuration port; partitions in
+// different regions coexist instead of evicting each other, so
+// reconfiguration-bound workloads can beat even single-context prefetch.
+// Each partition packs against the region area, so small fabrics trade
+// packing quality for residency. R = 1 (the default) is the legacy
+// monolithic context, bit for bit. The analytical crossing rule is
+// generalized but optimistic at R > 1; the simulator is authoritative, and
+// SimReport.Validation notes the distinction. Regions is a SweepSpec axis
+// and a "regions" field on the partition/simulate wire types.
+//
 // # Feedback-directed partitioning
 //
 // The closed form the move loop optimizes diverges from executed reality

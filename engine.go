@@ -85,6 +85,7 @@ func NewEngine(options ...Option) (*Engine, error) {
 func applyPlatform(o *Options, p platform.Platform) {
 	o.AFPGA = p.Fine.Area
 	o.ReconfigCycles = p.Fine.ReconfigCycles
+	o.Regions = p.Fine.Regions
 	o.Costs = p.Fine.Costs
 	o.NumCGCs = p.Coarse.NumCGCs
 	o.CGCRows = p.Coarse.Rows
@@ -134,6 +135,22 @@ func WithReconfig(cycles int) Option {
 			return fmt.Errorf("hybridpart: reconfiguration cost must be non-negative, got %d", cycles)
 		}
 		e.opts.ReconfigCycles = cycles
+		return nil
+	}
+}
+
+// WithRegions splits the fine-grain fabric into n independently
+// reconfigurable regions (partial dynamic reconfiguration). 0 and 1 both
+// select the paper's monolithic context; with more regions the area divides
+// evenly, each swap costs ReconfigCycles/n (rounded up), and temporal
+// partitions resident in different regions coexist instead of evicting each
+// other. The knob participates in Options.Fingerprint.
+func WithRegions(n int) Option {
+	return func(e *Engine) error {
+		if n < 0 {
+			return fmt.Errorf("hybridpart: regions must be non-negative, got %d", n)
+		}
+		e.opts.Regions = n
 		return nil
 	}
 }
@@ -690,6 +707,9 @@ func (e *Engine) Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error
 		if p.NumCGCs > 0 {
 			opts.NumCGCs = p.NumCGCs
 		}
+		if p.Regions > 0 {
+			opts.Regions = p.Regions
+		}
 		constraint := p.Constraint
 		if constraint == 0 && e.constraintSet {
 			constraint = e.opts.Constraint
@@ -764,6 +784,7 @@ func (e *Engine) Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error
 			TComm:               res.TComm,
 			EffectiveAFPGA:      opts.AFPGA,
 			EffectiveCGCs:       opts.NumCGCs,
+			EffectiveRegions:    opts.Regions,
 			EffectiveConstraint: constraint,
 			Met:                 res.Met,
 			Moved:               res.Moved,

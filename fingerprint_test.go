@@ -18,6 +18,7 @@ func TestFingerprintDistinct(t *testing.T) {
 	}{
 		{"afpga", func(o *Options) { o.AFPGA++ }},
 		{"reconfig", func(o *Options) { o.ReconfigCycles++ }},
+		{"regions", func(o *Options) { o.Regions = 2 }},
 		{"numcgcs", func(o *Options) { o.NumCGCs++ }},
 		{"cgcrows", func(o *Options) { o.CGCRows++ }},
 		{"cgccols", func(o *Options) { o.CGCCols++ }},

@@ -191,6 +191,12 @@ type Options struct {
 	// ReconfigCycles is the full-reconfiguration cost per temporal
 	// partition in FPGA cycles.
 	ReconfigCycles int
+	// Regions is the number of independently reconfigurable regions the
+	// fine-grain fabric is split into (partial dynamic reconfiguration).
+	// 0 or 1 is the paper's monolithic context; with R > 1 the area splits
+	// evenly across regions, each swap costs ReconfigCycles/R (rounded up),
+	// and temporal partitions resident in different regions coexist.
+	Regions int
 
 	// NumCGCs, CGCRows, CGCCols shape the coarse-grain data-path (paper:
 	// two or three 2×2 CGCs).
@@ -309,6 +315,7 @@ func (o Options) platformUsing(costs OpCosts) platform.Platform {
 		Fine: platform.FineGrain{
 			Area:           o.AFPGA,
 			ReconfigCycles: o.ReconfigCycles,
+			Regions:        o.Regions,
 			Costs:          costs,
 		},
 		Coarse: platform.CoarseGrain{

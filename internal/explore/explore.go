@@ -39,6 +39,9 @@ type Point struct {
 	AFPGA int `json:"afpga"`
 	// NumCGCs overrides the coarse-grain CGC count (0 = preset value).
 	NumCGCs int `json:"cgcs"`
+	// Regions overrides the number of independently reconfigurable
+	// fine-grain regions (0 = preset value; 1 = monolithic context).
+	Regions int `json:"regions,omitempty"`
 	// Constraint overrides the timing constraint in FPGA cycles
 	// (0 = the benchmark's paper constraint).
 	Constraint int64 `json:"constraint"`
@@ -58,7 +61,7 @@ type Point struct {
 // Spec declares a sweep grid. Every slice is one axis of the cross product;
 // an empty axis contributes a single zero-valued entry, which evaluators
 // interpret as "default". The expansion order is fixed — benchmarks
-// outermost, then presets, areas, CGC counts, constraints, and the
+// outermost, then presets, areas, CGC counts, region counts, constraints, and the
 // co-simulation axes (frames, ports, prefetch, objectives) innermost — so a
 // Spec always yields the same Point sequence.
 type Spec struct {
@@ -70,6 +73,9 @@ type Spec struct {
 	Areas []int `json:"areas,omitempty"`
 	// CGCs lists coarse-grain CGC counts (optional; the paper uses 2 and 3).
 	CGCs []int `json:"cgcs,omitempty"`
+	// Regions lists reconfigurable-region counts for the fine-grain fabric
+	// (optional; 1 = the paper's monolithic context).
+	Regions []int `json:"regions,omitempty"`
 	// Constraints lists timing constraints in FPGA cycles (optional).
 	Constraints []int64 `json:"constraints,omitempty"`
 	// Frames, Ports, Prefetch and Objectives are the co-simulation axes:
@@ -155,6 +161,11 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("explore: CGC count must be positive, got %d", c)
 		}
 	}
+	for _, r := range s.Regions {
+		if r <= 0 {
+			return fmt.Errorf("explore: region count must be positive, got %d", r)
+		}
+	}
 	for _, c := range s.Constraints {
 		if c <= 0 {
 			return fmt.Errorf("explore: timing constraint must be positive, got %d", c)
@@ -186,7 +197,7 @@ func (s Spec) Validate() error {
 // NumPoints returns the size of the expanded grid.
 func (s Spec) NumPoints() int {
 	n := len(s.Benchmarks)
-	for _, axis := range []int{len(s.Presets), len(s.Areas), len(s.CGCs), len(s.Constraints),
+	for _, axis := range []int{len(s.Presets), len(s.Areas), len(s.CGCs), len(s.Regions), len(s.Constraints),
 		len(s.Frames), len(s.Ports), len(s.Prefetch), len(s.Objectives)} {
 		if axis > 0 {
 			n *= axis
@@ -208,6 +219,10 @@ func (s Spec) Expand() []Point {
 	cgcs := s.CGCs
 	if len(cgcs) == 0 {
 		cgcs = []int{0}
+	}
+	regions := s.Regions
+	if len(regions) == 0 {
+		regions = []int{0}
 	}
 	constraints := s.Constraints
 	if len(constraints) == 0 {
@@ -234,23 +249,26 @@ func (s Spec) Expand() []Point {
 		for _, preset := range presets {
 			for _, area := range areas {
 				for _, ncgc := range cgcs {
-					for _, c := range constraints {
-						for _, fr := range frames {
-							for _, po := range ports {
-								for _, pf := range prefetch {
-									for _, obj := range objectives {
-										points = append(points, Point{
-											Index:      len(points),
-											Benchmark:  bench,
-											Preset:     preset,
-											AFPGA:      area,
-											NumCGCs:    ncgc,
-											Constraint: c,
-											Frames:     fr,
-											Ports:      po,
-											Prefetch:   pf,
-											Objective:  obj,
-										})
+					for _, reg := range regions {
+						for _, c := range constraints {
+							for _, fr := range frames {
+								for _, po := range ports {
+									for _, pf := range prefetch {
+										for _, obj := range objectives {
+											points = append(points, Point{
+												Index:      len(points),
+												Benchmark:  bench,
+												Preset:     preset,
+												AFPGA:      area,
+												NumCGCs:    ncgc,
+												Regions:    reg,
+												Constraint: c,
+												Frames:     fr,
+												Ports:      po,
+												Prefetch:   pf,
+												Objective:  obj,
+											})
+										}
 									}
 								}
 							}
@@ -287,6 +305,7 @@ type Outcome struct {
 	// preset's / benchmark's value).
 	EffectiveAFPGA      int   `json:"effective_afpga"`
 	EffectiveCGCs       int   `json:"effective_cgcs"`
+	EffectiveRegions    int   `json:"effective_regions,omitempty"`
 	EffectiveConstraint int64 `json:"effective_constraint"`
 	// Met reports whether the constraint was satisfied.
 	Met bool `json:"met"`

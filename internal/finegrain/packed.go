@@ -34,7 +34,15 @@ type PackedMapping struct {
 	InternalCrossings []int
 	// NumPartitions is the number of configuration bit-streams generated.
 	NumPartitions int
+	// Regions is the number of independently reconfigurable regions the
+	// partitions were packed for (always ≥ 1). Partition p resides in region
+	// p % Regions; each partition fills one region's area, and partitions in
+	// different regions coexist on the fabric.
+	Regions int
 }
+
+// Region returns the reconfigurable region partition p resides in.
+func (pm *PackedMapping) Region(p int) int { return p % pm.Regions }
 
 // PackFunction maps every block of f accepted by include (nil = all) onto
 // the fine-grain fabric with cross-block area packing.
@@ -46,10 +54,14 @@ func PackFunction(f *ir.Function, fg platform.FineGrain, include func(ir.BlockID
 		FirstPart:         make([]int, n),
 		LastPart:          make([]int, n),
 		InternalCrossings: make([]int, n),
+		Regions:           fg.NumRegions(),
 	}
 	part := 0 // current partition index (0-based)
 	areaCovered := 0
 	usedAny := false
+	// Each temporal partition fills one reconfigurable region; with one
+	// region this is the whole fabric and packing is the paper's Figure 3.
+	limit := fg.RegionArea()
 
 	for _, b := range f.Blocks {
 		if include != nil && !include(b.ID) {
@@ -72,12 +84,12 @@ func PackFunction(f *ir.Function, fg platform.FineGrain, include func(ir.BlockID
 		for level := 1; level <= d.MaxLevel; level++ {
 			for _, u := range d.NodesAtLevel(level) {
 				sz := fg.Costs.Area(ir.ClassOf(d.Op(u)))
-				if sz > fg.Area {
+				if sz > limit {
 					return nil, fmt.Errorf(
 						"finegrain: block b%d node %d (%s, %d units) exceeds A_FPGA (%d units)",
-						b.ID, u, d.Op(u), sz, fg.Area)
+						b.ID, u, d.Op(u), sz, limit)
 				}
-				if areaCovered+sz > fg.Area {
+				if areaCovered+sz > limit {
 					part++
 					areaCovered = 0
 				}
@@ -117,9 +129,20 @@ type EdgeFreq struct {
 	N    uint64
 }
 
-// Crossings counts the dynamic partition crossings (reconfigurations):
+// Crossings counts the dynamic partition crossings (region loads):
 // block-internal boundaries, profiled edges whose endpoints sit in
 // different partitions, and the initial configuration.
+//
+// With Regions > 1 the rule generalizes: a transition loads only when the
+// target partition's region currently holds a different partition. A block
+// straddling k partitions touches k consecutive regions, so only the
+// wrap-around revisits (k − Regions of them) reload within one execution,
+// and a profiled edge reconfigures only when its endpoints' partitions
+// share a region — cross-region transitions find the target still resident.
+// That residency assumption makes the multi-region count an optimistic
+// estimate (another path may have evicted the region in between); the
+// simulator tracks the per-region sequencer state exactly and is the
+// authoritative multi-region cost.
 func (pm *PackedMapping) Crossings(freq []uint64, edges []EdgeFreq) int64 {
 	var crossings int64
 	for id, inc := range pm.Included {
@@ -130,7 +153,11 @@ func (pm *PackedMapping) Crossings(freq []uint64, edges []EdgeFreq) int64 {
 		if id < len(freq) {
 			n = freq[id]
 		}
-		crossings += int64(pm.InternalCrossings[id]) * int64(n)
+		// Partitions visited inside the block beyond the region count wrap
+		// around and reload; with one region that is every boundary.
+		if reloads := int64(pm.InternalCrossings[id]+1) - int64(pm.Regions); reloads > 0 {
+			crossings += reloads * int64(n)
+		}
 	}
 	for _, e := range edges {
 		if int(e.From) >= len(pm.Included) || int(e.To) >= len(pm.Included) {
@@ -142,12 +169,17 @@ func (pm *PackedMapping) Crossings(freq []uint64, edges []EdgeFreq) int64 {
 		if !pm.Included[e.From] || !pm.Included[e.To] {
 			continue
 		}
-		if pm.LastPart[e.From] != pm.FirstPart[e.To] {
+		if lp, fp := pm.LastPart[e.From], pm.FirstPart[e.To]; lp != fp && pm.Region(lp) == pm.Region(fp) {
 			crossings += int64(e.N)
 		}
 	}
 	if pm.NumPartitions > 0 {
-		crossings++ // initial configuration
+		// Initial configuration: one load per resident region.
+		if pm.NumPartitions < pm.Regions {
+			crossings += int64(pm.NumPartitions)
+		} else {
+			crossings += int64(pm.Regions)
+		}
 	}
 	return crossings
 }
@@ -170,7 +202,11 @@ func (pm *PackedMapping) LevelCycles(freq []uint64) int64 {
 }
 
 // TotalCycles evaluates the packed fine-grain execution time: eq. 4 level
-// cycles plus ReconfigCycles per dynamic partition crossing.
+// cycles plus the per-region reconfiguration cost per dynamic crossing.
+// reconfigCycles is the full-fabric cost (FineGrain.ReconfigCycles); with
+// multiple regions each load swaps one region's proportionally smaller
+// bitstream.
 func (pm *PackedMapping) TotalCycles(freq []uint64, edges []EdgeFreq, reconfigCycles int) int64 {
-	return pm.LevelCycles(freq) + pm.Crossings(freq, edges)*int64(reconfigCycles)
+	regionReconfig := int64((reconfigCycles + pm.Regions - 1) / pm.Regions)
+	return pm.LevelCycles(freq) + pm.Crossings(freq, edges)*regionReconfig
 }

@@ -61,8 +61,38 @@ type FineGrain struct {
 	// same value for each partition and it is added to the execution time of
 	// each temporal partition").
 	ReconfigCycles int
+	// Regions is the number of independently reconfigurable regions the
+	// fabric is split into (partial dynamic reconfiguration). 0 or 1 is the
+	// paper's monolithic context: every swap replaces the whole fabric. With
+	// R > 1 the area splits evenly across R regions, each region swaps in
+	// RegionReconfigCycles (the full-fabric cost divided across regions, as
+	// PDR bitstreams scale with region size), and temporal partitions
+	// resident in different regions coexist instead of evicting each other.
+	// Loads still serialize on the single configuration port.
+	Regions int
 	// Costs is the per-operator characterization.
 	Costs OpCosts
+}
+
+// NumRegions normalizes Regions: 0 (unset) and 1 both mean one monolithic
+// context.
+func (f FineGrain) NumRegions() int {
+	if f.Regions <= 1 {
+		return 1
+	}
+	return f.Regions
+}
+
+// RegionArea is the usable area of one reconfigurable region — the packing
+// bound for a single temporal partition. With one region it is Area itself.
+func (f FineGrain) RegionArea() int { return f.Area / f.NumRegions() }
+
+// RegionReconfigCycles is the cost of swapping one region, in FPGA cycles:
+// the full-fabric cost split across regions (rounded up), since a partial
+// bitstream is proportionally smaller. With one region it is ReconfigCycles.
+func (f FineGrain) RegionReconfigCycles() int {
+	r := f.NumRegions()
+	return (f.ReconfigCycles + r - 1) / r
 }
 
 // Area returns the fine-grain area of one operator of class c. Calls have
@@ -183,6 +213,9 @@ func (p Platform) Validate() error {
 	if f.ReconfigCycles < 0 {
 		return fmt.Errorf("platform: negative reconfiguration cost")
 	}
+	if f.Regions < 0 {
+		return fmt.Errorf("platform: regions must be non-negative, got %d", f.Regions)
+	}
 	c := f.Costs
 	for _, v := range []struct {
 		name string
@@ -203,6 +236,10 @@ func (p Platform) Validate() error {
 	}
 	if maxArea > f.Area {
 		return fmt.Errorf("platform: largest operator (%d units) exceeds A_FPGA (%d)", maxArea, f.Area)
+	}
+	if ra := f.RegionArea(); maxArea > ra {
+		return fmt.Errorf("platform: largest operator (%d units) exceeds the per-region area (%d = A_FPGA %d / %d regions)",
+			maxArea, ra, f.Area, f.NumRegions())
 	}
 	cg := p.Coarse
 	if cg.NumCGCs <= 0 || cg.Rows <= 0 || cg.Cols <= 0 {
@@ -226,6 +263,13 @@ func (p Platform) Validate() error {
 
 // String summarizes the platform for reports (Figure 1's components).
 func (p Platform) String() string {
+	if r := p.Fine.NumRegions(); r > 1 {
+		return fmt.Sprintf(
+			"hybrid platform: FPGA{A=%d units, %d regions of %d, reconfig=%d cyc/region} + CGC{%d x %dx%d, Tfpga=%d*Tcgc, %d mem ports} + shared-mem{%d cyc/word, sync %d}",
+			p.Fine.Area, r, p.Fine.RegionArea(), p.Fine.RegionReconfigCycles(),
+			p.Coarse.NumCGCs, p.Coarse.Rows, p.Coarse.Cols, p.Coarse.ClockRatio, p.Coarse.MemPorts,
+			p.Comm.CyclesPerWord, p.Comm.SyncCycles)
+	}
 	return fmt.Sprintf(
 		"hybrid platform: FPGA{A=%d units, reconfig=%d cyc} + CGC{%d x %dx%d, Tfpga=%d*Tcgc, %d mem ports} + shared-mem{%d cyc/word, sync %d}",
 		p.Fine.Area, p.Fine.ReconfigCycles,

@@ -2,10 +2,12 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"hybridpart/internal/cluster"
 	"hybridpart/internal/obs"
@@ -30,15 +32,22 @@ const forwardHeader = "X-Hybridpart-Forwarded-From"
 // owning replica (value: the owner's base URL).
 const clusterHeader = "X-Cluster-Forwarded"
 
+// defaultForwardTimeout bounds one forward hop when Config.ForwardTimeout is
+// unset. It matches fleetPeerTimeout: a black-holed owner (accepts, never
+// responds) must trip the local-fallback path within a few seconds, not hold
+// the request until the global run timeout's 504.
+const defaultForwardTimeout = 2 * time.Second
+
 // clusterState is a Server's view of the fleet.
 type clusterState struct {
 	self   string
 	ring   *cluster.Ring
 	client *http.Client
 
-	forwards  atomic.Int64 // requests this replica forwarded to an owner
-	fallbacks atomic.Int64 // forwards that failed over to local compute
-	received  atomic.Int64 // forwarded requests served here as the owner
+	forwards       atomic.Int64 // requests this replica forwarded to an owner
+	fallbacks      atomic.Int64 // forwards that failed over to local compute
+	received       atomic.Int64 // forwarded requests served here as the owner
+	relayTruncated atomic.Int64 // relays cut short by a mid-response peer disconnect
 }
 
 func newClusterState(self string, peers []string) *clusterState {
@@ -70,11 +79,21 @@ func (s *Server) routeOwner(r *http.Request, key string) string {
 	return ""
 }
 
+// forwardTimeout returns the per-forward deadline: Config.ForwardTimeout, or
+// defaultForwardTimeout when unset.
+func (s *Server) forwardTimeout() time.Duration {
+	if s.cfg.ForwardTimeout > 0 {
+		return s.cfg.ForwardTimeout
+	}
+	return defaultForwardTimeout
+}
+
 // tryForward relays the request to the owning replica and streams its
 // response back verbatim (status, body, cache headers). It reports false
 // when the owner could not be reached — connection failure, transport
-// error — in which case the caller serves locally; any HTTP response from
-// the owner, including its error contract, is authoritative and relayed.
+// error, or no response within the per-forward deadline — in which case the
+// caller serves locally; any HTTP response from the owner, including its
+// error contract, is authoritative and relayed.
 func (s *Server) tryForward(w http.ResponseWriter, r *http.Request, endpoint, owner string, req any) bool {
 	cs := s.cluster
 	body, err := json.Marshal(req)
@@ -83,6 +102,11 @@ func (s *Server) tryForward(w http.ResponseWriter, r *http.Request, endpoint, ow
 	}
 	ctx, cancel := s.runCtx(r)
 	defer cancel()
+	// The forward hop gets its own, much shorter deadline than the run
+	// timeout: a black-holed owner must fail over to local computation in
+	// seconds, not hold the request until the global 504.
+	ctx, fwdCancel := context.WithTimeout(ctx, s.forwardTimeout())
+	defer fwdCancel()
 	// The forward hop gets its own span, and its identity rides the W3C
 	// traceparent header so the owner's root span joins this trace — the
 	// fleet's replicas then assemble one distributed trace for the request.
@@ -114,6 +138,17 @@ func (s *Server) tryForward(w http.ResponseWriter, r *http.Request, endpoint, ow
 	}
 	w.Header().Set(clusterHeader, owner)
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		// The status line is already on the wire, so there is no falling
+		// back — the client got a truncated body. Make the failure loud:
+		// it is otherwise invisible on the relaying replica.
+		cs.relayTruncated.Add(1)
+		span.Set(obs.Bool("relay_truncated", true))
+		s.logger.Warn("forward relay truncated: peer disconnected mid-response",
+			"endpoint", endpoint,
+			"trace", obs.SpanFrom(r.Context()).TraceID(),
+			"owner", owner,
+			"error", err.Error())
+	}
 	return true
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"hybridpart/internal/cluster"
 	"hybridpart/internal/store"
@@ -209,6 +210,92 @@ func TestClusterFallbackWhenOwnerUnreachable(t *testing.T) {
 	}
 	if got := s.cluster.fallbacks.Load(); got != 2 {
 		t.Fatalf("fallbacks = %d, want 2", got)
+	}
+}
+
+// TestClusterFallbackWhenOwnerHangs: an owner that accepts the connection
+// but never responds (black-holed) trips the per-forward deadline and
+// degrades to local computation — well before the global run timeout would
+// turn the request into a 504.
+func TestClusterFallbackWhenOwnerHangs(t *testing.T) {
+	self := "http://127.0.0.1:1"
+	stop := make(chan struct{})
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-stop // accept, then never answer
+	}))
+	t.Cleanup(hung.Close)
+	// Cleanups run last-in-first-out: unblock the handler before Close
+	// waits on it. (The context-done channel is no release valve here —
+	// the handler never reads the body, so the server may not notice the
+	// forwarder hanging up.)
+	t.Cleanup(func() { close(stop) })
+	s := newTestServer(t, Config{
+		Self:           self,
+		Peers:          []string{self, hung.URL},
+		ForwardTimeout: 100 * time.Millisecond,
+		Timeout:        30 * time.Second,
+	})
+	body, _ := modelBodyOwnedBy(t, cluster.NewRing([]string{self, hung.URL}, 0), hung.URL)
+
+	start := time.Now()
+	rec := post(t, s, "/v1/partition", body)
+	elapsed := time.Since(start)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get("X-Cache"); got != "miss" {
+		t.Fatalf("X-Cache %q", got)
+	}
+	if got := rec.Header().Get(clusterHeader); got != "" {
+		t.Fatalf("hung-owner response marked forwarded: %q", got)
+	}
+	if got := s.cluster.forwards.Load(); got != 0 {
+		t.Fatalf("forwards = %d, want 0 (hop never completed)", got)
+	}
+	if got := s.cluster.fallbacks.Load(); got != 1 {
+		t.Fatalf("fallbacks = %d, want 1", got)
+	}
+	// The per-forward deadline (100ms), not the 30s run timeout, must be
+	// what tripped. Generous bound: CI schedulers stall, 504s do not.
+	if elapsed > 10*time.Second {
+		t.Fatalf("fallback took %v; per-forward deadline did not trip", elapsed)
+	}
+}
+
+// TestClusterRelayTruncated: an owner that dies mid-response cannot be
+// failed over — the status line is already on the wire — but the truncated
+// relay must be counted instead of disappearing silently. The peer declares
+// a Content-Length it never delivers, so the relaying io.Copy sees an
+// unexpected EOF.
+func TestClusterRelayTruncated(t *testing.T) {
+	self := "http://127.0.0.1:1"
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", "4096")
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, `{"truncated`)
+		// Returning short of the declared length makes the server drop the
+		// connection, which the relaying client reads as unexpected EOF.
+	}))
+	t.Cleanup(peer.Close)
+	s := newTestServer(t, Config{Self: self, Peers: []string{self, peer.URL}})
+	body, _ := modelBodyOwnedBy(t, cluster.NewRing([]string{self, peer.URL}, 0), peer.URL)
+
+	rec := post(t, s, "/v1/partition", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get(clusterHeader); got == "" {
+		t.Fatal("truncated relay lost its forward marker")
+	}
+	if got := s.cluster.forwards.Load(); got != 1 {
+		t.Fatalf("forwards = %d, want 1", got)
+	}
+	if got := s.cluster.fallbacks.Load(); got != 0 {
+		t.Fatalf("fallbacks = %d, want 0 (no failing over a started response)", got)
+	}
+	if got := s.cluster.relayTruncated.Load(); got != 1 {
+		t.Fatalf("relayTruncated = %d, want 1", got)
 	}
 }
 

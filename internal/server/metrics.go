@@ -169,6 +169,8 @@ func (s *Server) writeMetrics(w io.Writer, openMetrics bool) {
 			"Forwards that failed over to local computation (owner unreachable).", one(fmt.Sprint(cl.fallbacks.Load())))
 		promMetric(w, "hservd_cluster_forwarded_received_total", "counter",
 			"Forwarded requests served here as the owner.", one(fmt.Sprint(cl.received.Load())))
+		promMetric(w, "hservd_cluster_relay_truncated_total", "counter",
+			"Relayed responses cut short by a mid-response peer disconnect.", one(fmt.Sprint(cl.relayTruncated.Load())))
 	}
 	if b := s.admit; b != nil {
 		promMetric(w, "hservd_admission_shed_total", "counter",

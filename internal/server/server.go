@@ -103,6 +103,11 @@ type Config struct {
 	// operator frontend's job (hservd exits 2 on a malformed fleet).
 	Self  string
 	Peers []string
+	// ForwardTimeout bounds each peer-forward hop in fleet mode (0 = a
+	// built-in few-second default, defaultForwardTimeout). It must stay well
+	// under Timeout: a black-holed owner then trips the local-fallback path
+	// quickly instead of holding the request until the global 504.
+	ForwardTimeout time.Duration
 	// MaxSimCost arms cost-based admission control: the budget of
 	// simulated-cost units (trace replays, the sweep grid's accounting)
 	// this replica spends per second on sim-scored cache misses. 0
@@ -313,11 +318,12 @@ type SimScoringStatsJSON struct {
 // ClusterStatsJSON is the fleet section of GET /debug/stats, present only
 // in peer mode.
 type ClusterStatsJSON struct {
-	Self      string `json:"self"`
-	Peers     int    `json:"peers"`
-	Forwards  int64  `json:"forwards"`
-	Fallbacks int64  `json:"fallbacks"`
-	Received  int64  `json:"received"`
+	Self           string `json:"self"`
+	Peers          int    `json:"peers"`
+	Forwards       int64  `json:"forwards"`
+	Fallbacks      int64  `json:"fallbacks"`
+	Received       int64  `json:"received"`
+	RelayTruncated int64  `json:"relay_truncated"`
 }
 
 // AdmissionStatsJSON is the admission-control section of GET /debug/stats,
@@ -527,11 +533,12 @@ func (s *Server) statsJSON() StatsJSON {
 	}
 	if cl := s.cluster; cl != nil {
 		out.Cluster = &ClusterStatsJSON{
-			Self:      cl.self,
-			Peers:     len(cl.ring.Nodes()),
-			Forwards:  cl.forwards.Load(),
-			Fallbacks: cl.fallbacks.Load(),
-			Received:  cl.received.Load(),
+			Self:           cl.self,
+			Peers:          len(cl.ring.Nodes()),
+			Forwards:       cl.forwards.Load(),
+			Fallbacks:      cl.fallbacks.Load(),
+			Received:       cl.received.Load(),
+			RelayTruncated: cl.relayTruncated.Load(),
 		}
 	}
 	if b := s.admit; b != nil {

@@ -167,6 +167,11 @@ type PartitionRequest struct {
 	Ports     int    `json:"ports,omitempty"`
 	Prefetch  bool   `json:"prefetch,omitempty"`
 
+	// Regions splits the fine-grain fabric into independently reconfigurable
+	// regions (partial dynamic reconfiguration; 0 = the base's value, 1 =
+	// monolithic). Like the sim knobs it folds into the resolved Options.
+	Regions int `json:"regions,omitempty"`
+
 	// EnergyBudget is the energy bound for /v1/partition-energy.
 	EnergyBudget float64 `json:"energy_budget,omitempty"`
 }
@@ -191,6 +196,10 @@ func (r *PartitionRequest) validate(energy bool) *httpError {
 		return badRequest("\"energy_budget\" applies only to /v1/partition-energy")
 	case energy && (r.Objective != "" || r.Rerank != 0 || r.Frames != 0 || r.Ports != 0 || r.Prefetch):
 		return badRequest("the co-simulation knobs apply only to timing-constrained partitioning")
+	case energy && r.Regions != 0:
+		return badRequest("\"regions\" applies only to timing-constrained partitioning")
+	case r.Regions < 0:
+		return badRequest(fmt.Sprintf("\"regions\" must be non-negative, got %d", r.Regions))
 	case r.Rerank < -1:
 		return badRequest(fmt.Sprintf("\"rerank\" must be -1 (all), 0 (off) or positive, got %d", r.Rerank))
 	case r.Frames < 0:
@@ -246,6 +255,9 @@ func (r *PartitionRequest) resolveOptions() (hybridpart.Options, *httpError) {
 	}
 	if r.Prefetch {
 		opts.SimPrefetch = true
+	}
+	if r.Regions > 0 {
+		opts.Regions = r.Regions
 	}
 	// The frames cap must hold for the resolved knobs, not just the
 	// top-level shortcut — a full Options override is the other way to set
@@ -423,6 +435,7 @@ type SimReportJSON struct {
 	Frames               int               `json:"frames"`
 	Ports                int               `json:"ports"`
 	Prefetch             bool              `json:"prefetch"`
+	Regions              int               `json:"regions,omitempty"`
 	Objective            string            `json:"objective"`
 	Runs                 int               `json:"runs"`
 	TotalCycles          int64             `json:"total_cycles"`
@@ -474,6 +487,11 @@ func NewSimReportJSON(r *hybridpart.SimReport) SimReportJSON {
 			Exact:              r.Validation.Exact,
 			Notes:              r.Validation.Notes,
 		},
+	}
+	if r.Regions > 1 {
+		// The monolithic context stays off the wire so R=1 reports remain
+		// byte-identical to the single-context schema.
+		out.Regions = r.Regions
 	}
 	for _, k := range r.Kernels {
 		out.Kernels = append(out.Kernels, SimKernelJSON{

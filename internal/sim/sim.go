@@ -276,17 +276,26 @@ func Simulate(ctx context.Context, in Input, cfg Config) (*Report, error) {
 }
 
 // Arena is the reusable scratch of one replay: the moved mask, the per-block
-// cost tables and the prefetch oracle. Makespan grows it on first use and
-// reuses the buffers afterwards, so a worker scoring thousands of candidate
-// mappings allocates only on its first call. An Arena belongs to exactly one
-// goroutine at a time; the zero value is ready to use.
+// cost tables, the per-region sequencer state and the prefetch oracle.
+// Makespan grows it on first use and reuses the buffers afterwards, so a
+// worker scoring thousands of candidate mappings allocates only on its first
+// call. An Arena belongs to exactly one goroutine at a time; the zero value
+// is ready to use.
 type Arena struct {
 	moved    []bool
 	latT     []int64 // kernel latency, in ticks (T_CGC cycles)
 	txT      []int64 // transfer-channel occupancy per invocation, ticks
 	execT    []int64 // fine-grain level cycles per execution, ticks
-	intT     []int64 // in-block partition crossings per execution, ticks
 	nextPart []int32 // prefetch oracle, one entry per trace position
+
+	// Per-region sequencer scratch, one entry per reconfigurable region:
+	// the resident partition (replay and walk), the fast-forward snapshot,
+	// and FineWalkBound's symbolic first-need record.
+	loadedR       []int
+	prevLoadedR   []int
+	firstNeed     []int
+	firstLead     []bool
+	firstStraddle []bool
 }
 
 // grow sizes the per-block tables for n blocks (the prefetch oracle is grown
@@ -297,15 +306,37 @@ func (a *Arena) grow(n int) {
 		a.latT = make([]int64, n)
 		a.txT = make([]int64, n)
 		a.execT = make([]int64, n)
-		a.intT = make([]int64, n)
 	}
 	a.moved = a.moved[:n]
 	a.latT = a.latT[:n]
 	a.txT = a.txT[:n]
 	a.execT = a.execT[:n]
-	a.intT = a.intT[:n]
 	for i := range a.moved {
 		a.moved[i] = false
+	}
+}
+
+// growRegions sizes the per-region sequencer scratch for R regions and
+// resets it: nothing resident, no region's first need recorded yet.
+func (a *Arena) growRegions(regions int) {
+	if cap(a.loadedR) < regions {
+		a.loadedR = make([]int, regions)
+		a.prevLoadedR = make([]int, regions)
+		a.firstNeed = make([]int, regions)
+		a.firstLead = make([]bool, regions)
+		a.firstStraddle = make([]bool, regions)
+	}
+	a.loadedR = a.loadedR[:regions]
+	a.prevLoadedR = a.prevLoadedR[:regions]
+	a.firstNeed = a.firstNeed[:regions]
+	a.firstLead = a.firstLead[:regions]
+	a.firstStraddle = a.firstStraddle[:regions]
+	for i := 0; i < regions; i++ {
+		a.loadedR[i] = -1
+		a.prevLoadedR[i] = -2
+		a.firstNeed[i] = -1
+		a.firstLead[i] = false
+		a.firstStraddle[i] = false
 	}
 }
 
@@ -362,11 +393,14 @@ func (r *Replayer) Makespan(ctx context.Context, cfg Config, movedBlocks []ir.Bl
 // combines two packing-independent minima: execution (minFineT — any packing
 // only splits DFG levels, and a split level still pays its unsplit max) and
 // configuration loads. The remaining trace-active blocks need at least
-// k = ceil(area/A_FPGA) temporal partitions, the sequencer's loaded-partition
-// walk changes value at least k−1 times per frame plus one initial load, and
-// every change occupies the fine timeline for a full reconfiguration — with
-// or without prefetch, which only overlaps the load with data-path windows,
-// never shortens the fabric's own busy time. Branch-and-bound candidate
+// k = ceil(area/regionArea) temporal partitions; the first frame loads each
+// of them at least once, at most R of them survive any frame boundary (one
+// per reconfigurable region), so every later frame reloads at least k−R,
+// and every load occupies the fine timeline — the single configuration
+// port — for a full region reconfiguration, with or without prefetch, which
+// only overlaps the load with data-path windows, never shortens the
+// fabric's own busy time. With one region this is the monolithic-context
+// floor of frames·(k−1)+1 loads. Branch-and-bound candidate
 // scoring uses the bound to skip replays that provably cannot beat an
 // incumbent. movedBlocks must not repeat a block (move trajectories never
 // do). Safe for concurrent use.
@@ -401,9 +435,13 @@ func (r *Replayer) LowerBound(cfg Config, movedBlocks []ir.BlockID) (int64, erro
 	}
 	fineTotal := fine * frames
 	if areaRem > 0 {
-		k := ceilDiv(areaRem, int64(r.in.Plat.Fine.Area))
-		loads := frames*(k-1) + 1
-		fineTotal += loads * int64(r.in.Plat.Fine.ReconfigCycles) * int64(r.in.Plat.Coarse.ClockRatio)
+		fg := r.in.Plat.Fine
+		k := ceilDiv(areaRem, int64(fg.RegionArea()))
+		loads := k
+		if extra := k - int64(fg.NumRegions()); extra > 0 {
+			loads += (frames - 1) * extra
+		}
+		fineTotal += loads * int64(fg.RegionReconfigCycles()) * int64(r.in.Plat.Coarse.ClockRatio)
 	}
 	floor := fineTotal
 	if c := coarse * frames; c > floor {
@@ -422,8 +460,8 @@ func (r *Replayer) LowerBound(cfg Config, movedBlocks []ir.BlockID) (int64, erro
 // over the trace: the chain costs of one frame, split by resource and by
 // position relative to the other fabric's first/last event.
 type frameWalk struct {
-	fineExec int64 // fine execution + straddling crossings (never hideable)
-	fineLoad int64 // configuration loads (hideable only under prefetch)
+	fineExec int64 // fine execution + straddling loads (never hideable)
+	fineLoad int64 // entry configuration loads (hideable only under prefetch)
 	coarse   int64 // Σ data-path latencies over moved windows
 	mem      int64 // Σ transfer occupancies over moved windows
 	// leadMoved: moved-window chain cost before the frame's first fine
@@ -431,12 +469,11 @@ type frameWalk struct {
 	// window. firstMovedTx: the first moved window's transfer occupancy.
 	leadMoved, leadFine, firstMovedTx int64
 	sawFine, sawMoved                 bool
-	// The first fine block's load is start-dependent, so the shared walk
-	// leaves it out of fineLoad/leadFine and records the partition it needs
-	// (-1 when the frame has no fine blocks) for per-variant resolution.
-	firstFinePart   int
-	firstFineInLead bool
-	end             int // loaded partition after the frame
+	// Each region's first need is start-dependent, so the shared walk
+	// leaves those loads out of the totals and records them per region in
+	// the arena (firstNeed/firstLead/firstStraddle) for per-variant
+	// resolution; the arena's loadedR vector after the walk is the frame's
+	// end state.
 }
 
 // FineWalkBound returns a tighter admissible lower bound, in FPGA cycles,
@@ -489,10 +526,11 @@ func (r *Replayer) FineWalkBound(cfg Config, movedBlocks []ir.BlockID, a *Arena)
 		return 0, err
 	}
 	ratio := int64(r.in.Plat.Coarse.ClockRatio)
-	reconT := int64(r.in.Plat.Fine.ReconfigCycles) * ratio
+	reconT := int64(r.in.Plat.Fine.RegionReconfigCycles()) * ratio
+	regions := pm.Regions
 	// Per-block tables, filled exactly like the replay's (the arena may hold
 	// a previous mapping's values, so moved and kept entries both write).
-	latT, txT, execT, intT := a.latT, a.txT, a.execT, a.intT
+	latT, txT, execT := a.latT, a.txT, a.execT
 	for id := 0; id < n; id++ {
 		b := ir.BlockID(id)
 		if moved[id] {
@@ -503,22 +541,22 @@ func (r *Replayer) FineWalkBound(cfg Config, movedBlocks []ir.BlockID, a *Arena)
 			latT[id] = lat
 			txT[id] = r.TransferTicks(b, cfg.Ports)
 			execT[id] = 0
-			intT[id] = 0
 			continue
 		}
 		latT[id] = 0
 		txT[id] = 0
 		execT[id] = pm.PerBlockCycles[id] * ratio
-		intT[id] = int64(pm.InternalCrossings[id]) * reconT
 	}
-	// A frame's walk depends on the initially loaded partition only through
-	// the very first fine block: after it executes, the loaded state evolves
-	// identically for any starting partition. So one walk (with the first
-	// fine block's load left symbolic) serves both the first frame and the
-	// steady-state frames 2..F — which all start and end in the same loaded
-	// partition, so a single variant covers them and the last frame IS one.
-	w := frameWalk{firstFinePart: -1}
-	loaded := -2
+	// A frame's walk depends on the initially resident partitions only
+	// through each region's first need: after a region is touched once, its
+	// state evolves identically for any starting residency. So one walk
+	// (with every region's first load left symbolic) serves both the first
+	// frame and the steady-state frames 2..F — which all start and end in
+	// the same residency vector, so a single variant covers them and the
+	// last frame IS one.
+	a.growRegions(regions)
+	loadedR, firstNeed, firstLead, firstStraddle := a.loadedR, a.firstNeed, a.firstLead, a.firstStraddle
+	var w frameWalk
 	for _, b := range r.trace {
 		id := int(b)
 		if moved[id] {
@@ -533,13 +571,29 @@ func (r *Replayer) FineWalkBound(cfg Config, movedBlocks []ir.BlockID, a *Arena)
 			}
 			continue
 		}
-		exec := execT[id] + intT[id]
+		exec := execT[id]
 		var load int64
-		if !w.sawFine {
-			w.firstFinePart = pm.FirstPart[id]
-			w.firstFineInLead = !w.sawMoved
-		} else if pm.FirstPart[id] != loaded {
+		p := pm.FirstPart[id]
+		if reg := p % regions; firstNeed[reg] < 0 {
+			firstNeed[reg] = p
+			firstLead[reg] = !w.sawMoved
+			loadedR[reg] = p
+		} else if loadedR[reg] != p {
 			load = reconT
+			loadedR[reg] = p
+		}
+		// Straddling loads ride the execution window — there is no
+		// data-path window for prefetch to hide them in.
+		for q := p + 1; q <= pm.LastPart[id]; q++ {
+			if reg := q % regions; firstNeed[reg] < 0 {
+				firstNeed[reg] = q
+				firstLead[reg] = !w.sawMoved
+				firstStraddle[reg] = true
+				loadedR[reg] = q
+			} else if loadedR[reg] != q {
+				exec += reconT
+				loadedR[reg] = q
+			}
 		}
 		w.fineExec += exec
 		w.fineLoad += load
@@ -547,28 +601,45 @@ func (r *Replayer) FineWalkBound(cfg Config, movedBlocks []ir.BlockID, a *Arena)
 			w.leadFine += exec + load
 		}
 		w.sawFine = true
-		loaded = pm.LastPart[id]
 	}
-	w.end = loaded
-	variant := func(startPart int) frameWalk {
+	// resolve charges each region's symbolic first load against a start
+	// residency: the empty fabric (initial=true; with no partitions at all
+	// the replay treats partition 0 as trivially resident) or the walk's own
+	// end state (the steady-state frames, which start and end in loadedR).
+	resolve := func(initial bool) frameWalk {
 		v := w
-		if v.firstFinePart >= 0 && v.firstFinePart != startPart {
-			v.fineLoad += reconT
-			if v.firstFineInLead {
+		for reg := 0; reg < regions; reg++ {
+			p := firstNeed[reg]
+			if p < 0 {
+				continue
+			}
+			if initial {
+				start := -1
+				if pm.NumPartitions == 0 && reg == 0 {
+					start = 0
+				}
+				if p == start {
+					continue
+				}
+			} else if p == loadedR[reg] {
+				continue
+			}
+			if firstStraddle[reg] {
+				v.fineExec += reconT
+			} else {
+				v.fineLoad += reconT
+			}
+			if firstLead[reg] {
 				v.leadFine += reconT
 			}
 		}
 		return v
 	}
-	start := -1
-	if pm.NumPartitions == 0 {
-		start = 0
-	}
-	first := variant(start)
+	first := resolve(true)
 	last := first
 	frames := int64(cfg.Frames)
 	if cfg.Frames > 1 {
-		last = variant(w.end)
+		last = resolve(false)
 	}
 
 	// Frame-1 chain: frame 1 is fully serial and later frames never delay
@@ -645,10 +716,11 @@ func (r *Replayer) replay(ctx context.Context, cfg Config, movedBlocks []ir.Bloc
 	// The coarse-grain side: per-kernel data-path latency (T_CGC cycles)
 	// from the same list schedule the engine used, and per-invocation
 	// transfer words from the live-in/out footprints. Both branches write
-	// all four tables — the arena may hold a previous mapping's values.
+	// all three tables — the arena may hold a previous mapping's values.
 	ratio := int64(in.Plat.Coarse.ClockRatio)
-	reconT := int64(in.Plat.Fine.ReconfigCycles) * ratio
-	latT, txT, execT, intT := a.latT, a.txT, a.execT, a.intT
+	reconT := int64(in.Plat.Fine.RegionReconfigCycles()) * ratio
+	regions := pm.Regions
+	latT, txT, execT := a.latT, a.txT, a.execT
 	for id := 0; id < n; id++ {
 		b := ir.BlockID(id)
 		if moved[id] {
@@ -659,13 +731,11 @@ func (r *Replayer) replay(ctx context.Context, cfg Config, movedBlocks []ir.Bloc
 			latT[id] = lat
 			txT[id] = r.TransferTicks(b, cfg.Ports)
 			execT[id] = 0
-			intT[id] = 0
 			continue
 		}
 		latT[id] = 0
 		txT[id] = 0
 		execT[id] = pm.PerBlockCycles[id] * ratio
-		intT[id] = int64(pm.InternalCrossings[id]) * reconT
 	}
 
 	trace := r.trace
@@ -699,12 +769,16 @@ func (r *Replayer) replay(ctx context.Context, cfg Config, movedBlocks []ir.Bloc
 		coarseBusyT, memBusyT         int64
 		makespan                      int64
 		reconfigs, hiddenReconT       int64
-		loadedPart                    = -1
 		prefetchPart                  = -1
 		prefetchReady                 int64
 	)
+	// Per-region sequencer state: loadedR[reg] is the partition resident in
+	// region reg (partition p lives in region p % regions). With one region
+	// this is the paper's single loaded-partition scalar.
+	a.growRegions(regions)
+	loadedR := a.loadedR
 	if pm.NumPartitions == 0 {
-		loadedPart = 0 // nothing to configure
+		loadedR[0] = 0 // nothing to configure
 	}
 	var invocations []uint64
 	var busyT, firstT, lastT []int64
@@ -742,9 +816,18 @@ func (r *Replayer) replay(ctx context.Context, cfg Config, movedBlocks []ir.Bloc
 	fastForward := rep == nil && cfg.OnFrame == nil
 	var (
 		pFine, pCoarse, pMem, pReady int64
-		pLoaded, pPrefetch           = -2, -2
+		pPrefetch                    = -2
 		frameMax                     int64
 	)
+	prevLoadedR := a.prevLoadedR // all -2 after growRegions: never matches frame 0's state
+	sameResidency := func() bool {
+		for i, v := range loadedR {
+			if prevLoadedR[i] != v {
+				return false
+			}
+		}
+		return true
+	}
 	for frame := 0; frame < cfg.Frames; frame++ {
 		if err := ctx.Err(); err != nil {
 			return 0, err
@@ -763,7 +846,7 @@ func (r *Replayer) replay(ctx context.Context, cfg Config, movedBlocks []ir.Bloc
 					return free-prev == d || (prev == 0 && free == 0)
 				}
 				if okR(fineFree, pFine) && okR(coarseFree, pCoarse) && okR(memFree, pMem) &&
-					loadedPart == pLoaded && prefetchPart == pPrefetch &&
+					sameResidency() && prefetchPart == pPrefetch &&
 					(prefetchPart < 0 || prefetchReady-pReady == d) {
 					if m := frameMax + int64(cfg.Frames-frame)*d; m > makespan {
 						makespan = m
@@ -772,7 +855,8 @@ func (r *Replayer) replay(ctx context.Context, cfg Config, movedBlocks []ir.Bloc
 				}
 			}
 			pFine, pCoarse, pMem, pReady = fineFree, coarseFree, memFree, prefetchReady
-			pLoaded, pPrefetch = loadedPart, prefetchPart
+			copy(prevLoadedR, loadedR)
+			pPrefetch = prefetchPart
 			frameMax = 0
 		}
 		var prevEnd int64 // program-order completion within this frame
@@ -807,7 +891,7 @@ func (r *Replayer) replay(ctx context.Context, cfg Config, movedBlocks []ir.Bloc
 				// The fine fabric idles under this window: with prefetch the
 				// sequencer uses it to load the next block's configuration.
 				if cfg.Prefetch && prefetchPart < 0 {
-					if need := int(nextPart[idx]); need >= 0 && need != loadedPart {
+					if need := int(nextPart[idx]); need >= 0 && loadedR[need%regions] != need {
 						loadStart := max64(fineFree, mStart)
 						prefetchReady = loadStart + reconT
 						fineFree = prefetchReady
@@ -820,7 +904,8 @@ func (r *Replayer) replay(ctx context.Context, cfg Config, movedBlocks []ir.Bloc
 			}
 
 			start := max64(prevEnd, fineFree)
-			if need := pm.FirstPart[id]; need != loadedPart {
+			need := pm.FirstPart[id]
+			if reg := need % regions; loadedR[reg] != need {
 				if prefetchPart == need {
 					// Configuration already (being) loaded during a previous
 					// data-path window; any remaining load time still stalls.
@@ -828,19 +913,30 @@ func (r *Replayer) replay(ctx context.Context, cfg Config, movedBlocks []ir.Bloc
 					hiddenReconT += max64(0, reconT-stall)
 					start = max64(start, prefetchReady)
 				} else {
-					// On-demand load: the fabric reconfigures, then executes.
+					// On-demand load: the region reconfigures, then executes.
 					reconfigs++
 					fineReconT += reconT
 					start += reconT
 				}
-				loadedPart = need
+				loadedR[reg] = need
 			}
 			prefetchPart = -1
-			end := start + execT[id] + intT[id]
+			// Straddling the block across partitions reloads a region only
+			// when the next partition's region holds something else — with
+			// one region that is every boundary, the paper's model; with
+			// more, consecutive partitions land in different regions and
+			// only wrap-around revisits reload.
+			var strT int64
+			for q := need + 1; q <= pm.LastPart[id]; q++ {
+				if reg := q % regions; loadedR[reg] != q {
+					strT += reconT
+					reconfigs++
+					loadedR[reg] = q
+				}
+			}
+			end := start + execT[id] + strT
 			fineBusyT += execT[id]
-			fineReconT += intT[id]
-			reconfigs += int64(pm.InternalCrossings[id])
-			loadedPart = pm.LastPart[id]
+			fineReconT += strT
 			fineFree = end
 			prevEnd = end
 			if end > makespan {

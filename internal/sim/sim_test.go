@@ -501,8 +501,11 @@ func TestMakespanMatchesSimulate(t *testing.T) {
 
 // TestLowerBoundAdmissible is the branch-and-bound soundness property: for
 // every moved set (empty, singletons, and all mappable pairs) under every
-// frame/port/prefetch combination, LowerBound never exceeds the replayed
-// makespan. One overestimate would let the scorer prune a true argmin.
+// region/frame/port/prefetch combination, neither LowerBound nor the
+// tighter FineWalkBound ever exceeds the replayed makespan. One
+// overestimate would let the scorer prune a true argmin. The regions axis
+// also pins the monolithic identity: Regions=1 replays byte-identically to
+// the legacy single-context model (Regions unset).
 func TestLowerBoundAdmissible(t *testing.T) {
 	for _, src := range []struct {
 		name, src, entry string
@@ -513,41 +516,70 @@ func TestLowerBoundAdmissible(t *testing.T) {
 	} {
 		t.Run(src.name, func(t *testing.T) {
 			prog, flat, freq, edges := prep(t, src.src, src.entry, 1)
-			in := Input{Prog: prog, F: flat, Plat: smallPlat(src.area), Freq: freq, Edges: edges}
-			r, err := NewReplayer(in)
+			legacy, err := NewReplayer(Input{Prog: prog, F: flat, Plat: smallPlat(src.area), Freq: freq, Edges: edges})
 			if err != nil {
 				t.Fatal(err)
 			}
-			var mappable []ir.BlockID
-			for id := range flat.Blocks {
-				if _, err := r.CoarseLatency(ir.BlockID(id)); err == nil {
-					mappable = append(mappable, ir.BlockID(id))
+			for _, regions := range []int{1, 2, 4} {
+				// Scale total area with the region count so the per-region
+				// area — what packing sees — stays fixed across the sweep
+				// and R only changes the residency dynamics.
+				plat := smallPlat(src.area * regions)
+				plat.Fine.Regions = regions
+				in := Input{Prog: prog, F: flat, Plat: plat, Freq: freq, Edges: edges}
+				r, err := NewReplayer(in)
+				if err != nil {
+					t.Fatal(err)
 				}
-			}
-			movedSets := [][]ir.BlockID{nil}
-			for i, a := range mappable {
-				movedSets = append(movedSets, []ir.BlockID{a})
-				for _, b := range mappable[i+1:] {
-					movedSets = append(movedSets, []ir.BlockID{a, b})
+				var mappable []ir.BlockID
+				for id := range flat.Blocks {
+					if _, err := r.CoarseLatency(ir.BlockID(id)); err == nil {
+						mappable = append(mappable, ir.BlockID(id))
+					}
 				}
-			}
-			var arena Arena
-			for _, frames := range []int{1, 4} {
-				for _, ports := range []int{1, 2} {
-					for _, prefetch := range []bool{false, true} {
-						cfg := Config{Frames: frames, Ports: ports, Prefetch: prefetch}
-						for _, moved := range movedSets {
-							bound, err := r.LowerBound(cfg, moved)
-							if err != nil {
-								t.Fatalf("moved=%v: %v", moved, err)
-							}
-							full, err := r.Makespan(context.Background(), cfg, moved, &arena)
-							if err != nil {
-								t.Fatalf("moved=%v: %v", moved, err)
-							}
-							if bound > full {
-								t.Fatalf("frames=%d ports=%d prefetch=%v moved=%v: bound %d exceeds makespan %d",
-									frames, ports, prefetch, moved, bound, full)
+				movedSets := [][]ir.BlockID{nil}
+				for i, a := range mappable {
+					movedSets = append(movedSets, []ir.BlockID{a})
+					for _, b := range mappable[i+1:] {
+						movedSets = append(movedSets, []ir.BlockID{a, b})
+					}
+				}
+				var arena Arena
+				for _, frames := range []int{1, 4} {
+					for _, ports := range []int{1, 2} {
+						for _, prefetch := range []bool{false, true} {
+							cfg := Config{Frames: frames, Ports: ports, Prefetch: prefetch}
+							for _, moved := range movedSets {
+								bound, err := r.LowerBound(cfg, moved)
+								if err != nil {
+									t.Fatalf("moved=%v: %v", moved, err)
+								}
+								full, err := r.Makespan(context.Background(), cfg, moved, &arena)
+								if err != nil {
+									t.Fatalf("moved=%v: %v", moved, err)
+								}
+								if bound > full {
+									t.Fatalf("regions=%d frames=%d ports=%d prefetch=%v moved=%v: bound %d exceeds makespan %d",
+										regions, frames, ports, prefetch, moved, bound, full)
+								}
+								walk, err := r.FineWalkBound(cfg, moved, &arena)
+								if err != nil {
+									t.Fatalf("moved=%v: %v", moved, err)
+								}
+								if walk > full {
+									t.Fatalf("regions=%d frames=%d ports=%d prefetch=%v moved=%v: fine-walk bound %d exceeds makespan %d",
+										regions, frames, ports, prefetch, moved, walk, full)
+								}
+								if regions == 1 {
+									want, err := legacy.Makespan(context.Background(), cfg, moved, nil)
+									if err != nil {
+										t.Fatal(err)
+									}
+									if full != want {
+										t.Fatalf("frames=%d ports=%d prefetch=%v moved=%v: Regions=1 makespan %d != legacy %d",
+											frames, ports, prefetch, moved, full, want)
+									}
+								}
 							}
 						}
 					}

@@ -419,7 +419,8 @@ func (s *simScorer) closedForm(moved []ir.BlockID) (int64, error) {
 		return 0, err
 	}
 
-	reconT := int64(s.plat.Fine.ReconfigCycles) * s.ratio
+	reconT := int64(s.plat.Fine.RegionReconfigCycles()) * s.ratio
+	regions := pm.Regions
 	var ticks int64
 	var coarseDelta int64 // Σ freq·(lat+tx) over the moved set, in ticks
 	for id := 0; id < n; id++ {
@@ -435,9 +436,53 @@ func (s *simScorer) closedForm(moved []ir.BlockID) (int64, error) {
 			coarseDelta += freq * (lat + s.rep.TransferTicks(ir.BlockID(id), s.cfg.Ports))
 			continue
 		}
-		ticks += freq * (pm.PerBlockCycles[id]*s.ratio + int64(pm.InternalCrossings[id])*reconT)
+		cost := pm.PerBlockCycles[id] * s.ratio
+		if regions == 1 {
+			// Single context: every internal boundary reloads, so the
+			// straddle cost is a static per-execution count. With more
+			// regions straddle reloads depend on residency and ride the
+			// walk below instead.
+			cost += int64(pm.InternalCrossings[id]) * reconT
+		}
+		ticks += freq * cost
 	}
 	ticks += coarseDelta
+
+	if regions > 1 {
+		// Multi-region sequencer walk, mirroring the replay exactly: a
+		// partition loads only when its region holds something else, for
+		// entry and straddle needs alike. Entry and straddle loads are both
+		// residency-dependent here, so the incremental tier (which reuses a
+		// static entry-load vector) does not apply.
+		loadedR := make([]int, regions)
+		for i := range loadedR {
+			loadedR[i] = -1
+		}
+		if pm.NumPartitions == 0 {
+			loadedR[0] = 0 // nothing to configure
+		}
+		var loads int64
+		s.rep.WalkTrace(func(b ir.BlockID) {
+			if movedMask[b] {
+				return
+			}
+			need := pm.FirstPart[b]
+			if reg := need % regions; loadedR[reg] != need {
+				loads++
+				loadedR[reg] = need
+			}
+			for q := need + 1; q <= pm.LastPart[b]; q++ {
+				if reg := q % regions; loadedR[reg] != q {
+					loads++
+					loadedR[reg] = q
+				}
+			}
+		})
+		ticks += loads * reconT
+		s.stats.ClosedForm++
+		s.last = nil
+		return ceilDiv64(ticks, s.ratio), nil
+	}
 
 	// Incremental tier: the trajectory hands us prefixes, each extending the
 	// last by one kernel k. When repacking without k leaves every remaining

@@ -92,6 +92,9 @@ type SimReport struct {
 	Frames   int
 	Ports    int
 	Prefetch bool
+	// Regions is the number of independently reconfigurable fine-grain
+	// regions simulated (1 = the paper's monolithic context).
+	Regions int
 	// Objective is the move-loop objective the underlying partitioning run
 	// optimized (the simulated mapping is that run's choice).
 	Objective Objective
@@ -136,6 +139,9 @@ func (r *SimReport) Format() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Simulated frames:          %d (ports %d, prefetch %v, objective %s, %d profiled run(s))\n",
 		r.Frames, r.Ports, r.Prefetch, r.Objective, r.Runs)
+	if r.Regions > 1 {
+		fmt.Fprintf(&sb, "Reconfigurable regions:    %d\n", r.Regions)
+	}
 	fmt.Fprintf(&sb, "Simulated cycles (all-FPGA): %d\n", r.BaselineCycles)
 	fmt.Fprintf(&sb, "Simulated cycles (partitioned): %d\n", r.TotalCycles)
 	fmt.Fprintf(&sb, "Simulated speedup:         %.3f\n", r.Speedup())
@@ -273,6 +279,7 @@ func (e *Engine) simulateApp(ctx context.Context, a *App, p *RunProfile, opts []
 		Frames:               spec.Frames,
 		Ports:                spec.Ports,
 		Prefetch:             spec.Prefetch,
+		Regions:              e.platformOf(e.opts, e.costsSet).Fine.NumRegions(),
 		Objective:            e.opts.Objective,
 		Runs:                 part.Runs,
 		TotalCycles:          part.TotalCycles,
@@ -355,6 +362,10 @@ func validate(res *Result, rep *SimReport, spec SimSpec) SimValidation {
 	if rep.Ports > 1 {
 		v.Notes = append(v.Notes, fmt.Sprintf(
 			"%d transfer ports stripe each invocation's words; the model assumes serialized single-port transfers", rep.Ports))
+	}
+	if rep.Regions > 1 {
+		v.Notes = append(v.Notes, fmt.Sprintf(
+			"%d reconfigurable regions let partitions coexist; the model's crossing rule assumes optimistic residency", rep.Regions))
 	}
 	if spec.Frames > 1 {
 		v.Notes = append(v.Notes, fmt.Sprintf(

@@ -39,25 +39,32 @@ type propertyConfig struct {
 	prefetch   bool
 	constraint int64
 	maxMoves   int
+	regions    int
 }
 
 func drawConfig(rng *rand.Rand) propertyConfig {
 	areas := []int{768, 1000, 1500, 2200, 3000, 5000}
 	framesChoices := []int{1, 2, 4, 8}
 	constraints := []int64{1, 30000, 60000, 120000}
-	return propertyConfig{
+	regionsChoices := []int{1, 2, 4}
+	c := propertyConfig{
 		area:       areas[rng.Intn(len(areas))],
 		frames:     framesChoices[rng.Intn(len(framesChoices))],
 		ports:      1 + rng.Intn(3),
 		prefetch:   rng.Intn(2) == 1,
 		constraint: constraints[rng.Intn(len(constraints))],
 		maxMoves:   rng.Intn(9), // 0 = unlimited
+		regions:    regionsChoices[rng.Intn(len(regionsChoices))],
 	}
+	if c.regions == 4 && c.area < 1024 {
+		c.regions = 2 // the per-region area must still fit the largest operator (256 units)
+	}
+	return c
 }
 
 func (c propertyConfig) String() string {
-	return fmt.Sprintf("area=%d frames=%d ports=%d prefetch=%v constraint=%d maxmoves=%d",
-		c.area, c.frames, c.ports, c.prefetch, c.constraint, c.maxMoves)
+	return fmt.Sprintf("area=%d frames=%d ports=%d prefetch=%v constraint=%d maxmoves=%d regions=%d",
+		c.area, c.frames, c.ports, c.prefetch, c.constraint, c.maxMoves, c.regions)
 }
 
 func (c propertyConfig) engineOpts(extra ...Option) []Option {
@@ -70,6 +77,11 @@ func (c propertyConfig) engineOpts(extra ...Option) []Option {
 	}
 	if c.maxMoves > 0 {
 		opts = append(opts, WithMaxMoves(c.maxMoves))
+	}
+	if c.regions > 1 {
+		// regions == 1 deliberately leaves Regions unset: monolithic draws
+		// keep exercising the untouched legacy configuration.
+		opts = append(opts, WithRegions(c.regions))
 	}
 	return append(opts, extra...)
 }
@@ -180,6 +192,7 @@ func TestSimPropertyExactnessPreserved(t *testing.T) {
 			for i := 0; i < draws; i++ {
 				cfg := drawConfig(rng)
 				cfg.frames, cfg.ports, cfg.prefetch = 1, 1, false
+				cfg.regions = 1 // model exactness is a monolithic-context claim
 				t.Logf("bench=%s seed=%d draw=%d %s", bench, seed, i, cfg)
 				eng, err := NewEngine(cfg.engineOpts(WithObjective(ObjectiveSimulated))...)
 				if err != nil {
@@ -307,6 +320,55 @@ func TestSimPropertyFastPathMatchesReplay(t *testing.T) {
 				t.Fatalf("seed=%d %s: fast path diverges from replay: moved %v sim %d, want moved %v sim %d",
 					seed, cfg, fast.Moved, fast.SimulatedCycles, slow.Moved, slow.SimulatedCycles)
 			}
+		}
+	}
+}
+
+// TestSimPropertyMonolithicIdentity pins the multi-region model's backward
+// compatibility: WithRegions(1) is the legacy single-context platform, not a
+// near miss — identical chosen mapping, identical makespans, byte-identical
+// SimReport JSON against an engine that never mentions regions.
+func TestSimPropertyMonolithicIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark compilation in -short mode")
+	}
+	app, prof, err := ProfileBenchmarkCached(BenchOFDM, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportJSON := func(opts []Option) []byte {
+		eng, err := NewEngine(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := eng.SimulateProfiled(context.Background(), app, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	rng := rand.New(rand.NewSource(propertySeeds[0]))
+	for i := 0; i < 3; i++ {
+		cfg := drawConfig(rng)
+		cfg.regions = 1
+		t.Logf("draw=%d %s", i, cfg)
+		legacy := partitionWith(t, app, prof, cfg.engineOpts(WithObjective(ObjectiveSimulated))...)
+		mono := partitionWith(t, app, prof, cfg.engineOpts(WithObjective(ObjectiveSimulated), WithRegions(1))...)
+		if fmt.Sprint(mono.Moved) != fmt.Sprint(legacy.Moved) ||
+			mono.FinalCycles != legacy.FinalCycles ||
+			mono.SimulatedCycles != legacy.SimulatedCycles {
+			t.Fatalf("%s: Regions=1 diverges from legacy: moved %v final %d sim %d, want moved %v final %d sim %d",
+				cfg, mono.Moved, mono.FinalCycles, mono.SimulatedCycles,
+				legacy.Moved, legacy.FinalCycles, legacy.SimulatedCycles)
+		}
+		legacyRep := reportJSON(cfg.engineOpts(WithObjective(ObjectiveSimulated)))
+		monoRep := reportJSON(cfg.engineOpts(WithObjective(ObjectiveSimulated), WithRegions(1)))
+		if !bytes.Equal(monoRep, legacyRep) {
+			t.Fatalf("%s: Regions=1 SimReport differs from legacy:\n%s\nvs\n%s", cfg, monoRep, legacyRep)
 		}
 	}
 }
